@@ -1,0 +1,115 @@
+// Experiment E3 — Theorem 8.1, delay: per-answer time independent of |T|,
+// linear in the produced assignment size |S|.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace treenum {
+namespace {
+
+using bench::kSeed;
+
+// (a) n sweep with a fixed number of answers: per-answer time flat in n.
+void BM_Delay_FixedAnswers_SizeSweep(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(kSeed);
+  UnrankedTree t = RandomTree(n, 1, rng);  // all label a
+  NodeId spine = t.AppendChild(t.root(), 1);
+  for (int i = 0; i < 64; ++i) t.AppendChild(spine, 2);
+  TreeEnumerator e(t, bench::StandardQuery());
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = bench::Drain(e);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["ns_per_answer"] = benchmark::Counter(
+      static_cast<double>(answers) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Delay_FixedAnswers_SizeSweep)
+    ->Range(1024, 262144)
+    ->Unit(benchmark::kMicrosecond);
+
+// (b) answer-count sweep at fixed n: total time linear in the output size.
+void BM_Delay_AnswerCountSweep(benchmark::State& state) {
+  size_t answers_target = static_cast<size_t>(state.range(0));
+  Rng rng(kSeed);
+  UnrankedTree t = RandomTree(16384, 1, rng);
+  NodeId spine = t.AppendChild(t.root(), 1);
+  for (size_t i = 0; i < answers_target; ++i) t.AppendChild(spine, 2);
+  TreeEnumerator e(t, bench::StandardQuery());
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = bench::Drain(e);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["ns_per_answer"] = benchmark::Counter(
+      static_cast<double>(answers) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Delay_AnswerCountSweep)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+// (c) assignment-size sweep: second-order variable, answers are subsets of
+// the k b-nodes — delay is allowed to be linear in |S| (Corollary 8.2).
+void BM_Delay_AssignmentSizeSweep(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(kSeed);
+  UnrankedTree t = RandomTree(256, 1, rng);
+  for (size_t i = 0; i < k; ++i) t.AppendChild(t.root(), 1);
+  TreeEnumerator e(t, QueryAnySubsetOfLabel(2, 1));
+  size_t answers = 0;
+  size_t singletons = 0;
+  for (auto _ : state) {
+    TreeEnumerator::Cursor c = e.Enumerate();
+    Assignment a;
+    answers = 0;
+    singletons = 0;
+    while (c.Next(&a)) {
+      ++answers;
+      singletons += a.size();
+    }
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["ns_per_singleton"] = benchmark::Counter(
+      static_cast<double>(singletons) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Delay_AssignmentSizeSweep)
+    ->DenseRange(4, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// (d) worst-case single-probe delay: one answer hidden at the bottom of a
+// path tree; indexed vs. naive box enumeration.
+template <BoxEnumMode mode>
+void ProbeBench(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(kSeed);
+  UnrankedTree t = PathTree(n, 1, rng);
+  NodeId cur = t.root();
+  while (!t.IsLeaf(cur)) cur = t.children(cur)[0];
+  t.Relabel(cur, 2);
+  t.Relabel(t.root(), 1);
+  TreeEnumerator e(t, bench::StandardQuery(), mode);
+  for (auto _ : state) {
+    size_t got = bench::Drain(e);
+    benchmark::DoNotOptimize(got);
+  }
+}
+void BM_Delay_DeepProbe_Indexed(benchmark::State& state) {
+  ProbeBench<BoxEnumMode::kIndexed>(state);
+}
+BENCHMARK(BM_Delay_DeepProbe_Indexed)
+    ->Range(1024, 131072)
+    ->Unit(benchmark::kMicrosecond);
+void BM_Delay_DeepProbe_NoIndex(benchmark::State& state) {
+  ProbeBench<BoxEnumMode::kNaive>(state);
+}
+BENCHMARK(BM_Delay_DeepProbe_NoIndex)
+    ->Range(1024, 131072)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace treenum

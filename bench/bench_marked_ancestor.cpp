@@ -1,0 +1,66 @@
+// Experiment E7 — the §9 lower-bound scenario, measured from above: the
+// marked-ancestor problem solved through the enumeration pipeline. Updates
+// (mark/unmark) are relabelings; a query is two relabelings plus one
+// enumeration probe. Both series grow logarithmically in n — consistent
+// with the Ω(log n / log log n) lower bound of Theorem 9.2 and the O(log n)
+// upper bound of Theorem 8.1.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace treenum {
+namespace {
+
+using bench::kSeed;
+
+constexpr Label kUnmarked = 0, kMarked = 1, kSpecial = 2;
+
+TreeEnumerator MakeStructure(size_t n) {
+  Rng rng(kSeed + n);
+  UnrankedTree t = RandomTree(n, 1, rng);  // all unmarked
+  return TreeEnumerator(std::move(t), QueryMarkedAncestor(3, kMarked,
+                                                          kSpecial));
+}
+
+void BM_MarkedAncestor_Update(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  TreeEnumerator e = MakeStructure(n);
+  Rng rng(kSeed);
+  std::vector<NodeId> nodes = e.tree().PreorderNodes();
+  for (auto _ : state) {
+    NodeId v = nodes[rng.Index(nodes.size())];
+    e.Relabel(v, rng.Flip(0.5) ? kMarked : kUnmarked);
+  }
+}
+BENCHMARK(BM_MarkedAncestor_Update)
+    ->Range(1024, 262144)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MarkedAncestor_Query(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  TreeEnumerator e = MakeStructure(n);
+  Rng rng(kSeed);
+  std::vector<NodeId> nodes = e.tree().PreorderNodes();
+  // Mark 1% of the nodes.
+  for (size_t i = 0; i < nodes.size() / 100 + 1; ++i) {
+    e.Relabel(nodes[rng.Index(nodes.size())], kMarked);
+  }
+  size_t yes = 0;
+  for (auto _ : state) {
+    NodeId v = nodes[rng.Index(nodes.size())];
+    Label old = e.tree().label(v);
+    e.Relabel(v, kSpecial);
+    TreeEnumerator::Cursor c = e.Enumerate();
+    Assignment a;
+    yes += c.Next(&a);
+    e.Relabel(v, old);
+  }
+  state.counters["yes_fraction"] =
+      static_cast<double>(yes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MarkedAncestor_Query)
+    ->Range(1024, 262144)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace treenum

@@ -1,0 +1,71 @@
+// Experiment E2 — Theorem 8.1, preprocessing: time linear in |T|.
+// Reported per-node cost should be flat across the size sweep; the split
+// benchmarks show where the time goes (encoding, circuit, index).
+#include <benchmark/benchmark.h>
+
+#include "automata/homogenize.h"
+#include "automata/translate.h"
+#include "bench_util.h"
+#include "falgebra/builder.h"
+
+namespace treenum {
+namespace {
+
+void BM_Preprocess_Full(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  UnrankedTree tree = bench::MakeTree(n);
+  UnrankedTva query = bench::StandardQuery();
+  for (auto _ : state) {
+    TreeEnumerator e(tree, query);
+    benchmark::DoNotOptimize(e.width());
+  }
+  state.counters["ns_per_node"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Preprocess_Full)
+    ->Range(1024, 262144)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Preprocess_EncodeOnly(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  UnrankedTree tree = bench::MakeTree(n);
+  for (auto _ : state) {
+    Encoding enc = EncodeTree(tree, 3);
+    benchmark::DoNotOptimize(enc.term.num_alive());
+  }
+}
+BENCHMARK(BM_Preprocess_EncodeOnly)
+    ->Range(1024, 262144)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Preprocess_PathTree(benchmark::State& state) {
+  // Adversarially deep input: the balanced encoding keeps preprocessing
+  // near-linear (the encoder's split scans add at most a log factor).
+  size_t n = static_cast<size_t>(state.range(0));
+  UnrankedTree tree = bench::MakePath(n);
+  UnrankedTva query = bench::StandardQuery();
+  for (auto _ : state) {
+    TreeEnumerator e(tree, query);
+    benchmark::DoNotOptimize(e.width());
+  }
+  state.counters["ns_per_node"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Preprocess_PathTree)
+    ->Range(1024, 131072)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Preprocess_AutomatonTranslation(benchmark::State& state) {
+  // The query-side cost (Lemma 7.4 + Lemma 2.1), independent of the tree.
+  UnrankedTva query = bench::StandardQuery();
+  for (auto _ : state) {
+    HomogenizedTva h = HomogenizeBinaryTva(TranslateUnrankedTva(query).tva);
+    benchmark::DoNotOptimize(h.tva.num_states());
+  }
+}
+BENCHMARK(BM_Preprocess_AutomatonTranslation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace treenum

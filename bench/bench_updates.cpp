@@ -1,0 +1,105 @@
+// Experiment E4 — Theorem 8.1, updates: O(log n) per edit. Separate series
+// per edit kind; the relabel series is worst-case logarithmic (pure path
+// recomputation), the structural series are amortized (partial rebuilds,
+// see DESIGN.md §2.1) — the reported averages grow logarithmically.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace treenum {
+namespace {
+
+using bench::kSeed;
+
+void BM_Update_Relabel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  TreeEnumerator e(bench::MakeTree(n), bench::StandardQuery());
+  Rng rng(kSeed);
+  std::vector<NodeId> nodes = e.tree().PreorderNodes();
+  for (auto _ : state) {
+    NodeId target = nodes[rng.Index(nodes.size())];
+    e.Relabel(target, static_cast<Label>(rng.Index(3)));
+  }
+}
+BENCHMARK(BM_Update_Relabel)->Range(1024, 262144)->Unit(benchmark::kMicrosecond);
+
+void BM_Update_InsertLeaf(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  TreeEnumerator e(bench::MakeTree(n), bench::StandardQuery());
+  Rng rng(kSeed);
+  // Insertion targets cycle through a fixed precomputed set so target
+  // selection costs O(1) inside the timed region.
+  std::vector<NodeId> targets = e.tree().PreorderNodes();
+  size_t ti = 0;
+  size_t rebuilds = 0;
+  size_t rebuilt_nodes = 0;
+  for (auto _ : state) {
+    NodeId target = targets[ti++ % targets.size()];
+    UpdateStats s =
+        e.InsertFirstChild(target, static_cast<Label>(rng.Index(3)));
+    rebuilds += s.rebuilt_size > 0;
+    rebuilt_nodes += s.rebuilt_size;
+  }
+  state.counters["rebuild_fraction"] =
+      static_cast<double>(rebuilds) / static_cast<double>(state.iterations());
+  state.counters["rebuilt_nodes_per_update"] =
+      static_cast<double>(rebuilt_nodes) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Update_InsertLeaf)
+    ->Range(1024, 131072)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Update_InsertDeleteCycle(benchmark::State& state) {
+  // Insert then delete the same leaf: size stays constant, so the series is
+  // clean of growth effects.
+  size_t n = static_cast<size_t>(state.range(0));
+  TreeEnumerator e(bench::MakeTree(n), bench::StandardQuery());
+  Rng rng(kSeed);
+  std::vector<NodeId> nodes = e.tree().PreorderNodes();
+  for (auto _ : state) {
+    NodeId target = nodes[rng.Index(nodes.size())];
+    NodeId u;
+    e.InsertFirstChild(target, 2, &u);
+    e.DeleteLeaf(u);
+  }
+}
+BENCHMARK(BM_Update_InsertDeleteCycle)
+    ->Range(1024, 131072)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Update_MixedStream(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  TreeEnumerator e(bench::MakeTree(n), bench::StandardQuery());
+  bench::EditDriver driver(e, kSeed);
+  size_t boxes = 0;
+  for (auto _ : state) {
+    UpdateStats s = driver.Step();
+    boxes += s.boxes_recomputed;
+  }
+  state.counters["boxes_per_update"] =
+      static_cast<double>(boxes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Update_MixedStream)
+    ->Range(1024, 131072)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Update_AdversarialPathGrowth(benchmark::State& state) {
+  // Always extend the deepest node: maximal rebalancing pressure.
+  TreeEnumerator e(UnrankedTree(0), bench::StandardQuery());
+  NodeId cur = e.tree().root();
+  size_t rebuilt_nodes = 0;
+  for (auto _ : state) {
+    NodeId u;
+    UpdateStats s = e.InsertFirstChild(cur, 0, &u);
+    rebuilt_nodes += s.rebuilt_size;
+    cur = u;
+  }
+  state.counters["rebuilt_nodes_per_update"] =
+      static_cast<double>(rebuilt_nodes) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Update_AdversarialPathGrowth)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace treenum

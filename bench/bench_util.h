@@ -1,0 +1,106 @@
+// Shared workload generators and helpers for the benchmark suite. Each
+// bench binary regenerates one experiment of EXPERIMENTS.md.
+#ifndef TREENUM_BENCH_BENCH_UTIL_H_
+#define TREENUM_BENCH_BENCH_UTIL_H_
+
+#include <vector>
+
+#include "automata/query_library.h"
+#include "core/tree_enumerator.h"
+#include "trees/unranked_tree.h"
+#include "util/random.h"
+
+namespace treenum {
+namespace bench {
+
+inline constexpr uint64_t kSeed = 0xBADC0FFEE;
+
+/// Random tree workload with 3 labels (a/b/c) used across experiments.
+inline UnrankedTree MakeTree(size_t n) {
+  Rng rng(kSeed + n);
+  return RandomTree(n, 3, rng);
+}
+
+/// Path-shaped adversarial workload.
+inline UnrankedTree MakePath(size_t n) {
+  Rng rng(kSeed + n);
+  return PathTree(n, 3, rng);
+}
+
+/// The standard benchmark query: marked-ancestor (4 states, nontrivial
+/// vertical information flow, answers sparse).
+inline UnrankedTva StandardQuery() { return QueryMarkedAncestor(3, 1, 2); }
+
+/// Random-edit driver with an incrementally maintained pool of candidate
+/// node ids, so picking an edit target is O(1) — a full PreorderNodes()
+/// scan per edit would add an O(n) term inside the timed region and mask
+/// the logarithmic update shapes the experiments measure.
+class EditDriver {
+ public:
+  EditDriver(TreeEnumerator& e, uint64_t seed) : e_(e), rng_(seed) {
+    pool_ = e.tree().PreorderNodes();
+  }
+
+  UpdateStats Step() {
+    NodeId n = Pick();
+    switch (rng_.Index(4)) {
+      case 0:
+        return e_.Relabel(n, static_cast<Label>(rng_.Index(3)));
+      case 1: {
+        NodeId u;
+        UpdateStats s =
+            e_.InsertFirstChild(n, static_cast<Label>(rng_.Index(3)), &u);
+        pool_.push_back(u);
+        return s;
+      }
+      case 2: {
+        if (n == e_.tree().root()) {
+          return e_.Relabel(n, static_cast<Label>(rng_.Index(3)));
+        }
+        NodeId u;
+        UpdateStats s =
+            e_.InsertRightSibling(n, static_cast<Label>(rng_.Index(3)), &u);
+        pool_.push_back(u);
+        return s;
+      }
+      default:
+        if (n != e_.tree().root() && e_.tree().IsLeaf(n)) {
+          return e_.DeleteLeaf(n);
+        }
+        return e_.Relabel(n, static_cast<Label>(rng_.Index(3)));
+    }
+  }
+
+  UpdateStats RelabelStep() {
+    return e_.Relabel(Pick(), static_cast<Label>(rng_.Index(3)));
+  }
+
+ private:
+  NodeId Pick() {
+    while (true) {
+      size_t i = rng_.Index(pool_.size());
+      NodeId n = pool_[i];
+      if (e_.tree().IsAlive(n)) return n;
+      pool_[i] = pool_.back();  // drop stale (deleted) entries lazily
+      pool_.pop_back();
+    }
+  }
+
+  TreeEnumerator& e_;
+  Rng rng_;
+  std::vector<NodeId> pool_;
+};
+
+/// Drains a cursor; returns the number of answers.
+inline size_t Drain(const TreeEnumerator& e) {
+  TreeEnumerator::Cursor c = e.Enumerate();
+  Assignment a;
+  size_t n = 0;
+  while (c.Next(&a)) ++n;
+  return n;
+}
+
+}  // namespace bench
+}  // namespace treenum
+
+#endif  // TREENUM_BENCH_BENCH_UTIL_H_

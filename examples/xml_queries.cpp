@@ -1,0 +1,76 @@
+// XML-style querying under updates: a synthetic "document" tree with
+// sections, figures and paragraphs; we maintain two queries while the
+// document is edited — the motivating scenario of the paper's introduction
+// (querying tree-shaped data such as XML/JSON documents that change).
+#include <cstdio>
+
+#include "automata/query_library.h"
+#include "core/tree_enumerator.h"
+#include "util/random.h"
+
+using namespace treenum;
+
+namespace {
+
+// Alphabet: 0 = doc, 1 = section, 2 = figure, 3 = para.
+constexpr Label kDoc = 0, kSection = 1, kFigure = 2, kPara = 3;
+
+UnrankedTree MakeDocument(size_t sections, size_t paras_per_section,
+                          Rng& rng) {
+  UnrankedTree t(kDoc);
+  for (size_t s = 0; s < sections; ++s) {
+    NodeId sec = t.AppendChild(t.root(), kSection);
+    for (size_t p = 0; p < paras_per_section; ++p) {
+      t.AppendChild(sec, rng.Flip(0.2) ? kFigure : kPara);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2024);
+  UnrankedTree doc = MakeDocument(8, 6, rng);
+  std::printf("document: %zu nodes\n", doc.size());
+
+  // Q1(x): every figure that is inside a section (marked-ancestor shape).
+  TreeEnumerator figures_in_sections(
+      doc, QueryMarkedAncestor(4, /*marked=*/kSection, /*special=*/kFigure));
+  // Q2(x, y): section x together with each figure y below it.
+  TreeEnumerator section_figure_pairs(
+      doc, QueryDescendantPairs(4, kSection, kFigure));
+
+  std::printf("figures inside sections: %zu\n",
+              figures_in_sections.EnumerateAll().size());
+  std::printf("(section, figure) pairs: %zu\n",
+              section_figure_pairs.EnumerateAll().size());
+
+  // Editorial workflow: insert new figures, convert paragraphs to figures,
+  // delete figures — and keep both result sets current.
+  for (int round = 0; round < 5; ++round) {
+    std::vector<NodeId> nodes = figures_in_sections.tree().PreorderNodes();
+    NodeId n = nodes[rng.Index(nodes.size())];
+    const UnrankedTree& cur = figures_in_sections.tree();
+    if (cur.label(n) == kSection) {
+      figures_in_sections.InsertFirstChild(n, kFigure);
+      section_figure_pairs.InsertFirstChild(n, kFigure);
+      std::printf("round %d: inserted a figure under a section\n", round);
+    } else if (cur.label(n) == kPara) {
+      figures_in_sections.Relabel(n, kFigure);
+      section_figure_pairs.Relabel(n, kFigure);
+      std::printf("round %d: converted a paragraph to a figure\n", round);
+    } else if (cur.label(n) == kFigure && cur.IsLeaf(n) &&
+               n != cur.root()) {
+      figures_in_sections.DeleteLeaf(n);
+      section_figure_pairs.DeleteLeaf(n);
+      std::printf("round %d: deleted a figure\n", round);
+    } else {
+      std::printf("round %d: no-op on label %u\n", round, cur.label(n));
+    }
+    std::printf("  figures in sections: %zu, pairs: %zu\n",
+                figures_in_sections.EnumerateAll().size(),
+                section_figure_pairs.EnumerateAll().size());
+  }
+  return 0;
+}

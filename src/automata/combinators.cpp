@@ -1,0 +1,136 @@
+#include "automata/combinators.h"
+
+#include <cassert>
+
+namespace treenum {
+
+UnrankedTva UnionTva(const UnrankedTva& a, const UnrankedTva& b) {
+  assert(a.num_labels() == b.num_labels());
+  assert(a.num_vars() == b.num_vars());
+  size_t na = a.num_states();
+  UnrankedTva out(na + b.num_states(), a.num_labels(), a.num_vars());
+  for (const LeafInit& li : a.inits()) {
+    out.AddInit(li.label, li.vars, li.state);
+  }
+  for (const StepTransition& t : a.transitions()) {
+    out.AddTransition(t.from, t.child, t.to);
+  }
+  for (State q : a.final_states()) out.AddFinal(q);
+  State off = static_cast<State>(na);
+  for (const LeafInit& li : b.inits()) {
+    out.AddInit(li.label, li.vars, li.state + off);
+  }
+  for (const StepTransition& t : b.transitions()) {
+    out.AddTransition(t.from + off, t.child + off, t.to + off);
+  }
+  for (State q : b.final_states()) out.AddFinal(q + off);
+  return out;
+}
+
+UnrankedTva IntersectTva(const UnrankedTva& a, const UnrankedTva& b) {
+  assert(a.num_labels() == b.num_labels());
+  assert(a.num_vars() == b.num_vars());
+  size_t nb = b.num_states();
+  auto pair_id = [nb](State qa, State qb) {
+    return static_cast<State>(qa * nb + qb);
+  };
+  UnrankedTva out(a.num_states() * nb, a.num_labels(), a.num_vars());
+  // ι: both automata must start compatibly on the same (label, annotation).
+  for (const LeafInit& la : a.inits()) {
+    for (const LeafInit& lb : b.inits()) {
+      if (la.label == lb.label && la.vars == lb.vars) {
+        out.AddInit(la.label, la.vars, pair_id(la.state, lb.state));
+      }
+    }
+  }
+  // δ: componentwise steps consuming the same child.
+  for (const StepTransition& ta : a.transitions()) {
+    for (const StepTransition& tb : b.transitions()) {
+      out.AddTransition(pair_id(ta.from, tb.from),
+                        pair_id(ta.child, tb.child),
+                        pair_id(ta.to, tb.to));
+    }
+  }
+  for (State qa : a.final_states()) {
+    for (State qb : b.final_states()) {
+      out.AddFinal(pair_id(qa, qb));
+    }
+  }
+  return out;
+}
+
+UnrankedTva EachVariableOnce(size_t num_labels, size_t num_vars) {
+  assert(num_vars <= 16 && "singleton checker state space is 2^|X|");
+  size_t n = size_t{1} << num_vars;
+  UnrankedTva out(n, num_labels, num_vars);
+  // A node's initial state is its own annotation; children merge with
+  // disjointness enforced (a variable seen twice kills the run).
+  for (Label l = 0; l < num_labels; ++l) {
+    for (VarMask m = 0; m < n; ++m) {
+      out.AddInit(l, m, static_cast<State>(m));
+    }
+  }
+  for (State m1 = 0; m1 < n; ++m1) {
+    for (State m2 = 0; m2 < n; ++m2) {
+      if ((m1 & m2) == 0) {
+        out.AddTransition(m1, m2, m1 | m2);
+      }
+    }
+  }
+  out.AddFinal(static_cast<State>(n - 1));
+  return out;
+}
+
+UnrankedTva MakeFirstOrder(const UnrankedTva& a) {
+  return IntersectTva(a, EachVariableOnce(a.num_labels(), a.num_vars()));
+}
+
+Wva UnionWva(const Wva& a, const Wva& b) {
+  assert(a.num_labels() == b.num_labels());
+  assert(a.num_vars() == b.num_vars());
+  size_t na = a.num_states();
+  Wva out(na + b.num_states(), a.num_labels(), a.num_vars());
+  for (const WvaTransition& t : a.transitions()) {
+    out.AddTransition(t.from, t.label, t.vars, t.to);
+  }
+  for (State q : a.initial_states()) out.AddInitial(q);
+  for (State q : a.final_states()) out.AddFinal(q);
+  State off = static_cast<State>(na);
+  for (const WvaTransition& t : b.transitions()) {
+    out.AddTransition(t.from + off, t.label, t.vars, t.to + off);
+  }
+  for (State q : b.initial_states()) out.AddInitial(q + off);
+  for (State q : b.final_states()) out.AddFinal(q + off);
+  return out;
+}
+
+Wva IntersectWva(const Wva& a, const Wva& b) {
+  assert(a.num_labels() == b.num_labels());
+  assert(a.num_vars() == b.num_vars());
+  size_t nb = b.num_states();
+  auto pair_id = [nb](State qa, State qb) {
+    return static_cast<State>(qa * nb + qb);
+  };
+  Wva out(a.num_states() * nb, a.num_labels(), a.num_vars());
+  for (const WvaTransition& ta : a.transitions()) {
+    for (const WvaTransition& tb : b.transitions()) {
+      if (ta.label == tb.label && ta.vars == tb.vars) {
+        out.AddTransition(pair_id(ta.from, tb.from), ta.label, ta.vars,
+                          pair_id(ta.to, tb.to));
+      }
+    }
+  }
+  for (State qa : a.initial_states()) {
+    for (State qb : b.initial_states()) {
+      out.AddInitial(pair_id(qa, qb));
+    }
+  }
+  for (State qa : a.final_states()) {
+    for (State qb : b.final_states()) {
+      out.AddFinal(pair_id(qa, qb));
+    }
+  }
+  return out;
+}
+
+}  // namespace treenum

@@ -1,0 +1,40 @@
+// Closure operations on stepwise unranked TVAs: union and intersection of
+// queries (MSO is closed under boolean combinations; on the automaton side
+// these are the disjoint-union and product constructions). Both preserve
+// the variable set, so combined queries run through the same pipeline.
+#ifndef TREENUM_AUTOMATA_COMBINATORS_H_
+#define TREENUM_AUTOMATA_COMBINATORS_H_
+
+#include "automata/unranked_tva.h"
+#include "automata/wva.h"
+
+namespace treenum {
+
+/// Φ = Φ1 ∨ Φ2 (same variable set): disjoint union of the state spaces.
+/// Satisfying assignments are the union of both queries' assignments.
+UnrankedTva UnionTva(const UnrankedTva& a, const UnrankedTva& b);
+
+/// Φ = Φ1 ∧ Φ2 (same variable set): product construction; a run of the
+/// product simulates one run of each automaton on the same valuation.
+/// Satisfying assignments are the intersection.
+UnrankedTva IntersectTva(const UnrankedTva& a, const UnrankedTva& b);
+
+/// Word analogues.
+Wva UnionWva(const Wva& a, const Wva& b);
+Wva IntersectWva(const Wva& a, const Wva& b);
+
+/// The rewriting in the proof of Corollary 8.3: restricts a second-order
+/// query so that every variable is interpreted as a singleton, by
+/// intersecting with the "each variable appears exactly once" automaton
+/// (2^|X| states tracking the set of variables seen). The result's
+/// satisfying assignments all have size exactly |X| and correspond to the
+/// answer tuples of the first-order query.
+UnrankedTva MakeFirstOrder(const UnrankedTva& a);
+
+/// Singleton-checker used by MakeFirstOrder (exposed for tests): accepts T
+/// under ν iff every variable is assigned to exactly one node.
+UnrankedTva EachVariableOnce(size_t num_labels, size_t num_vars);
+
+}  // namespace treenum
+
+#endif  // TREENUM_AUTOMATA_COMBINATORS_H_

@@ -1,0 +1,117 @@
+#include "automata/determinize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace treenum {
+
+namespace {
+
+using Subset = std::vector<State>;  // sorted
+
+}  // namespace
+
+std::optional<DeterminizedTva> DeterminizeBinaryTva(const BinaryTva& a,
+                                                    size_t max_states) {
+  std::map<Subset, State> ids;
+  std::vector<Subset> subsets;
+  auto intern = [&](const Subset& s) -> std::optional<State> {
+    auto it = ids.find(s);
+    if (it != ids.end()) return it->second;
+    if (subsets.size() >= max_states) return std::nullopt;
+    State id = static_cast<State>(subsets.size());
+    ids.emplace(s, id);
+    subsets.push_back(s);
+    return id;
+  };
+
+  struct PendingInit {
+    Label label;
+    VarMask vars;
+    State state;
+  };
+  std::vector<PendingInit> inits;
+
+  // Seed: per (leaf label, annotation) the set of ι states.
+  std::map<std::pair<Label, VarMask>, Subset> by_leaf;
+  for (const LeafInit& li : a.leaf_inits()) {
+    by_leaf[{li.label, li.vars}].push_back(li.state);
+  }
+  for (auto& [key, s] : by_leaf) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    auto id = intern(s);
+    if (!id) return std::nullopt;
+    inits.push_back({key.first, key.second, *id});
+  }
+
+  // Closure: combine all pairs of subsets per internal label.
+  struct PendingTransition {
+    Label label;
+    State left, right, state;
+  };
+  std::vector<PendingTransition> transitions;
+  // Internal labels = labels with δ entries.
+  std::set<Label> internal_labels;
+  for (const Transition& t : a.transitions()) internal_labels.insert(t.label);
+
+  // Worklist over subset ids; combine s with all t <= s (cf. translate.cpp).
+  for (State s = 0; s < subsets.size(); ++s) {
+    for (State t = 0; t <= s; ++t) {
+      for (int swap = 0; swap < 2; ++swap) {
+        if (swap == 1 && t == s) continue;
+        State l = swap ? t : s;
+        State r = swap ? s : t;
+        for (Label lab : internal_labels) {
+          Subset out;
+          for (State q1 : subsets[l]) {
+            for (State q2 : subsets[r]) {
+              for (State q : a.TransitionsFor(lab, q1, q2)) out.push_back(q);
+            }
+          }
+          if (out.empty()) continue;
+          std::sort(out.begin(), out.end());
+          out.erase(std::unique(out.begin(), out.end()), out.end());
+          auto id = intern(out);
+          if (!id) return std::nullopt;
+          transitions.push_back({lab, l, r, *id});
+        }
+      }
+    }
+  }
+
+  DeterminizedTva result{
+      BinaryTva(subsets.size(), a.num_labels(), a.num_vars()),
+      subsets.size()};
+  for (const PendingInit& pi : inits) {
+    result.tva.AddLeafInit(pi.label, pi.vars, pi.state);
+  }
+  for (const PendingTransition& t : transitions) {
+    result.tva.AddTransition(t.label, t.left, t.right, t.state);
+  }
+  for (State s = 0; s < subsets.size(); ++s) {
+    for (State q : subsets[s]) {
+      if (a.IsFinal(q)) {
+        result.tva.AddFinal(s);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+bool IsDeterministic(const BinaryTva& a) {
+  std::set<std::pair<Label, VarMask>> leaf_seen;
+  for (const LeafInit& li : a.leaf_inits()) {
+    if (!leaf_seen.emplace(li.label, li.vars).second) return false;
+  }
+  std::set<std::tuple<Label, State, State>> tr_seen;
+  for (const Transition& t : a.transitions()) {
+    if (!tr_seen.emplace(t.label, t.left, t.right).second) return false;
+  }
+  return true;
+}
+
+}  // namespace treenum

@@ -1,0 +1,36 @@
+// Bottom-up subset-construction determinization of binary TVAs.
+//
+// This is the baseline for the paper's second contribution (tractable
+// combined complexity): all pre-existing enumeration algorithms for trees
+// required a *deterministic* automaton, and determinizing costs up to
+// 2^|Q| states — the benchmark bench_combined measures exactly this blowup
+// against the paper's polynomial pipeline.
+#ifndef TREENUM_AUTOMATA_DETERMINIZE_H_
+#define TREENUM_AUTOMATA_DETERMINIZE_H_
+
+#include <optional>
+
+#include "automata/binary_tva.h"
+
+namespace treenum {
+
+/// Result of determinization.
+struct DeterminizedTva {
+  BinaryTva tva;
+  /// Number of subset states materialized.
+  size_t num_subsets;
+};
+
+/// Determinizes `a` by the reachable subset construction. Returns nullopt
+/// if more than `max_states` subset states would be created (the expected
+/// outcome for adversarial nondeterminism — callers report the blowup).
+std::optional<DeterminizedTva> DeterminizeBinaryTva(const BinaryTva& a,
+                                                    size_t max_states);
+
+/// True iff `a` is bottom-up deterministic: at most one state per (leaf
+/// label, annotation) and per (label, q1, q2).
+bool IsDeterministic(const BinaryTva& a);
+
+}  // namespace treenum
+
+#endif  // TREENUM_AUTOMATA_DETERMINIZE_H_

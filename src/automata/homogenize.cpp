@@ -1,0 +1,120 @@
+#include "automata/homogenize.h"
+
+#include <cassert>
+
+namespace treenum {
+
+StateKinds ComputeStateKinds(const BinaryTva& a) {
+  StateKinds kinds;
+  kinds.zero_state.assign(a.num_states(), false);
+  kinds.one_state.assign(a.num_states(), false);
+
+  for (const LeafInit& li : a.leaf_inits()) {
+    if (li.vars == 0) {
+      kinds.zero_state[li.state] = true;
+    } else {
+      kinds.one_state[li.state] = true;
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& t : a.transitions()) {
+      bool l0 = kinds.zero_state[t.left], l1 = kinds.one_state[t.left];
+      bool r0 = kinds.zero_state[t.right], r1 = kinds.one_state[t.right];
+      // 0-state: both children reached under empty valuations.
+      if (l0 && r0 && !kinds.zero_state[t.state]) {
+        kinds.zero_state[t.state] = true;
+        changed = true;
+      }
+      // 1-state: at least one child is a 1-state, the other reachable at all.
+      bool l_any = l0 || l1;
+      bool r_any = r0 || r1;
+      if (((l1 && r_any) || (r1 && l_any)) && !kinds.one_state[t.state]) {
+        kinds.one_state[t.state] = true;
+        changed = true;
+      }
+    }
+  }
+  return kinds;
+}
+
+bool IsHomogenized(const BinaryTva& a) {
+  StateKinds k = ComputeStateKinds(a);
+  for (State q = 0; q < a.num_states(); ++q) {
+    if (!(k.zero_state[q] ^ k.one_state[q])) return false;
+  }
+  return true;
+}
+
+BinaryTva TrimBinaryTva(const BinaryTva& a, std::vector<State>* old_to_new) {
+  std::vector<bool> reachable(a.num_states(), false);
+  for (const LeafInit& li : a.leaf_inits()) reachable[li.state] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& t : a.transitions()) {
+      if (reachable[t.left] && reachable[t.right] && !reachable[t.state]) {
+        reachable[t.state] = true;
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<State> map(a.num_states(), kNoState);
+  State next = 0;
+  for (State q = 0; q < a.num_states(); ++q) {
+    if (reachable[q]) map[q] = next++;
+  }
+
+  BinaryTva out(next, a.num_labels(), a.num_vars());
+  for (const LeafInit& li : a.leaf_inits()) {
+    out.AddLeafInit(li.label, li.vars, map[li.state]);
+  }
+  for (const Transition& t : a.transitions()) {
+    if (reachable[t.left] && reachable[t.right]) {
+      out.AddTransition(t.label, map[t.left], map[t.right], map[t.state]);
+    }
+  }
+  for (State q : a.final_states()) {
+    if (reachable[q]) out.AddFinal(map[q]);
+  }
+  if (old_to_new) *old_to_new = std::move(map);
+  return out;
+}
+
+HomogenizedTva HomogenizeBinaryTva(const BinaryTva& a) {
+  // Product states: (q, bit) -> 2*q + bit.
+  size_t n = a.num_states();
+  BinaryTva prod(2 * n, a.num_labels(), a.num_vars());
+  for (const LeafInit& li : a.leaf_inits()) {
+    uint32_t bit = li.vars == 0 ? 0 : 1;
+    prod.AddLeafInit(li.label, li.vars, 2 * li.state + bit);
+  }
+  for (const Transition& t : a.transitions()) {
+    for (uint32_t b1 = 0; b1 <= 1; ++b1) {
+      for (uint32_t b2 = 0; b2 <= 1; ++b2) {
+        prod.AddTransition(t.label, 2 * t.left + b1, 2 * t.right + b2,
+                           2 * t.state + (b1 | b2));
+      }
+    }
+  }
+  for (State q : a.final_states()) {
+    prod.AddFinal(2 * q);
+    prod.AddFinal(2 * q + 1);
+  }
+
+  std::vector<State> map;
+  BinaryTva trimmed = TrimBinaryTva(prod, &map);
+
+  HomogenizedTva out{std::move(trimmed), {}};
+  out.kind.assign(out.tva.num_states(), 0);
+  for (State old = 0; old < 2 * n; ++old) {
+    if (map[old] != kNoState) out.kind[map[old]] = old & 1;
+  }
+  assert(IsHomogenized(out.tva));
+  return out;
+}
+
+}  // namespace treenum

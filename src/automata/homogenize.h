@@ -1,0 +1,57 @@
+// Homogenization (Lemma 2.1) and trimming of binary TVAs.
+//
+// A state q is a 0-state if some run reaches it at the root of a tree under
+// the empty valuation, and a 1-state if some run reaches it under a valuation
+// with at least one non-empty annotation. An automaton is homogenized if
+// every state is a 0-state xor a 1-state. The circuit construction of
+// Lemma 3.7 requires a homogenized automaton: it is what guarantees that no
+// gate captures both the empty assignment and a non-empty one, which in turn
+// lets the construction avoid ⊤-gates as inputs.
+#ifndef TREENUM_AUTOMATA_HOMOGENIZE_H_
+#define TREENUM_AUTOMATA_HOMOGENIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/binary_tva.h"
+
+namespace treenum {
+
+/// Per-state reachability kinds, computed by fixpoint (test oracle and
+/// homogenization checker).
+struct StateKinds {
+  std::vector<bool> zero_state;  ///< q is a 0-state.
+  std::vector<bool> one_state;   ///< q is a 1-state.
+};
+
+/// Computes which states are 0-states / 1-states by a least fixpoint over ι
+/// and δ. A state reachable by no run at all is neither.
+StateKinds ComputeStateKinds(const BinaryTva& a);
+
+/// True iff every state of `a` is a 0-state xor a 1-state.
+bool IsHomogenized(const BinaryTva& a);
+
+/// Removes states that are not bottom-up reachable by any run, renumbering
+/// the remainder. If `old_to_new` is non-null it receives the renumbering
+/// (kNoState for removed states).
+inline constexpr State kNoState = static_cast<State>(-1);
+BinaryTva TrimBinaryTva(const BinaryTva& a,
+                        std::vector<State>* old_to_new = nullptr);
+
+/// Result of homogenization: the equivalent homogenized (and trimmed)
+/// automaton plus, for each new state, whether it is a 1-state.
+struct HomogenizedTva {
+  BinaryTva tva;
+  /// kind[q] == 1 iff q is a 1-state (reachable only with some non-empty
+  /// annotation below); kind[q] == 0 iff q is a 0-state.
+  std::vector<uint8_t> kind;
+};
+
+/// Lemma 2.1: product of `a` with the two-state automaton remembering
+/// whether a non-empty annotation has been read, followed by trimming.
+/// Equivalent to `a` (same satisfying valuations on every tree).
+HomogenizedTva HomogenizeBinaryTva(const BinaryTva& a);
+
+}  // namespace treenum
+
+#endif  // TREENUM_AUTOMATA_HOMOGENIZE_H_

@@ -1,0 +1,195 @@
+#include "automata/query_library.h"
+
+#include <cassert>
+
+namespace treenum {
+
+UnrankedTva QuerySelectLabel(size_t num_labels, Label a) {
+  // States: 0 = no pick below, 1 = exactly one pick below.
+  UnrankedTva q(2, num_labels, 1);
+  for (Label l = 0; l < num_labels; ++l) q.AddInit(l, 0, 0);
+  q.AddInit(a, 1, 1);
+  q.AddTransition(0, 0, 0);
+  q.AddTransition(0, 1, 1);
+  q.AddTransition(1, 0, 1);
+  q.AddFinal(1);
+  return q;
+}
+
+UnrankedTva QuerySelectAll(size_t num_labels) {
+  UnrankedTva q(2, num_labels, 1);
+  for (Label l = 0; l < num_labels; ++l) {
+    q.AddInit(l, 0, 0);
+    q.AddInit(l, 1, 1);
+  }
+  q.AddTransition(0, 0, 0);
+  q.AddTransition(0, 1, 1);
+  q.AddTransition(1, 0, 1);
+  q.AddFinal(1);
+  return q;
+}
+
+UnrankedTva QueryMarkedAncestor(size_t num_labels, Label marked,
+                                Label special) {
+  assert(marked != special);
+  // States: 0 = nothing below; 1 = nothing below, this node marked;
+  //         2 = pick below, still waiting for a marked ancestor;
+  //         3 = satisfied.
+  enum : State { kS0 = 0, kM0 = 1, kS1 = 2, kS2 = 3 };
+  UnrankedTva q(4, num_labels, 1);
+  for (Label l = 0; l < num_labels; ++l) {
+    q.AddInit(l, 0, l == marked ? kM0 : kS0);
+  }
+  q.AddInit(special, 1, kS1);
+  // Child states kS0 and kM0 are both "nothing below" for the parent.
+  for (State empty : {kS0, kM0}) {
+    q.AddTransition(kS0, empty, kS0);
+    q.AddTransition(kM0, empty, kM0);
+    q.AddTransition(kS1, empty, kS1);
+    q.AddTransition(kS2, empty, kS2);
+  }
+  q.AddTransition(kS0, kS1, kS1);
+  q.AddTransition(kM0, kS1, kS2);  // this marked node discharges the pick
+  q.AddTransition(kS0, kS2, kS2);
+  q.AddTransition(kM0, kS2, kS2);
+  q.AddFinal(kS2);
+  return q;
+}
+
+UnrankedTva QueryDescendantPairs(size_t num_labels, Label a, Label b) {
+  // Variables: x = bit 0 (the ancestor, labeled a), y = bit 1 (the
+  // descendant, labeled b).
+  enum : State { kU0 = 0, kUb = 1, kPx = 2, kXy = 3 };
+  UnrankedTva q(4, num_labels, 2);
+  for (Label l = 0; l < num_labels; ++l) q.AddInit(l, 0, kU0);
+  q.AddInit(b, 0b10, kUb);
+  q.AddInit(a, 0b01, kPx);
+  q.AddTransition(kU0, kU0, kU0);
+  q.AddTransition(kU0, kUb, kUb);
+  q.AddTransition(kU0, kXy, kXy);
+  q.AddTransition(kUb, kU0, kUb);
+  q.AddTransition(kPx, kU0, kPx);
+  q.AddTransition(kPx, kUb, kXy);
+  q.AddTransition(kXy, kU0, kXy);
+  q.AddFinal(kXy);
+  return q;
+}
+
+UnrankedTva QueryContainsLabel(size_t num_labels, Label a) {
+  UnrankedTva q(2, num_labels, 0);
+  for (Label l = 0; l < num_labels; ++l) q.AddInit(l, 0, l == a ? 1 : 0);
+  q.AddTransition(0, 0, 0);
+  q.AddTransition(0, 1, 1);
+  q.AddTransition(1, 0, 1);
+  q.AddTransition(1, 1, 1);
+  q.AddFinal(1);
+  return q;
+}
+
+UnrankedTva QueryAnySubsetOfLabel(size_t num_labels, Label a) {
+  UnrankedTva q(2, num_labels, 1);
+  for (Label l = 0; l < num_labels; ++l) q.AddInit(l, 0, 0);
+  q.AddInit(a, 1, 1);
+  q.AddTransition(0, 0, 0);
+  q.AddTransition(0, 1, 1);
+  q.AddTransition(1, 0, 1);
+  q.AddTransition(1, 1, 1);
+  q.AddFinal(1);
+  return q;
+}
+
+UnrankedTva QueryAncestorAtDistance(size_t num_labels, Label a, size_t k) {
+  assert(k >= 1);
+  // States: idle = 0; top_a = 1 (this node guesses it is the a-anchor);
+  // sat = 2; c_i = 3 + i, 0 <= i < k ("the pick is i levels below").
+  const State kIdle = 0, kTopA = 1, kSat = 2;
+  auto c = [](size_t i) { return static_cast<State>(3 + i); };
+  UnrankedTva q(3 + k, num_labels, 1);
+  for (Label l = 0; l < num_labels; ++l) {
+    q.AddInit(l, 0, kIdle);
+    q.AddInit(l, 1, c(0));
+  }
+  q.AddInit(a, 0, kTopA);  // nondeterministic anchor guess
+  q.AddTransition(kIdle, kIdle, kIdle);
+  q.AddTransition(kIdle, kSat, kSat);
+  q.AddTransition(kSat, kIdle, kSat);
+  q.AddTransition(kTopA, kIdle, kTopA);
+  q.AddTransition(kTopA, c(k - 1), kSat);
+  for (size_t i = 0; i + 1 < k; ++i) {
+    q.AddTransition(kIdle, c(i), c(i + 1));
+  }
+  for (size_t i = 0; i < k; ++i) {
+    q.AddTransition(c(i), kIdle, c(i));
+  }
+  q.AddFinal(kSat);
+  return q;
+}
+
+UnrankedTva QueryChildOfLabel(size_t num_labels, Label a, Label b) {
+  // States: 0 = nothing; 1 = picked b-node, waiting for its parent to be an
+  // a-node; 2 = satisfied; 3 = "this node is an a-node" (otherwise like 0).
+  enum : State { kS0 = 0, kWait = 1, kSat = 2, kA0 = 3 };
+  UnrankedTva q(4, num_labels, 1);
+  for (Label l = 0; l < num_labels; ++l) {
+    q.AddInit(l, 0, l == a ? kA0 : kS0);
+  }
+  q.AddInit(b, 1, kWait);
+  for (State empty : {kS0, kA0}) {
+    q.AddTransition(kS0, empty, kS0);
+    q.AddTransition(kA0, empty, kA0);
+    q.AddTransition(kSat, empty, kSat);
+  }
+  // Only an a-node may consume the freshly picked child; the pick is
+  // discharged exactly one level up.
+  q.AddTransition(kA0, kWait, kSat);
+  q.AddTransition(kS0, kSat, kSat);
+  q.AddTransition(kA0, kSat, kSat);
+  // A waiting pick below anything else dies by absence of transitions.
+  // The picked node itself may have arbitrary (unpicked) children:
+  q.AddTransition(kWait, kS0, kWait);
+  q.AddTransition(kWait, kA0, kWait);
+  q.AddFinal(kSat);
+  return q;
+}
+
+UnrankedTva QuerySelectLeaves(size_t num_labels) {
+  // States: 0 = nothing; 1 = picked node with (so far) no children;
+  // 2 = pick confirmed strictly below.
+  enum : State { kS0 = 0, kPl = 1, kS1 = 2 };
+  UnrankedTva q(3, num_labels, 1);
+  for (Label l = 0; l < num_labels; ++l) {
+    q.AddInit(l, 0, kS0);
+    q.AddInit(l, 1, kPl);
+  }
+  q.AddTransition(kS0, kS0, kS0);
+  q.AddTransition(kS0, kPl, kS1);
+  q.AddTransition(kS0, kS1, kS1);
+  q.AddTransition(kS1, kS0, kS1);
+  // kPl must remain childless: no (kPl, ·, ·) transitions.
+  q.AddFinal(kS1);
+  q.AddFinal(kPl);  // the root itself may be the picked leaf
+  return q;
+}
+
+UnrankedTva QueryNextSibling(size_t num_labels, Label a, Label b) {
+  // Variables: x = bit 0 (left sibling, label a), y = bit 1 (right sibling,
+  // label b). The stepwise child fold reads siblings in order, so the
+  // adjacency constraint is one transition.
+  enum : State { kU0 = 0, kPx = 1, kPy = 2, kW = 3, kB = 4 };
+  UnrankedTva q(5, num_labels, 2);
+  for (Label l = 0; l < num_labels; ++l) q.AddInit(l, 0, kU0);
+  q.AddInit(a, 0b01, kPx);
+  q.AddInit(b, 0b10, kPy);
+  q.AddTransition(kU0, kU0, kU0);
+  q.AddTransition(kU0, kPx, kW);  // saw x; the very next child must be y
+  q.AddTransition(kW, kPy, kB);
+  q.AddTransition(kB, kU0, kB);
+  q.AddTransition(kU0, kB, kB);
+  // Picked nodes may have arbitrary unpicked subtrees below.
+  q.AddTransition(kPx, kU0, kPx);
+  q.AddTransition(kPy, kU0, kPy);
+  q.AddFinal(kB);
+  return q;
+}
+
+}  // namespace treenum

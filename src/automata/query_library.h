@@ -1,0 +1,57 @@
+// A library of MSO-expressible queries built directly as unranked stepwise
+// TVAs (the paper takes automata as input; full MSO-to-automaton translation
+// is nonelementary, see §1). These are the workloads used by the examples,
+// tests and benchmarks.
+#ifndef TREENUM_AUTOMATA_QUERY_LIBRARY_H_
+#define TREENUM_AUTOMATA_QUERY_LIBRARY_H_
+
+#include "automata/unranked_tva.h"
+
+namespace treenum {
+
+/// Φ(x) := label(x) = a. One free first-order variable; answers are all
+/// a-labeled nodes.
+UnrankedTva QuerySelectLabel(size_t num_labels, Label a);
+
+/// Φ(x) := true. Answers are all nodes (stress test: |output| = |T|).
+UnrankedTva QuerySelectAll(size_t num_labels);
+
+/// Φ(x) := label(x) = special ∧ ∃y (label(y) = marked ∧ y proper ancestor
+/// of x). The existential marked-ancestor query of §9.
+UnrankedTva QueryMarkedAncestor(size_t num_labels, Label marked,
+                                Label special);
+
+/// Φ(x, y) := label(x) = a ∧ label(y) = b ∧ y proper descendant of x.
+/// Two free first-order variables (quadratically many answers possible).
+UnrankedTva QueryDescendantPairs(size_t num_labels, Label a, Label b);
+
+/// Boolean query (no free variables): does the tree contain an a-node?
+/// The only satisfying assignment (if any) is the empty one.
+UnrankedTva QueryContainsLabel(size_t num_labels, Label a);
+
+/// Φ(X) := X is exactly the set of a-labeled leaves... more precisely, a
+/// second-order variable query: X may be any non-empty set of a-labeled
+/// nodes. Assignments have unbounded size (exercises the |S| factor in the
+/// delay bound).
+UnrankedTva QueryAnySubsetOfLabel(size_t num_labels, Label a);
+
+/// A family with tunable nondeterminism for the combined-complexity
+/// experiment: Φ(x) := x has an a-labeled ancestor at proper distance
+/// exactly k above it. The natural nondeterministic stepwise automaton has
+/// O(k) states; determinizing blows up exponentially in k.
+UnrankedTva QueryAncestorAtDistance(size_t num_labels, Label a, size_t k);
+
+/// Φ(x) := label(x) = b ∧ label(parent(x)) = a (the XPath child axis).
+UnrankedTva QueryChildOfLabel(size_t num_labels, Label a, Label b);
+
+/// Φ(x) := x is a leaf.
+UnrankedTva QuerySelectLeaves(size_t num_labels);
+
+/// Φ(x, y) := label(x) = a ∧ label(y) = b ∧ y is the immediate right
+/// sibling of x (exercises the sibling order, which stepwise automata read
+/// natively).
+UnrankedTva QueryNextSibling(size_t num_labels, Label a, Label b);
+
+}  // namespace treenum
+
+#endif  // TREENUM_AUTOMATA_QUERY_LIBRARY_H_

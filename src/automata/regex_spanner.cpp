@@ -1,0 +1,214 @@
+#include "automata/regex_spanner.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace treenum {
+
+namespace {
+
+constexpr int kAnyLetter = -1;
+
+struct NfaEdge {
+  State from;
+  State to;
+  bool eps;
+  int letter;    // label or kAnyLetter (ignored for eps)
+  VarMask mask;  // captured variables (ignored for eps)
+};
+
+struct Fragment {
+  State start;
+  State accept;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& pattern, size_t num_labels, size_t num_vars)
+      : s_(pattern), num_labels_(num_labels), num_vars_(num_vars) {}
+
+  Fragment Parse() {
+    Fragment f = Alt();
+    if (pos_ != s_.size()) Fail("trailing characters");
+    return f;
+  }
+
+  size_t num_states() const { return num_states_; }
+  const std::vector<NfaEdge>& edges() const { return edges_; }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw std::invalid_argument("regex error at position " +
+                                std::to_string(pos_) + ": " + what);
+  }
+  bool Peek(char c) const { return pos_ < s_.size() && s_[pos_] == c; }
+  bool AtAtomStart() const {
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    return (c >= 'a' && c <= 'z') || c == '.' || c == '(' || c == '<';
+  }
+
+  State NewState() { return static_cast<State>(num_states_++); }
+  void Eps(State a, State b) {
+    edges_.push_back(NfaEdge{a, b, true, 0, 0});
+  }
+  void Letter(State a, State b, int letter, VarMask mask) {
+    edges_.push_back(NfaEdge{a, b, false, letter, mask});
+  }
+
+  Fragment Alt() {
+    Fragment f = Cat();
+    while (Peek('|')) {
+      ++pos_;
+      Fragment g = Cat();
+      State s = NewState(), t = NewState();
+      Eps(s, f.start);
+      Eps(s, g.start);
+      Eps(f.accept, t);
+      Eps(g.accept, t);
+      f = {s, t};
+    }
+    return f;
+  }
+
+  Fragment Cat() {
+    if (!AtAtomStart()) Fail("expected an atom");
+    Fragment f = Rep();
+    while (AtAtomStart()) {
+      Fragment g = Rep();
+      Eps(f.accept, g.start);
+      f = {f.start, g.accept};
+    }
+    return f;
+  }
+
+  Fragment Rep() {
+    Fragment f = Atom();
+    while (pos_ < s_.size() &&
+           (s_[pos_] == '*' || s_[pos_] == '+' || s_[pos_] == '?')) {
+      char op = s_[pos_++];
+      State s = NewState(), t = NewState();
+      Eps(s, f.start);
+      Eps(f.accept, t);
+      if (op == '*' || op == '?') Eps(s, t);
+      if (op == '*' || op == '+') Eps(f.accept, f.start);
+      f = {s, t};
+    }
+    return f;
+  }
+
+  int ReadLetter() {
+    if (pos_ >= s_.size()) Fail("expected a letter");
+    char c = s_[pos_];
+    if (c == '.') {
+      ++pos_;
+      return kAnyLetter;
+    }
+    if (c < 'a' || c > 'z') Fail("expected a letter or '.'");
+    size_t l = static_cast<size_t>(c - 'a');
+    if (l >= num_labels_) Fail("letter outside the alphabet");
+    ++pos_;
+    return static_cast<int>(l);
+  }
+
+  Fragment Atom() {
+    char c = s_[pos_];
+    if (c == '(') {
+      ++pos_;
+      Fragment f = Alt();
+      if (!Peek(')')) Fail("expected ')'");
+      ++pos_;
+      return f;
+    }
+    if (c == '<') {
+      ++pos_;
+      if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+        Fail("expected a variable digit");
+      }
+      size_t v = static_cast<size_t>(s_[pos_++] - '0');
+      if (v >= num_vars_) Fail("variable index out of range");
+      if (!Peek(':')) Fail("expected ':'");
+      ++pos_;
+      int letter = ReadLetter();
+      if (!Peek('>')) Fail("expected '>'");
+      ++pos_;
+      State a = NewState(), b = NewState();
+      Letter(a, b, letter, VarMask{1} << v);
+      return {a, b};
+    }
+    int letter = ReadLetter();
+    State a = NewState(), b = NewState();
+    Letter(a, b, letter, 0);
+    return {a, b};
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  size_t num_labels_;
+  size_t num_vars_;
+  size_t num_states_ = 0;
+  std::vector<NfaEdge> edges_;
+};
+
+}  // namespace
+
+Wva CompileRegexSpanner(const std::string& pattern, size_t num_labels,
+                        size_t num_vars) {
+  Parser parser(pattern, num_labels, num_vars);
+  Fragment top = parser.Parse();
+  size_t n = parser.num_states();
+
+  // ε-closures by BFS.
+  std::vector<std::vector<State>> eps_out(n);
+  for (const NfaEdge& e : parser.edges()) {
+    if (e.eps) eps_out[e.from].push_back(e.to);
+  }
+  std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+  for (State q = 0; q < n; ++q) {
+    std::vector<State> todo{q};
+    closure[q][q] = true;
+    while (!todo.empty()) {
+      State x = todo.back();
+      todo.pop_back();
+      for (State y : eps_out[x]) {
+        if (!closure[q][y]) {
+          closure[q][y] = true;
+          todo.push_back(y);
+        }
+      }
+    }
+  }
+
+  Wva wva(n, num_labels, num_vars);
+  for (State q = 0; q < n; ++q) {
+    for (const NfaEdge& e : parser.edges()) {
+      if (e.eps || !closure[q][e.from]) continue;
+      if (e.letter == kAnyLetter) {
+        for (Label l = 0; l < num_labels; ++l) {
+          wva.AddTransition(q, l, e.mask, e.to);
+        }
+      } else {
+        wva.AddTransition(q, static_cast<Label>(e.letter), e.mask, e.to);
+      }
+    }
+  }
+  wva.AddInitial(top.start);
+  for (State q = 0; q < n; ++q) {
+    if (closure[q][top.accept]) wva.AddFinal(q);
+  }
+  return wva;
+}
+
+Word ToWord(const std::string& s) {
+  Word w;
+  w.reserve(s.size());
+  for (char c : s) {
+    if (c < 'a' || c > 'z') {
+      throw std::invalid_argument("ToWord: letters a-z only");
+    }
+    w.push_back(static_cast<Label>(c - 'a'));
+  }
+  return w;
+}
+
+}  // namespace treenum

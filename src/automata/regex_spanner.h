@@ -1,0 +1,42 @@
+// A regex-with-captures → WVA compiler for the document-spanner use case
+// (§8, "Results on Words"). Patterns must match the *whole* word; capture
+// atoms bind a variable to the position of a single matched letter.
+//
+// Syntax (over the letters a-z, mapped to labels 0-25):
+//   a        literal letter
+//   .        any letter
+//   (e)      grouping
+//   e1|e2    alternation
+//   e*       Kleene star
+//   e+       one or more
+//   e?       optional
+//   e1 e2    concatenation (juxtaposition)
+//   <v:a>    capture: letter a (or '.') bound to variable index v (digit)
+//
+// Example: "a*<0:b>.*" enumerates, for every word, all positions of b
+// letters that are preceded only by a's.
+//
+// Compilation: Thompson construction followed by ε-elimination, yielding a
+// (generally nondeterministic) WVA — exactly the automaton class whose
+// combined complexity the paper makes tractable.
+#ifndef TREENUM_AUTOMATA_REGEX_SPANNER_H_
+#define TREENUM_AUTOMATA_REGEX_SPANNER_H_
+
+#include <string>
+
+#include "automata/wva.h"
+
+namespace treenum {
+
+/// Compiles `pattern`; `num_labels` is the alphabet size (letters beyond it
+/// are rejected), `num_vars` the variable count (capture indices must be
+/// smaller). Throws std::invalid_argument on syntax errors.
+Wva CompileRegexSpanner(const std::string& pattern, size_t num_labels,
+                        size_t num_vars);
+
+/// Maps a string of letters a-z to a Word (labels 0-25).
+Word ToWord(const std::string& s);
+
+}  // namespace treenum
+
+#endif  // TREENUM_AUTOMATA_REGEX_SPANNER_H_

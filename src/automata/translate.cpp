@@ -1,0 +1,255 @@
+#include "automata/translate.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace treenum {
+
+namespace {
+
+// Builds the reachable subset of Q² ∪ (Q²)² by a worklist fixpoint: every
+// new state is combined with all previously discovered states under the five
+// operator rules, so each (left, right) pair is considered exactly once.
+class ClosureBuilder {
+ public:
+  explicit ClosureBuilder(size_t n) : n_(n) {}
+
+  struct PendingTransition {
+    Label label;
+    State left;
+    State right;
+    State result;
+  };
+
+  State PairId(State a, State b) {
+    uint64_t key = static_cast<uint64_t>(a) * n_ + b;
+    auto it = pair_ids_.find(key);
+    if (it != pair_ids_.end()) return it->second;
+    State id = static_cast<State>(num_states_++);
+    pair_ids_.emplace(key, id);
+    is_pair_.push_back(true);
+    pairs_.emplace_back(a, b);
+    quads_.push_back({});
+    worklist_.push_back(id);
+    return id;
+  }
+
+  State QuadId(State o1, State o2, State h1, State h2) {
+    uint64_t key = ((static_cast<uint64_t>(o1) * n_ + o2) * n_ + h1) * n_ + h2;
+    auto it = quad_ids_.find(key);
+    if (it != quad_ids_.end()) return it->second;
+    State id = static_cast<State>(num_states_++);
+    quad_ids_.emplace(key, id);
+    is_pair_.push_back(false);
+    pairs_.emplace_back(0, 0);
+    quads_.push_back({o1, o2, h1, h2});
+    worklist_.push_back(id);
+    return id;
+  }
+
+  bool HasPair(State a, State b) const {
+    return pair_ids_.count(static_cast<uint64_t>(a) * n_ + b) > 0;
+  }
+  State LookupPair(State a, State b) const {
+    return pair_ids_.at(static_cast<uint64_t>(a) * n_ + b);
+  }
+
+  /// Runs the closure until fixpoint, recording operator transitions through
+  /// `alphabet`. Set `words_only` to restrict to ⊕HH (Corollary 8.4).
+  void Close(const TermAlphabet& alphabet, bool words_only) {
+    while (!worklist_.empty()) {
+      State s = worklist_.back();
+      worklist_.pop_back();
+      // Combine s with every state of smaller or equal creation index. Every
+      // unordered pair {x, y} is thus handled exactly once: at the (unique)
+      // pop of max(x, y). States created during the loop have larger indices
+      // and are on the worklist, so they will combine with s later.
+      for (State t = 0; t <= s; ++t) {
+        Combine(s, t, alphabet, words_only);
+        if (t != s) Combine(t, s, alphabet, words_only);
+      }
+    }
+  }
+
+  size_t num_states() const { return num_states_; }
+  const std::vector<bool>& is_pair() const { return is_pair_; }
+  const std::vector<std::pair<State, State>>& pairs() const { return pairs_; }
+  const std::vector<PendingTransition>& transitions() const {
+    return transitions_;
+  }
+
+ private:
+  struct Quad {
+    State o1, o2, h1, h2;
+  };
+
+  void Combine(State l, State r, const TermAlphabet& alphabet,
+               bool words_only) {
+    if (is_pair_[l] && is_pair_[r]) {
+      auto [a, b] = pairs_[l];
+      auto [b2, c] = pairs_[r];
+      // ⊕HH: forest(a,b) ⊕ forest(b,c) → forest(a,c).
+      if (b == b2) {
+        State res = PairId(a, c);
+        transitions_.push_back(
+            {alphabet.Op(TermOp::kConcatHH), l, r, res});
+      }
+      return;
+    }
+    if (words_only) return;
+    if (is_pair_[l] && !is_pair_[r]) {
+      // ⊕HV: forest(a,b) ⊕ context((b,c),(h)) → context((a,c),(h)).
+      auto [a, b] = pairs_[l];
+      // Copy: PairId/QuadId below may grow (and reallocate) the vectors.
+      Quad q = quads_[r];
+      if (q.o1 == b) {
+        State res = QuadId(a, q.o2, q.h1, q.h2);
+        transitions_.push_back(
+            {alphabet.Op(TermOp::kConcatHV), l, r, res});
+      }
+      return;
+    }
+    if (!is_pair_[l] && is_pair_[r]) {
+      Quad q = quads_[l];
+      auto [b, c] = pairs_[r];
+      // ⊕VH: context((a,b),(h)) ⊕ forest(b,c) → context((a,c),(h)).
+      if (q.o2 == b) {
+        State res = QuadId(q.o1, c, q.h1, q.h2);
+        transitions_.push_back(
+            {alphabet.Op(TermOp::kConcatVH), l, r, res});
+      }
+      // ⊙VH: context((o),(h1,h2)) ⊙ forest(h1,h2) → forest(o).
+      if (q.h1 == b && q.h2 == c) {
+        State res = PairId(q.o1, q.o2);
+        transitions_.push_back(
+            {alphabet.Op(TermOp::kApplyVH), l, r, res});
+      }
+      return;
+    }
+    // ⊙VV: context((o),(m)) ⊙ context((m),(h)) → context((o),(h)).
+    Quad ql = quads_[l];
+    Quad qr = quads_[r];
+    if (ql.h1 == qr.o1 && ql.h2 == qr.o2) {
+      State res = QuadId(ql.o1, ql.o2, qr.h1, qr.h2);
+      transitions_.push_back({alphabet.Op(TermOp::kApplyVV), l, r, res});
+    }
+  }
+
+  size_t n_;
+  size_t num_states_ = 0;
+  std::unordered_map<uint64_t, State> pair_ids_;
+  std::unordered_map<uint64_t, State> quad_ids_;
+  std::vector<bool> is_pair_;
+  std::vector<std::pair<State, State>> pairs_;
+  std::vector<Quad> quads_;
+  std::vector<State> worklist_;
+  std::vector<PendingTransition> transitions_;
+};
+
+}  // namespace
+
+TranslatedTva TranslateUnrankedTva(const UnrankedTva& a) {
+  // Augment with fresh q0, qf so acceptance becomes "root forest state is
+  // exactly (q0, qf)".
+  size_t n = a.num_states() + 2;
+  State q0 = static_cast<State>(a.num_states());
+  State qf = static_cast<State>(a.num_states() + 1);
+
+  // δ_aug indexed by child state: (from, to) pairs.
+  std::vector<std::vector<std::pair<State, State>>> by_child(n);
+  std::vector<StepTransition> delta_aug = a.transitions();
+  for (State f : a.final_states()) {
+    delta_aug.push_back(StepTransition{q0, f, qf});
+  }
+  for (const StepTransition& t : delta_aug) {
+    by_child[t.child].emplace_back(t.from, t.to);
+  }
+
+  TermAlphabet alphabet(a.num_labels());
+  ClosureBuilder closure(n);
+
+  struct PendingInit {
+    Label label;
+    VarMask vars;
+    State state;
+  };
+  std::vector<PendingInit> inits;
+  std::unordered_map<uint64_t, bool> init_seen;
+  auto add_init = [&](Label l, VarMask vars, State s) {
+    uint64_t key = (static_cast<uint64_t>(l) << 48) |
+                   (static_cast<uint64_t>(vars) << 24) | s;
+    if (!init_seen.emplace(key, true).second) return;
+    inits.push_back({l, vars, s});
+  };
+
+  // Seeds for a_t leaves: (a_t, Y, (q1,q2)) when (q1, p, q2) ∈ δ_aug for
+  // some p ∈ ι(a, Y).
+  // Seeds for a_□ leaves: (a_□, Y, ((q1,q2),(q3,q4))) when (q1,q4,q2) ∈
+  // δ_aug and q3 ∈ ι(a, Y).
+  for (const LeafInit& li : a.inits()) {
+    for (const auto& [from, to] : by_child[li.state]) {
+      add_init(alphabet.TreeLeaf(li.label), li.vars,
+               closure.PairId(from, to));
+    }
+    for (const StepTransition& t : delta_aug) {
+      add_init(alphabet.ContextLeaf(li.label), li.vars,
+               closure.QuadId(t.from, t.to, li.state, t.child));
+    }
+  }
+
+  closure.Close(alphabet, /*words_only=*/false);
+
+  BinaryTva out(closure.num_states(), alphabet.num_labels(), a.num_vars());
+  for (const PendingInit& pi : inits) {
+    out.AddLeafInit(pi.label, pi.vars, pi.state);
+  }
+  for (const auto& t : closure.transitions()) {
+    out.AddTransition(t.label, t.left, t.right, t.result);
+  }
+  if (closure.HasPair(q0, qf)) {
+    out.AddFinal(closure.LookupPair(q0, qf));
+  }
+
+  return TranslatedTva{std::move(out), alphabet, closure.is_pair(),
+                       closure.pairs()};
+}
+
+TranslatedTva TranslateWva(const Wva& a) {
+  TermAlphabet alphabet(a.num_labels());
+  ClosureBuilder closure(a.num_states());
+
+  struct PendingInit {
+    Label label;
+    VarMask vars;
+    State state;
+  };
+  std::vector<PendingInit> inits;
+  std::unordered_map<uint64_t, bool> init_seen;
+  for (const WvaTransition& t : a.transitions()) {
+    State s = closure.PairId(t.from, t.to);
+    uint64_t key = (static_cast<uint64_t>(t.label) << 48) |
+                   (static_cast<uint64_t>(t.vars) << 24) | s;
+    if (!init_seen.emplace(key, true).second) continue;
+    inits.push_back({alphabet.TreeLeaf(t.label), t.vars, s});
+  }
+
+  closure.Close(alphabet, /*words_only=*/true);
+
+  BinaryTva out(closure.num_states(), alphabet.num_labels(), a.num_vars());
+  for (const PendingInit& pi : inits) {
+    out.AddLeafInit(pi.label, pi.vars, pi.state);
+  }
+  for (const auto& t : closure.transitions()) {
+    out.AddTransition(t.label, t.left, t.right, t.result);
+  }
+  for (State i : a.initial_states()) {
+    for (State f : a.final_states()) {
+      if (closure.HasPair(i, f)) out.AddFinal(closure.LookupPair(i, f));
+    }
+  }
+
+  return TranslatedTva{std::move(out), alphabet, closure.is_pair(),
+                       closure.pairs()};
+}
+
+}  // namespace treenum

@@ -1,0 +1,53 @@
+// Automaton translation (Lemma 7.4 and Corollary 8.4).
+//
+// Translates an unranked stepwise TVA A with state space Q into a binary TVA
+// A' over the forest-algebra term alphabet Λ' such that for every unranked
+// tree T and every term T' representing T, A accepts T under ν iff A'
+// accepts T' under ν ∘ φ (where φ maps term leaves to tree nodes).
+//
+// States of A' are the reachable subset of Q² ∪ (Q²)²:
+//  * a forest-typed node gets state (q1, q2): "reading the root states of
+//    this forest takes the parent automaton from q1 to q2";
+//  * a context-typed node gets state ((o1, o2), (h1, h2)): "if the hole is
+//    filled by a forest taking h1 to h2, the whole context's roots take o1
+//    to o2".
+//
+// Only states reachable by the least fixpoint of the seed/closure rules are
+// materialized, which keeps the automaton near the paper's trimmed size.
+#ifndef TREENUM_AUTOMATA_TRANSLATE_H_
+#define TREENUM_AUTOMATA_TRANSLATE_H_
+
+#include <vector>
+
+#include "automata/binary_tva.h"
+#include "automata/unranked_tva.h"
+#include "automata/wva.h"
+#include "falgebra/alphabet.h"
+
+namespace treenum {
+
+/// The translated automaton plus state bookkeeping used by tests.
+struct TranslatedTva {
+  BinaryTva tva;
+  TermAlphabet alphabet;
+  /// For each new state: is it a forest-pair state (vs. a context quad)?
+  std::vector<bool> is_pair;
+  /// For pair states: the (q1, q2) pair over the augmented state space of A
+  /// (where the last two states are the fresh q0, qf).
+  std::vector<std::pair<State, State>> pair_of;
+};
+
+/// Lemma 7.4 (last bullet): unranked TVA → binary TVA over Λ'.
+/// The result accepts a well-formed term iff A accepts the represented tree
+/// (under the corresponding valuation); its final state is the pair (q0, qf)
+/// from the w.l.o.g. augmentation of the proof.
+TranslatedTva TranslateUnrankedTva(const UnrankedTva& a);
+
+/// Corollary 8.4: WVA → binary TVA over the word term alphabet (only a_t
+/// leaves and ⊕HH), with O(|Q|²) states and O(|Q|³) transitions. Final
+/// states are all pairs (i, f) with i initial and f final.
+TranslatedTva TranslateWva(const Wva& a);
+
+}  // namespace treenum
+
+#endif  // TREENUM_AUTOMATA_TRANSLATE_H_

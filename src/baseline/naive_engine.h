@@ -1,0 +1,46 @@
+// Naive materializing engine: computes the full set of satisfying
+// assignments bottom-up on the unranked tree, with explicit per-(node,
+// state) assignment sets and no factorization. Exponential in the worst
+// case; serves as (a) the independent correctness oracle for the whole
+// pipeline and (b) the "recompute everything on every update" baseline of
+// the benchmarks.
+#ifndef TREENUM_BASELINE_NAIVE_ENGINE_H_
+#define TREENUM_BASELINE_NAIVE_ENGINE_H_
+
+#include <vector>
+
+#include "automata/unranked_tva.h"
+#include "trees/assignment.h"
+#include "trees/unranked_tree.h"
+
+namespace treenum {
+
+/// Computes all satisfying assignments of `query` on `tree` by direct
+/// materialization (sorted, duplicate-free).
+std::vector<Assignment> MaterializeAssignments(const UnrankedTree& tree,
+                                               const UnrankedTva& query);
+
+/// The recompute-per-update engine.
+class NaiveEngine {
+ public:
+  NaiveEngine(UnrankedTree tree, UnrankedTva query);
+
+  const UnrankedTree& tree() const { return tree_; }
+  const std::vector<Assignment>& results() const { return results_; }
+
+  void Relabel(NodeId n, Label l);
+  NodeId InsertFirstChild(NodeId n, Label l);
+  NodeId InsertRightSibling(NodeId n, Label l);
+  void DeleteLeaf(NodeId n);
+
+ private:
+  void Recompute();
+
+  UnrankedTree tree_;
+  UnrankedTva query_;
+  std::vector<Assignment> results_;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_BASELINE_NAIVE_ENGINE_H_

@@ -1,0 +1,36 @@
+#include "baseline/static_engine.h"
+
+namespace treenum {
+
+StaticEngine::StaticEngine(UnrankedTree tree, UnrankedTva query)
+    : tree_(std::move(tree)), query_(std::move(query)) {
+  Rebuild();
+}
+
+void StaticEngine::Rebuild() {
+  inner_ = std::make_unique<TreeEnumerator>(tree_, query_);
+}
+
+void StaticEngine::Relabel(NodeId n, Label l) {
+  tree_.Relabel(n, l);
+  Rebuild();
+}
+
+NodeId StaticEngine::InsertFirstChild(NodeId n, Label l) {
+  NodeId u = tree_.InsertFirstChild(n, l);
+  Rebuild();
+  return u;
+}
+
+NodeId StaticEngine::InsertRightSibling(NodeId n, Label l) {
+  NodeId u = tree_.InsertRightSibling(n, l);
+  Rebuild();
+  return u;
+}
+
+void StaticEngine::DeleteLeaf(NodeId n) {
+  tree_.DeleteLeaf(n);
+  Rebuild();
+}
+
+}  // namespace treenum

@@ -1,0 +1,29 @@
+// Reference semantics of assignment circuits (Definition 3.1/3.3): explicit
+// materialization of captured sets. Exponential-size in general — this is
+// the correctness oracle for the enumeration algorithms and the engine used
+// by the naive recompute baseline, not a production path.
+#ifndef TREENUM_CIRCUIT_ASSIGNMENT_CIRCUIT_H_
+#define TREENUM_CIRCUIT_ASSIGNMENT_CIRCUIT_H_
+
+#include <set>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "trees/assignment.h"
+
+namespace treenum {
+
+/// Materializes S(γ(id, q)) as an explicit, duplicate-free, sorted set.
+/// For a ⊤-gate this is {∅}; for ⊥ it is ∅.
+std::set<Assignment> MaterializeGamma(const AssignmentCircuit& circuit,
+                                      TermNodeId id, State q);
+
+/// Materializes the satisfying assignments represented by the circuit:
+/// the union of S(γ(root, q)) over final states q, including the empty
+/// assignment iff some final 0-state's root gate is ⊤.
+std::vector<Assignment> MaterializeSatisfying(const AssignmentCircuit& circuit,
+                                              const std::vector<uint8_t>& kind);
+
+}  // namespace treenum
+
+#endif  // TREENUM_CIRCUIT_ASSIGNMENT_CIRCUIT_H_

@@ -1,0 +1,172 @@
+#include "circuit/circuit.h"
+
+#include <cassert>
+#include <map>
+
+namespace treenum {
+
+AssignmentCircuit::AssignmentCircuit(const Term* term, const BinaryTva* tva,
+                                     const std::vector<uint8_t>* kind)
+    : term_(term), tva_(tva), kind_(kind) {}
+
+void AssignmentCircuit::EnsureSlot(TermNodeId id) {
+  if (boxes_.size() <= id) boxes_.resize(id + 1);
+}
+
+void AssignmentCircuit::BuildAll() {
+  // Post-order over the term with an explicit stack.
+  struct F {
+    TermNodeId id;
+    bool expanded;
+  };
+  std::vector<F> stack{{term_->root(), false}};
+  while (!stack.empty()) {
+    F f = stack.back();
+    stack.pop_back();
+    const TermNode& t = term_->node(f.id);
+    if (!f.expanded && t.left != kNoTerm) {
+      stack.push_back({f.id, true});
+      stack.push_back({t.right, false});
+      stack.push_back({t.left, false});
+      continue;
+    }
+    RebuildBox(f.id);
+  }
+}
+
+void AssignmentCircuit::RebuildBox(TermNodeId id) {
+  EnsureSlot(id);
+  if (term_->IsLeaf(id)) {
+    BuildLeafBox(id);
+  } else {
+    BuildInternalBox(id);
+  }
+}
+
+void AssignmentCircuit::FreeBox(TermNodeId id) {
+  if (id < boxes_.size()) boxes_[id] = Box{};
+}
+
+void AssignmentCircuit::BuildLeafBox(TermNodeId id) {
+  const size_t w = tva_->num_states();
+  Box box;
+  box.gamma.assign(w, GateKind::kBot);
+  box.union_idx.assign(w, kNoGate);
+
+  Label l = term_->node(id).label;
+
+  // Per-state accumulation of non-empty ι masks.
+  std::vector<std::vector<VarMask>> masks(w);
+  for (const auto& [vars, q] : tva_->LeafInitsFor(l)) {
+    if (vars == 0) {
+      assert((*kind_)[q] == 0);
+      box.gamma[q] = GateKind::kTop;
+    } else {
+      assert((*kind_)[q] == 1);
+      masks[q].push_back(vars);
+    }
+  }
+
+  std::map<VarMask, uint16_t> mask_idx;
+  for (State q = 0; q < w; ++q) {
+    if (masks[q].empty()) continue;
+    assert(box.gamma[q] == GateKind::kBot && "homogenization violated");
+    box.gamma[q] = GateKind::kUnion;
+    box.union_idx[q] = static_cast<int16_t>(box.union_states.size());
+    box.union_states.push_back(q);
+    box.cross_inputs.emplace_back();
+    box.child_union_inputs.emplace_back();
+    box.var_inputs.emplace_back();
+    for (VarMask m : masks[q]) {
+      auto it = mask_idx.find(m);
+      uint16_t vi;
+      if (it == mask_idx.end()) {
+        vi = static_cast<uint16_t>(box.var_masks.size());
+        mask_idx.emplace(m, vi);
+        box.var_masks.push_back(m);
+      } else {
+        vi = it->second;
+      }
+      box.var_inputs.back().push_back(vi);
+    }
+  }
+  boxes_[id] = std::move(box);
+}
+
+void AssignmentCircuit::BuildInternalBox(TermNodeId id) {
+  const size_t w = tva_->num_states();
+  const TermNode& t = term_->node(id);
+  const Box& lb = boxes_[t.left];
+  const Box& rb = boxes_[t.right];
+  Label l = t.label;
+
+  Box box;
+  box.gamma.assign(w, GateKind::kBot);
+  box.union_idx.assign(w, kNoGate);
+
+  // Accumulators per result state.
+  std::vector<std::vector<uint16_t>> cross_in(w);
+  std::vector<std::vector<std::pair<uint8_t, State>>> child_in(w);
+  std::vector<bool> has_top(w, false);
+  std::map<std::pair<State, State>, uint16_t> cross_idx;
+
+  // Iterate over live child state pairs; δ lookups give the result states.
+  for (State q1 = 0; q1 < w; ++q1) {
+    GateKind k1 = lb.gamma[q1];
+    if (k1 == GateKind::kBot) continue;
+    for (State q2 = 0; q2 < w; ++q2) {
+      GateKind k2 = rb.gamma[q2];
+      if (k2 == GateKind::kBot) continue;
+      const std::vector<State>& results = tva_->TransitionsFor(l, q1, q2);
+      if (results.empty()) continue;
+      for (State q : results) {
+        if (k1 == GateKind::kTop && k2 == GateKind::kTop) {
+          assert((*kind_)[q] == 0 && "homogenization violated");
+          has_top[q] = true;
+        } else if (k1 == GateKind::kTop) {
+          // д^{q1,q2} collapses to γ(right, q2).
+          child_in[q].emplace_back(uint8_t{1}, q2);
+        } else if (k2 == GateKind::kTop) {
+          child_in[q].emplace_back(uint8_t{0}, q1);
+        } else {
+          auto [it, inserted] = cross_idx.try_emplace(
+              std::make_pair(q1, q2),
+              static_cast<uint16_t>(box.cross_gates.size()));
+          if (inserted) box.cross_gates.push_back(CrossGate{q1, q2});
+          cross_in[q].push_back(it->second);
+        }
+      }
+    }
+  }
+
+  for (State q = 0; q < w; ++q) {
+    if (has_top[q]) {
+      assert(cross_in[q].empty() && child_in[q].empty() &&
+             "homogenization violated");
+      box.gamma[q] = GateKind::kTop;
+      continue;
+    }
+    if (cross_in[q].empty() && child_in[q].empty()) continue;  // ⊥
+    box.gamma[q] = GateKind::kUnion;
+    box.union_idx[q] = static_cast<int16_t>(box.union_states.size());
+    box.union_states.push_back(q);
+    box.cross_inputs.push_back(std::move(cross_in[q]));
+    box.child_union_inputs.push_back(std::move(child_in[q]));
+    box.var_inputs.emplace_back();
+  }
+  boxes_[id] = std::move(box);
+}
+
+size_t AssignmentCircuit::CountGates() const {
+  size_t n = 0;
+  for (TermNodeId id = 0; id < boxes_.size(); ++id) {
+    if (!term_->IsAlive(id)) continue;
+    const Box& b = boxes_[id];
+    n += b.gamma.size();  // γ gates (⊤/⊥/∪)
+    n += b.cross_gates.size();
+    n += b.var_masks.size();
+  }
+  return n;
+}
+
+}  // namespace treenum

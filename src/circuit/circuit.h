@@ -1,0 +1,110 @@
+// Set circuits (§3 of the paper), specialized to the shape produced by the
+// construction of Lemma 3.7: a complete structured DNNF whose v-tree is the
+// input term, with one box per term node.
+//
+// Gate inventory per box B_n (n a term node, A = (Q, ι, δ, F) homogenized):
+//   * for each state q, γ(n, q) is ⊥, ⊤, or a ∪-gate (at most |Q| ∪-gates);
+//   * ×-gates д^{q1,q2} with left input γ(left(n), q1) and right input
+//     γ(right(n), q2), shared across result states (≤ w² per box);
+//   * var-gates ⟨Y : n⟩ in leaf boxes, shared across states (Svar injective).
+//
+// Wires therefore go only (same box) var/×-gate → ∪-gate, child-box ∪-gate →
+// ×-gate, and — through the ⊤-collapse rule that keeps ⊤-gates from being
+// inputs — child-box ∪-gate → ∪-gate. The last kind forms the long ∪-chains
+// that the jump index of §6 exists to skip.
+#ifndef TREENUM_CIRCUIT_CIRCUIT_H_
+#define TREENUM_CIRCUIT_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/binary_tva.h"
+#include "falgebra/term.h"
+
+namespace treenum {
+
+enum class GateKind : uint8_t { kBot = 0, kTop = 1, kUnion = 2 };
+
+/// A ×-gate: left input γ(left child, left_state), right input
+/// γ(right child, right_state); both are ∪-gates (never ⊤/⊥ by collapse).
+struct CrossGate {
+  State left_state;
+  State right_state;
+};
+
+inline constexpr int16_t kNoGate = -1;
+
+/// The gates of one box (= one term node).
+struct Box {
+  /// γ(n, q) kind per state q (size = automaton state count).
+  std::vector<GateKind> gamma;
+  /// Dense index of γ(n, q) among this box's ∪-gates, or kNoGate.
+  std::vector<int16_t> union_idx;
+  /// Dense ∪-gate index -> state.
+  std::vector<State> union_states;
+
+  /// Local ×-gates (internal boxes only), deduplicated by (q1, q2).
+  std::vector<CrossGate> cross_gates;
+  /// Per ∪-gate: local ×-gate ids feeding it.
+  std::vector<std::vector<uint16_t>> cross_inputs;
+
+  /// Per ∪-gate: child-box ∪-gate inputs created by ⊤-collapse, as
+  /// (side, state) with side 0 = left child box, 1 = right child box.
+  std::vector<std::vector<std::pair<uint8_t, State>>> child_union_inputs;
+
+  /// Distinct variable masks of this (leaf) box's var-gates.
+  std::vector<VarMask> var_masks;
+  /// Per ∪-gate: indices into var_masks.
+  std::vector<std::vector<uint16_t>> var_inputs;
+
+  size_t num_unions() const { return union_states.size(); }
+  bool HasNonUnionInput(size_t u) const {
+    return !cross_inputs[u].empty() || !var_inputs[u].empty();
+  }
+};
+
+/// The assignment circuit of a homogenized binary TVA on a term, maintained
+/// incrementally: boxes are (re)computed per term node, bottom-up.
+class AssignmentCircuit {
+ public:
+  /// `term`, `tva` and `kind` must outlive the circuit. `kind[q]` says
+  /// whether state q is a 1-state (see HomogenizedTva).
+  AssignmentCircuit(const Term* term, const BinaryTva* tva,
+                    const std::vector<uint8_t>* kind);
+
+  const Term& term() const { return *term_; }
+  const BinaryTva& tva() const { return *tva_; }
+  /// Width bound w: the automaton's state count.
+  size_t width() const { return tva_->num_states(); }
+
+  /// Builds all boxes bottom-up (preprocessing, O(|T| * |A|)).
+  void BuildAll();
+
+  /// Recomputes the box of `id` from its children's boxes (Lemma 7.3 step).
+  void RebuildBox(TermNodeId id);
+
+  /// Drops the box of a freed term node.
+  void FreeBox(TermNodeId id);
+
+  const Box& box(TermNodeId id) const { return boxes_[id]; }
+  GateKind GammaKind(TermNodeId id, State q) const {
+    return boxes_[id].gamma[q];
+  }
+
+  /// Total number of gates (for accounting tests/benches).
+  size_t CountGates() const;
+
+ private:
+  void BuildLeafBox(TermNodeId id);
+  void BuildInternalBox(TermNodeId id);
+  void EnsureSlot(TermNodeId id);
+
+  const Term* term_;
+  const BinaryTva* tva_;
+  const std::vector<uint8_t>* kind_;
+  std::vector<Box> boxes_;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_CIRCUIT_CIRCUIT_H_

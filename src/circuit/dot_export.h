@@ -1,0 +1,23 @@
+// Graphviz (DOT) export of terms and assignment circuits, for debugging and
+// documentation. Boxes are rendered as clusters following the v-tree, with
+// γ-gates, ×-gates and var-gates inside.
+#ifndef TREENUM_CIRCUIT_DOT_EXPORT_H_
+#define TREENUM_CIRCUIT_DOT_EXPORT_H_
+
+#include <string>
+
+#include "circuit/circuit.h"
+#include "falgebra/term.h"
+
+namespace treenum {
+
+/// The term as a binary tree with operator/leaf labels.
+std::string TermToDot(const Term& term);
+
+/// The circuit: one cluster per box, ∪/×/var/⊤ gates as nodes, wires as
+/// edges (⊥ gates omitted). Intended for small instances.
+std::string CircuitToDot(const AssignmentCircuit& circuit);
+
+}  // namespace treenum
+
+#endif  // TREENUM_CIRCUIT_DOT_EXPORT_H_

@@ -1,0 +1,122 @@
+// TreeEnumerator — the paper's main result (Theorem 8.1, Corollaries
+// 8.2/8.3) as a library facade.
+//
+// Given an unranked tree T and a query as a nondeterministic unranked
+// stepwise TVA A, preprocessing (the constructor) runs in O(|T| * poly(|Q|)):
+//   1. translate A to a binary TVA A' over the forest-algebra term alphabet
+//      (Lemma 7.4) and homogenize it (Lemma 2.1);
+//   2. encode T as a balanced term (the encoding scheme ω);
+//   3. build the assignment circuit (Lemma 3.7) and the jump index
+//      (Lemma 6.3).
+// Afterwards, satisfying assignments can be enumerated with delay
+// independent of |T| (Theorem 6.5), and the edit operations of
+// Definition 7.1 are supported in logarithmic time (Lemma 7.3), after which
+// enumeration can simply be restarted.
+#ifndef TREENUM_CORE_TREE_ENUMERATOR_H_
+#define TREENUM_CORE_TREE_ENUMERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "automata/homogenize.h"
+#include "automata/translate.h"
+#include "automata/unranked_tva.h"
+#include "circuit/circuit.h"
+#include "counting/run_count.h"
+#include "enumeration/enumerate.h"
+#include "enumeration/index.h"
+#include "falgebra/update.h"
+#include "trees/assignment.h"
+#include "trees/unranked_tree.h"
+
+namespace treenum {
+
+/// Per-update cost report (for benchmarks).
+struct UpdateStats {
+  size_t boxes_recomputed = 0;
+  size_t rebuilt_size = 0;  ///< Term nodes rebuilt by rebalancing (0 = none).
+};
+
+class TreeEnumerator {
+ public:
+  /// Preprocessing. `mode` selects the indexed (paper) or naive
+  /// (depth-dependent-delay baseline) box enumeration.
+  TreeEnumerator(UnrankedTree tree, const UnrankedTva& query,
+                 BoxEnumMode mode = BoxEnumMode::kIndexed);
+
+  const UnrankedTree& tree() const { return enc_.tree(); }
+  const Term& term() const { return enc_.term(); }
+  /// Width of the circuit (= trimmed, homogenized |Q'|).
+  size_t width() const { return homog_.tva.num_states(); }
+
+  // ---- Enumeration ----
+
+  /// Pull-style cursor over the satisfying assignments (no duplicates).
+  class Cursor {
+   public:
+    /// Produces the next satisfying assignment; false when exhausted.
+    bool Next(Assignment* out);
+    /// Elementary steps so far (delay accounting).
+    size_t steps() const;
+
+   private:
+    friend class TreeEnumerator;
+    bool emit_empty_ = false;
+    std::unique_ptr<AssignmentCursor> inner_;
+  };
+
+  Cursor Enumerate() const;
+  std::vector<Assignment> EnumerateAll() const;
+
+  /// O(w) Boolean answer: does the query have at least one satisfying
+  /// assignment on the current tree?
+  bool HasAnswer() const;
+
+  // ---- Dynamic counting (optional; see counting/run_count.h) ----
+
+  /// Enables maintenance of accepting-run counts (O(|T| * poly(w)) once;
+  /// afterwards each update also refreshes the counts on the changed path).
+  void EnableCounting();
+  bool counting_enabled() const { return counter_ != nullptr; }
+  /// Number of accepting (valuation, run) pairs mod 2^64. Equals the number
+  /// of satisfying assignments when the automaton is unambiguous (all
+  /// query_library queries are). Requires EnableCounting().
+  uint64_t AcceptingRuns() const;
+
+  // ---- Updates (Definition 7.1), O(log |T| * poly(|Q|)) each ----
+
+  UpdateStats Relabel(NodeId n, Label l);
+  UpdateStats InsertFirstChild(NodeId n, Label l, NodeId* new_node = nullptr);
+  UpdateStats InsertRightSibling(NodeId n, Label l,
+                                 NodeId* new_node = nullptr);
+  UpdateStats DeleteLeaf(NodeId n);
+
+  // ---- Introspection (tests / benches) ----
+  const AssignmentCircuit& circuit() const { return circuit_; }
+  const EnumIndex& index() const { return index_; }
+  const BinaryTva& binary_tva() const { return homog_.tva; }
+  const std::vector<uint8_t>& state_kinds() const { return homog_.kind; }
+
+ private:
+  UpdateStats ApplyUpdate(const UpdateResult& result);
+  std::vector<uint32_t> FinalGamma() const;
+  bool EmptyAssignmentSatisfies() const;
+
+  HomogenizedTva homog_;
+  DynamicEncoding enc_;
+  AssignmentCircuit circuit_;
+  EnumIndex index_;
+  BoxEnumMode mode_;
+  std::unique_ptr<RunCounter> counter_;
+};
+
+/// Corollary 8.3 convenience: converts assignments of a first-order query
+/// (every assignment has size exactly num_vars, one singleton per variable
+/// — e.g. a query passed through MakeFirstOrder) into answer tuples, where
+/// tuple[v] is the node bound to variable v.
+std::vector<std::vector<NodeId>> AssignmentsToTuples(
+    const std::vector<Assignment>& assignments, size_t num_vars);
+
+}  // namespace treenum
+
+#endif  // TREENUM_CORE_TREE_ENUMERATOR_H_

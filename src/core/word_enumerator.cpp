@@ -1,0 +1,98 @@
+#include "core/word_enumerator.h"
+
+#include <algorithm>
+
+namespace treenum {
+
+namespace {
+
+HomogenizedTva PrepareWva(const Wva& query) {
+  TranslatedTva translated = TranslateWva(query);
+  return HomogenizeBinaryTva(translated.tva);
+}
+
+}  // namespace
+
+WordEnumerator::WordEnumerator(const Word& w, const Wva& query,
+                               BoxEnumMode mode)
+    : homog_(PrepareWva(query)),
+      enc_(w, query.num_labels()),
+      circuit_(&enc_.term(), &homog_.tva, &homog_.kind),
+      index_(&circuit_),
+      mode_(mode) {
+  circuit_.BuildAll();
+  if (mode_ == BoxEnumMode::kIndexed) index_.BuildAll();
+}
+
+std::vector<uint32_t> WordEnumerator::FinalGamma() const {
+  std::vector<uint32_t> gamma;
+  TermNodeId root = enc_.term().root();
+  const Box& box = circuit_.box(root);
+  for (State q : homog_.tva.final_states()) {
+    if (homog_.kind[q] == 1 && box.gamma[q] == GateKind::kUnion) {
+      gamma.push_back(static_cast<uint32_t>(box.union_idx[q]));
+    }
+  }
+  return gamma;
+}
+
+std::vector<Assignment> WordEnumerator::EnumerateAll() const {
+  std::vector<Assignment> out;
+  TermNodeId root = enc_.term().root();
+  const Box& box = circuit_.box(root);
+  for (State q : homog_.tva.final_states()) {
+    if (homog_.kind[q] == 0 && box.gamma[q] == GateKind::kTop) {
+      out.push_back(Assignment{});
+      break;
+    }
+  }
+  std::vector<uint32_t> gamma = FinalGamma();
+  if (!gamma.empty()) {
+    AssignmentCursor cursor(&circuit_, &index_, mode_, root, gamma);
+    EnumOutput o;
+    while (cursor.Next(&o)) out.push_back(o.ToAssignment());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Assignment> WordEnumerator::EnumerateAllByPosition() const {
+  std::vector<Assignment> out;
+  for (const Assignment& a : EnumerateAll()) {
+    Assignment b;
+    for (const Singleton& s : a.singletons()) {
+      b.Add(Singleton{s.var, static_cast<NodeId>(enc_.PositionOf(s.node))});
+    }
+    b.Normalize();
+    out.push_back(std::move(b));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void WordEnumerator::ApplyUpdate(const UpdateResult& result) {
+  for (TermNodeId id : result.freed) {
+    circuit_.FreeBox(id);
+    if (mode_ == BoxEnumMode::kIndexed) index_.FreeBoxIndex(id);
+  }
+  for (TermNodeId id : result.changed_bottom_up) {
+    circuit_.RebuildBox(id);
+    if (mode_ == BoxEnumMode::kIndexed) index_.RebuildBoxIndex(id);
+  }
+}
+
+void WordEnumerator::Replace(size_t pos, Label l) {
+  ApplyUpdate(enc_.Replace(pos, l));
+}
+
+void WordEnumerator::Insert(size_t pos, Label l) {
+  ApplyUpdate(enc_.Insert(pos, l));
+}
+
+void WordEnumerator::Erase(size_t pos) { ApplyUpdate(enc_.Erase(pos)); }
+
+void WordEnumerator::MoveRange(size_t begin, size_t end, size_t dst) {
+  ApplyUpdate(enc_.MoveRange(begin, end, dst));
+}
+
+}  // namespace treenum

@@ -1,0 +1,63 @@
+// WordEnumerator — Theorem 8.5: enumeration of the satisfying assignments
+// of a nondeterministic WVA (document spanner) on a word, with character
+// edits in worst-case O(log |w| * poly(|Q|)) via AVL-balanced ⊕HH terms
+// (Corollary 8.4).
+#ifndef TREENUM_CORE_WORD_ENUMERATOR_H_
+#define TREENUM_CORE_WORD_ENUMERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "automata/homogenize.h"
+#include "automata/translate.h"
+#include "automata/wva.h"
+#include "circuit/circuit.h"
+#include "enumeration/enumerate.h"
+#include "enumeration/index.h"
+#include "falgebra/word_avl.h"
+#include "trees/assignment.h"
+
+namespace treenum {
+
+class WordEnumerator {
+ public:
+  WordEnumerator(const Word& w, const Wva& query,
+                 BoxEnumMode mode = BoxEnumMode::kIndexed);
+
+  size_t word_size() const { return enc_.size(); }
+  size_t width() const { return homog_.tva.num_states(); }
+  const WordEncoding& encoding() const { return enc_; }
+
+  /// Satisfying assignments; singleton NodeIds are *stable position ids* —
+  /// translate to current positions with PositionOf.
+  std::vector<Assignment> EnumerateAll() const;
+  /// Current logical position of a stable position id.
+  size_t PositionOf(NodeId id) const { return enc_.PositionOf(id); }
+
+  /// Like EnumerateAll but with singletons rewritten to current positions.
+  std::vector<Assignment> EnumerateAllByPosition() const;
+
+  // ---- Word edits, worst-case O(log |w|) ----
+  void Replace(size_t pos, Label l);
+  void Insert(size_t pos, Label l);
+  void Erase(size_t pos);
+  /// Bulk edit: move the factor [begin, end) so it starts at `dst` of the
+  /// remaining word. Also O(log |w|) (AVL split/join).
+  void MoveRange(size_t begin, size_t end, size_t dst);
+
+  const AssignmentCircuit& circuit() const { return circuit_; }
+
+ private:
+  void ApplyUpdate(const UpdateResult& result);
+  std::vector<uint32_t> FinalGamma() const;
+
+  HomogenizedTva homog_;
+  WordEncoding enc_;
+  AssignmentCircuit circuit_;
+  EnumIndex index_;
+  BoxEnumMode mode_;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_CORE_WORD_ENUMERATOR_H_

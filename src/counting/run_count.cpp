@@ -1,0 +1,81 @@
+#include "counting/run_count.h"
+
+namespace treenum {
+
+void RunCounter::EnsureSlot(TermNodeId id) {
+  if (counts_.size() <= id) counts_.resize(id + 1);
+}
+
+void RunCounter::BuildAll() {
+  const Term& term = circuit_->term();
+  struct F {
+    TermNodeId id;
+    bool expanded;
+  };
+  std::vector<F> stack{{term.root(), false}};
+  while (!stack.empty()) {
+    F f = stack.back();
+    stack.pop_back();
+    const TermNode& t = term.node(f.id);
+    if (!f.expanded && t.left != kNoTerm) {
+      stack.push_back({f.id, true});
+      stack.push_back({t.right, false});
+      stack.push_back({t.left, false});
+      continue;
+    }
+    RebuildBoxCounts(f.id);
+  }
+}
+
+void RunCounter::RebuildBoxCounts(TermNodeId id) {
+  EnsureSlot(id);
+  const Term& term = circuit_->term();
+  const BinaryTva& tva = circuit_->tva();
+  const size_t w = tva.num_states();
+  std::vector<uint64_t> counts(w, 0);
+  const TermNode& t = term.node(id);
+
+  if (t.left == kNoTerm) {
+    // One run start per matching ι entry (each annotation choice of this
+    // leaf contributes its entries).
+    for (const auto& [vars, q] : tva.LeafInitsFor(t.label)) {
+      (void)vars;
+      counts[q] += 1;
+    }
+  } else {
+    const std::vector<uint64_t>& lc = counts_[t.left];
+    const std::vector<uint64_t>& rc = counts_[t.right];
+    for (State q1 = 0; q1 < w; ++q1) {
+      if (lc[q1] == 0) continue;
+      for (State q2 = 0; q2 < w; ++q2) {
+        if (rc[q2] == 0) continue;
+        uint64_t prod = lc[q1] * rc[q2];
+        for (State q : tva.TransitionsFor(t.label, q1, q2)) {
+          counts[q] += prod;
+        }
+      }
+    }
+  }
+  counts_[id] = std::move(counts);
+}
+
+void RunCounter::FreeBoxCounts(TermNodeId id) {
+  if (id < counts_.size()) counts_[id].clear();
+}
+
+uint64_t RunCounter::Count(TermNodeId id, State q) const {
+  if (id >= counts_.size() || counts_[id].empty()) return 0;
+  return counts_[id][q];
+}
+
+uint64_t RunCounter::TotalAcceptingRuns() const {
+  const Term& term = circuit_->term();
+  const BinaryTva& tva = circuit_->tva();
+  uint64_t total = 0;
+  for (State q : tva.final_states()) {
+    total += Count(term.root(), q);
+  }
+  return total;
+}
+
+}  // namespace treenum

@@ -1,0 +1,178 @@
+#include "enumeration/box_enum.h"
+
+#include <cassert>
+
+namespace treenum {
+
+BitMatrix InitialRelation(size_t num_unions,
+                          const std::vector<uint32_t>& gamma) {
+  BitMatrix r(num_unions, gamma.size());
+  for (size_t i = 0; i < gamma.size(); ++i) r.Set(gamma[i], i);
+  return r;
+}
+
+BitMatrix WireRelation(const AssignmentCircuit& circuit, TermNodeId box,
+                       int side) {
+  const Term& term = circuit.term();
+  const Box& b = circuit.box(box);
+  TermNodeId child =
+      side == 0 ? term.node(box).left : term.node(box).right;
+  const Box& cb = circuit.box(child);
+  BitMatrix r(cb.num_unions(), b.num_unions());
+  for (size_t u = 0; u < b.num_unions(); ++u) {
+    for (const auto& [s, state] : b.child_union_inputs[u]) {
+      if (s != side) continue;
+      int16_t d = cb.union_idx[state];
+      assert(d != kNoGate);
+      r.Set(static_cast<size_t>(d), u);
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------- Indexed
+
+IndexedBoxEnum::IndexedBoxEnum(const EnumIndex* index, TermNodeId box,
+                               const std::vector<uint32_t>& gamma)
+    : index_(index) {
+  assert(!gamma.empty());
+  BitMatrix r = InitialRelation(index_->circuit().box(box).num_unions(),
+                                gamma);
+  stack_.push_back(Frame{Frame::kEnter, box, std::move(r)});
+}
+
+// True iff the jump loop has another iteration at (box, rel): the first
+// bidirectional box (lca of the gates' spans) is a strict ancestor of the
+// first interesting box. Outputs the span candidate index.
+static bool WalkViable(const EnumIndex& index, TermNodeId box,
+                       const BitMatrix& rel, int16_t* span_cand) {
+  std::vector<uint32_t> gates = rel.NonEmptyRows();
+  if (gates.empty()) return false;
+  const BoxIndex& bi = index.at(box);
+  int16_t c1 = index.FibOfSet(box, gates);
+  int16_t j = bi.SpanLocal(gates);
+  if (j == c1) return false;
+  if (bi.Lca(j, c1) != j) return false;  // j not a strict ancestor of c1
+  *span_cand = j;
+  return true;
+}
+
+bool IndexedBoxEnum::Next(BoxRelation* out) {
+  const Term& term = index_->circuit().term();
+  while (!stack_.empty()) {
+    Frame f = std::move(stack_.back());
+    stack_.pop_back();
+    ++steps_;
+
+    if (f.kind == Frame::kEnter) {
+      std::vector<uint32_t> gates = f.rel.NonEmptyRows();
+      assert(!gates.empty());
+      const BoxIndex& bi = index_->at(f.box);
+      int16_t c1 = index_->FibOfSet(f.box, gates);
+      TermNodeId b1 = bi.cands[c1].box;
+      BitMatrix r1 = bi.cands[c1].rel.Compose(f.rel);
+
+      // The loop continuation for this frame (Line 11-17), pushed only when
+      // it will do work — this is the tail-call elimination of Lemma 6.4.
+      int16_t span_cand;
+      if (WalkViable(*index_, f.box, f.rel, &span_cand)) {
+        stack_.push_back(Frame{Frame::kWalk, f.box, std::move(f.rel)});
+      }
+      // Recurse below B1 (Lines 7-10); right pushed first so left pops
+      // first.
+      if (!term.IsLeaf(b1)) {
+        const BoxIndex& b1i = index_->at(b1);
+        BitMatrix rr = b1i.wire_right.Compose(r1);
+        BitMatrix rl = b1i.wire_left.Compose(r1);
+        if (rr.Any()) {
+          stack_.push_back(
+              Frame{Frame::kEnter, term.node(b1).right, std::move(rr)});
+        }
+        if (rl.Any()) {
+          stack_.push_back(
+              Frame{Frame::kEnter, term.node(b1).left, std::move(rl)});
+        }
+      }
+      out->box = b1;
+      out->rel = std::move(r1);
+      return true;
+    }
+
+    // kWalk: one iteration of the jump loop. Frames are only pushed when
+    // viable, so this always performs a jump.
+    int16_t span_cand;
+    bool viable = WalkViable(*index_, f.box, f.rel, &span_cand);
+    assert(viable);
+    (void)viable;
+    const BoxIndex& bi = index_->at(f.box);
+    const BoxIndex::Cand& j = bi.cands[span_cand];
+    BitMatrix rj = j.rel.Compose(f.rel);
+    const BoxIndex& ji = index_->at(j.box);
+    assert(!term.IsLeaf(j.box));
+    BitMatrix rl = ji.wire_left.Compose(rj);
+    BitMatrix rr = ji.wire_right.Compose(rj);
+    // Continue the loop at the left child (pushed first → popped after the
+    // right subtree's Enter), if another iteration is viable there.
+    int16_t next_span;
+    if (rl.Any() &&
+        WalkViable(*index_, term.node(j.box).left, rl, &next_span)) {
+      stack_.push_back(
+          Frame{Frame::kWalk, term.node(j.box).left, std::move(rl)});
+    }
+    if (rr.Any()) {
+      stack_.push_back(
+          Frame{Frame::kEnter, term.node(j.box).right, std::move(rr)});
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------ Naive
+
+NaiveBoxEnum::NaiveBoxEnum(const AssignmentCircuit* circuit, TermNodeId box,
+                           const std::vector<uint32_t>& gamma)
+    : circuit_(circuit) {
+  assert(!gamma.empty());
+  BitMatrix r = InitialRelation(circuit_->box(box).num_unions(), gamma);
+  stack_.push_back(Frame{box, std::move(r)});
+}
+
+bool NaiveBoxEnum::Next(BoxRelation* out) {
+  const Term& term = circuit_->term();
+  while (!stack_.empty()) {
+    Frame f = std::move(stack_.back());
+    stack_.pop_back();
+    ++steps_;
+
+    std::vector<uint32_t> gates = f.rel.NonEmptyRows();
+    if (gates.empty()) continue;
+
+    if (!term.IsLeaf(f.box)) {
+      BitMatrix rl = WireRelation(*circuit_, f.box, 0).Compose(f.rel);
+      BitMatrix rr = WireRelation(*circuit_, f.box, 1).Compose(f.rel);
+      if (rr.Any()) {
+        stack_.push_back(Frame{term.node(f.box).right, std::move(rr)});
+      }
+      if (rl.Any()) {
+        stack_.push_back(Frame{term.node(f.box).left, std::move(rl)});
+      }
+    }
+
+    const Box& b = circuit_->box(f.box);
+    bool interesting = false;
+    for (uint32_t g : gates) {
+      if (b.HasNonUnionInput(g)) {
+        interesting = true;
+        break;
+      }
+    }
+    if (interesting) {
+      out->box = f.box;
+      out->rel = std::move(f.rel);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace treenum

@@ -1,0 +1,236 @@
+#include "enumeration/enumerate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treenum {
+
+namespace {
+
+void OrInto(std::vector<uint64_t>& dst, const uint64_t* src, size_t words) {
+  if (dst.size() < words) dst.resize(words, 0);
+  for (size_t i = 0; i < words; ++i) dst[i] |= src[i];
+}
+
+bool BitAt(const std::vector<uint64_t>& bits, size_t pos) {
+  return pos / 64 < bits.size() && ((bits[pos / 64] >> (pos % 64)) & 1u);
+}
+
+}  // namespace
+
+Assignment EnumOutput::ToAssignment() const {
+  Assignment a;
+  for (const auto& [mask, node] : contributions) {
+    for (VarId v = 0; mask >> v; ++v) {
+      if (mask & (VarMask{1} << v)) a.Add(Singleton{v, node});
+    }
+  }
+  a.Normalize();
+  return a;
+}
+
+AssignmentCursor::AssignmentCursor(const AssignmentCircuit* circuit,
+                                   const EnumIndex* index, BoxEnumMode mode,
+                                   TermNodeId box,
+                                   std::vector<uint32_t> gamma)
+    : circuit_(circuit),
+      index_(index),
+      mode_(mode),
+      box_(box),
+      gamma_(std::move(gamma)),
+      prov_words_((gamma_.size() + 63) / 64) {
+  assert(!gamma_.empty());
+  box_enum_ = MakeBoxEnum(box_, gamma_);
+}
+
+std::unique_ptr<BoxEnumCursor> AssignmentCursor::MakeBoxEnum(
+    TermNodeId box, const std::vector<uint32_t>& g) {
+  if (mode_ == BoxEnumMode::kIndexed) {
+    assert(index_ != nullptr);
+    return std::make_unique<IndexedBoxEnum>(index_, box, g);
+  }
+  return std::make_unique<NaiveBoxEnum>(circuit_, box, g);
+}
+
+void AssignmentCursor::PrepareBox() {
+  const Box& b = circuit_->box(cur_.box);
+  var_agenda_.clear();
+  var_pos_ = 0;
+  crosses_.clear();
+  cross_prov_.clear();
+
+  std::vector<std::vector<uint64_t>> vacc(b.var_masks.size());
+  std::vector<std::vector<uint64_t>> cacc(b.cross_gates.size());
+  for (uint32_t g : cur_.rel.NonEmptyRows()) {
+    const uint64_t* row = cur_.rel.Row(g);
+    size_t words = cur_.rel.words_per_row();
+    for (uint16_t vi : b.var_inputs[g]) OrInto(vacc[vi], row, words);
+    for (uint16_t ci : b.cross_inputs[g]) OrInto(cacc[ci], row, words);
+    ++local_steps_;
+  }
+  for (uint16_t vi = 0; vi < vacc.size(); ++vi) {
+    if (!vacc[vi].empty()) var_agenda_.emplace_back(vi, std::move(vacc[vi]));
+  }
+  for (uint16_t ci = 0; ci < cacc.size(); ++ci) {
+    if (!cacc[ci].empty()) {
+      crosses_.push_back(ci);
+      cross_prov_.push_back(std::move(cacc[ci]));
+    }
+  }
+}
+
+void AssignmentCursor::SetupLeft() {
+  if (crosses_.empty()) {
+    stage_ = Stage::kNextBox;
+    return;
+  }
+  const Box& b = circuit_->box(cur_.box);
+  const Term& term = circuit_->term();
+  TermNodeId lchild = term.node(cur_.box).left;
+  const Box& lb = circuit_->box(lchild);
+
+  gamma_left_.clear();
+  left_pos_.assign(lb.num_unions(), -1);
+  for (uint16_t p : crosses_) {
+    const CrossGate& cg = b.cross_gates[p];
+    int16_t d = lb.union_idx[cg.left_state];
+    assert(d != kNoGate);
+    if (left_pos_[d] < 0) {
+      left_pos_[d] = static_cast<int32_t>(gamma_left_.size());
+      gamma_left_.push_back(static_cast<uint32_t>(d));
+    }
+  }
+  if (left_cursor_) local_steps_ += left_cursor_->steps();
+  left_cursor_ = std::make_unique<AssignmentCursor>(circuit_, index_, mode_,
+                                                    lchild, gamma_left_);
+  stage_ = Stage::kPullLeft;
+}
+
+bool AssignmentCursor::SetupRight() {
+  const Box& b = circuit_->box(cur_.box);
+  const Term& term = circuit_->term();
+  TermNodeId lchild = term.node(cur_.box).left;
+  TermNodeId rchild = term.node(cur_.box).right;
+  const Box& lb = circuit_->box(lchild);
+  const Box& rb = circuit_->box(rchild);
+
+  // G×': crosses whose left input captures the current left assignment.
+  crosses_left_.clear();
+  for (uint16_t i = 0; i < crosses_.size(); ++i) {
+    const CrossGate& cg = b.cross_gates[crosses_[i]];
+    int32_t pos = left_pos_[lb.union_idx[cg.left_state]];
+    if (BitAt(left_out_.provenance, static_cast<size_t>(pos))) {
+      crosses_left_.push_back(i);
+    }
+  }
+  assert(!crosses_left_.empty());
+
+  gamma_right_.clear();
+  right_pos_.assign(rb.num_unions(), -1);
+  for (uint16_t i : crosses_left_) {
+    const CrossGate& cg = b.cross_gates[crosses_[i]];
+    int16_t d = rb.union_idx[cg.right_state];
+    assert(d != kNoGate);
+    if (right_pos_[d] < 0) {
+      right_pos_[d] = static_cast<int32_t>(gamma_right_.size());
+      gamma_right_.push_back(static_cast<uint32_t>(d));
+    }
+  }
+  if (right_cursor_) local_steps_ += right_cursor_->steps();
+  right_cursor_ = std::make_unique<AssignmentCursor>(circuit_, index_, mode_,
+                                                     rchild, gamma_right_);
+  return true;
+}
+
+bool AssignmentCursor::Next(EnumOutput* out) {
+  const Term& term = circuit_->term();
+  while (true) {
+    switch (stage_) {
+      case Stage::kDone:
+        return false;
+
+      case Stage::kNextBox: {
+        if (!box_enum_->Next(&cur_)) {
+          stage_ = Stage::kDone;
+          return false;
+        }
+        PrepareBox();
+        stage_ = Stage::kEmitVars;
+        break;
+      }
+
+      case Stage::kEmitVars: {
+        if (var_pos_ < var_agenda_.size()) {
+          const auto& [vi, prov] = var_agenda_[var_pos_];
+          ++var_pos_;
+          const Box& b = circuit_->box(cur_.box);
+          out->contributions.clear();
+          out->contributions.emplace_back(b.var_masks[vi],
+                                          term.node(cur_.box).tree_node);
+          out->provenance = prov;
+          ++local_steps_;
+          return true;
+        }
+        SetupLeft();
+        break;
+      }
+
+      case Stage::kPullLeft: {
+        if (!left_cursor_->Next(&left_out_)) {
+          stage_ = Stage::kNextBox;
+          break;
+        }
+        SetupRight();
+        stage_ = Stage::kPullRight;
+        break;
+      }
+
+      case Stage::kPullRight: {
+        EnumOutput rout;
+        if (!right_cursor_->Next(&rout)) {
+          stage_ = Stage::kPullLeft;
+          break;
+        }
+        const Box& b = circuit_->box(cur_.box);
+        const Box& rb =
+            circuit_->box(term.node(cur_.box).right);
+        out->contributions = left_out_.contributions;
+        out->contributions.insert(out->contributions.end(),
+                                  rout.contributions.begin(),
+                                  rout.contributions.end());
+        out->provenance.assign(prov_words_, 0);
+        bool any = false;
+        for (uint16_t i : crosses_left_) {
+          const CrossGate& cg = b.cross_gates[crosses_[i]];
+          int32_t pos = right_pos_[rb.union_idx[cg.right_state]];
+          if (BitAt(rout.provenance, static_cast<size_t>(pos))) {
+            OrInto(out->provenance, cross_prov_[i].data(),
+                   cross_prov_[i].size());
+            any = true;
+          }
+        }
+        assert(any);
+        (void)any;
+        ++local_steps_;
+        return true;
+      }
+    }
+  }
+}
+
+size_t AssignmentCursor::steps() const {
+  size_t s = local_steps_ + box_enum_->steps();
+  if (left_cursor_) s += left_cursor_->steps();
+  if (right_cursor_) s += right_cursor_->steps();
+  return s;
+}
+
+std::vector<Assignment> CollectAll(AssignmentCursor& cursor) {
+  std::vector<Assignment> out;
+  EnumOutput o;
+  while (cursor.Next(&o)) out.push_back(o.ToAssignment());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace treenum

@@ -1,0 +1,240 @@
+#include "enumeration/index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treenum {
+
+void EnumIndex::EnsureSlot(TermNodeId id) {
+  if (indexes_.size() <= id) indexes_.resize(id + 1);
+}
+
+void EnumIndex::BuildAll() {
+  const Term& term = circuit_->term();
+  struct F {
+    TermNodeId id;
+    bool expanded;
+  };
+  std::vector<F> stack{{term.root(), false}};
+  while (!stack.empty()) {
+    F f = stack.back();
+    stack.pop_back();
+    const TermNode& t = term.node(f.id);
+    if (!f.expanded && t.left != kNoTerm) {
+      stack.push_back({f.id, true});
+      stack.push_back({t.right, false});
+      stack.push_back({t.left, false});
+      continue;
+    }
+    RebuildBoxIndex(f.id);
+  }
+}
+
+void EnumIndex::FreeBoxIndex(TermNodeId id) {
+  if (id < indexes_.size()) indexes_[id] = BoxIndex{};
+}
+
+namespace {
+
+// Closes `items` (candidate indices of a child box) under the child's
+// pairwise lca table. Candidate sets stay O(w), so the quadratic loop is
+// within the per-box poly(w) budget of Lemma 6.3.
+void LcaClose(const BoxIndex& child, std::vector<int16_t>& items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    size_t n = items.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        int16_t l = child.Lca(items[i], items[j]);
+        if (!std::binary_search(items.begin(), items.end(), l)) {
+          items.insert(std::lower_bound(items.begin(), items.end(), l), l);
+          grew = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void EnumIndex::RebuildBoxIndex(TermNodeId id) {
+  EnsureSlot(id);
+  const Term& term = circuit_->term();
+  const Box& box = circuit_->box(id);
+  size_t nu = box.num_unions();
+  BoxIndex bi;
+
+  if (nu == 0) {
+    indexes_[id] = std::move(bi);
+    return;
+  }
+
+  if (term.IsLeaf(id)) {
+    // Every ∪-gate of a leaf box has var-gate inputs, so fib = span = self.
+    bi.cands.push_back(
+        BoxIndex::Cand{id, 0, kNoCand, BitMatrix::Identity(nu)});
+    bi.fib.assign(nu, 0);
+    bi.span.assign(nu, 0);
+    bi.cand_lca.assign(1, 0);
+    indexes_[id] = std::move(bi);
+    return;
+  }
+
+  TermNodeId lid = term.node(id).left;
+  TermNodeId rid = term.node(id).right;
+  const Box& lbox = circuit_->box(lid);
+  const Box& rbox = circuit_->box(rid);
+  const BoxIndex& lidx = indexes_[lid];
+  const BoxIndex& ridx = indexes_[rid];
+
+  // Wire relations R(child, B) over the ∪→∪ (⊤-collapse) wires.
+  bi.wire_left = BitMatrix(lbox.num_unions(), nu);
+  bi.wire_right = BitMatrix(rbox.num_unions(), nu);
+  // Per-gate child input lists as dense child ∪-gate indices.
+  std::vector<std::vector<uint32_t>> in_left(nu), in_right(nu);
+  for (size_t u = 0; u < nu; ++u) {
+    for (const auto& [side, state] : box.child_union_inputs[u]) {
+      if (side == 0) {
+        int16_t d = lbox.union_idx[state];
+        assert(d != kNoGate);
+        bi.wire_left.Set(static_cast<size_t>(d), u);
+        in_left[u].push_back(static_cast<uint32_t>(d));
+      } else {
+        int16_t d = rbox.union_idx[state];
+        assert(d != kNoGate);
+        bi.wire_right.Set(static_cast<size_t>(d), u);
+        in_right[u].push_back(static_cast<uint32_t>(d));
+      }
+    }
+  }
+
+  // Raw fib/span per gate: (source, child candidate index).
+  struct Pre {
+    uint8_t source;  // 0 self, 1 left, 2 right
+    int16_t cc;      // child candidate index (source 1/2)
+  };
+  std::vector<Pre> fib_pre(nu), span_pre(nu);
+  for (size_t u = 0; u < nu; ++u) {
+    bool local = box.HasNonUnionInput(u);
+    bool has_l = !in_left[u].empty();
+    bool has_r = !in_right[u].empty();
+    assert(local || has_l || has_r);
+    // fib: Equation (3).
+    if (local) {
+      fib_pre[u] = {0, kNoCand};
+    } else if (has_l) {
+      int16_t best = lidx.fib[in_left[u][0]];
+      for (uint32_t g : in_left[u]) best = std::min(best, lidx.fib[g]);
+      fib_pre[u] = {1, best};
+    } else {
+      int16_t best = ridx.fib[in_right[u][0]];
+      for (uint32_t g : in_right[u]) best = std::min(best, ridx.fib[g]);
+      fib_pre[u] = {2, best};
+    }
+    // span: lca of the gate's interesting boxes.
+    if (local || (has_l && has_r)) {
+      span_pre[u] = {0, kNoCand};
+    } else if (has_l) {
+      span_pre[u] = {1, lidx.SpanLocal(in_left[u])};
+    } else {
+      span_pre[u] = {2, ridx.SpanLocal(in_right[u])};
+    }
+  }
+
+  // Candidate collection + lca closure per side.
+  std::vector<int16_t> used_l, used_r;
+  bool use_self = false;
+  for (size_t u = 0; u < nu; ++u) {
+    for (const Pre& p : {fib_pre[u], span_pre[u]}) {
+      if (p.source == 0) {
+        use_self = true;
+      } else if (p.source == 1) {
+        used_l.push_back(p.cc);
+      } else {
+        used_r.push_back(p.cc);
+      }
+    }
+  }
+  if (!used_l.empty()) LcaClose(lidx, used_l);
+  if (!used_r.empty()) LcaClose(ridx, used_r);
+  if (!used_l.empty() && !used_r.empty()) use_self = true;
+
+  // Assemble candidates in preorder: self, left child's (in its order),
+  // right child's.
+  std::vector<int16_t> map_l(lidx.cands.size(), kNoCand);
+  std::vector<int16_t> map_r(ridx.cands.size(), kNoCand);
+  int16_t self_idx = kNoCand;
+  if (use_self) {
+    self_idx = static_cast<int16_t>(bi.cands.size());
+    bi.cands.push_back(
+        BoxIndex::Cand{id, 0, kNoCand, BitMatrix::Identity(nu)});
+  }
+  for (int16_t cc : used_l) {
+    map_l[cc] = static_cast<int16_t>(bi.cands.size());
+    bi.cands.push_back(BoxIndex::Cand{lidx.cands[cc].box, 1, cc,
+                                      lidx.cands[cc].rel.Compose(
+                                          bi.wire_left)});
+  }
+  for (int16_t cc : used_r) {
+    map_r[cc] = static_cast<int16_t>(bi.cands.size());
+    bi.cands.push_back(BoxIndex::Cand{ridx.cands[cc].box, 2, cc,
+                                      ridx.cands[cc].rel.Compose(
+                                          bi.wire_right)});
+  }
+
+  auto resolve = [&](const Pre& p) -> int16_t {
+    if (p.source == 0) return self_idx;
+    if (p.source == 1) return map_l[p.cc];
+    return map_r[p.cc];
+  };
+  bi.fib.resize(nu);
+  bi.span.resize(nu);
+  for (size_t u = 0; u < nu; ++u) {
+    bi.fib[u] = resolve(fib_pre[u]);
+    bi.span[u] = resolve(span_pre[u]);
+    assert(bi.fib[u] != kNoCand && bi.span[u] != kNoCand);
+  }
+
+  // Pairwise candidate lca table.
+  size_t nc = bi.cands.size();
+  bi.cand_lca.assign(nc * nc, kNoCand);
+  for (size_t a = 0; a < nc; ++a) {
+    for (size_t b = 0; b < nc; ++b) {
+      int16_t v;
+      if (a == b) {
+        v = static_cast<int16_t>(a);
+      } else if (bi.cands[a].source == 0 || bi.cands[b].source == 0 ||
+                 bi.cands[a].source != bi.cands[b].source) {
+        assert(self_idx != kNoCand);
+        v = self_idx;
+      } else if (bi.cands[a].source == 1) {
+        v = map_l[lidx.Lca(bi.cands[a].child_cand, bi.cands[b].child_cand)];
+      } else {
+        v = map_r[ridx.Lca(bi.cands[a].child_cand, bi.cands[b].child_cand)];
+      }
+      assert(v != kNoCand);
+      bi.cand_lca[a * nc + b] = v;
+    }
+  }
+
+  indexes_[id] = std::move(bi);
+}
+
+int16_t EnumIndex::FibOfSet(TermNodeId box,
+                            const std::vector<uint32_t>& gates) const {
+  const BoxIndex& bi = indexes_[box];
+  assert(!gates.empty());
+  int16_t best = bi.fib[gates[0]];
+  for (uint32_t g : gates) best = std::min(best, bi.fib[g]);
+  return best;
+}
+
+int16_t EnumIndex::SpanOfSet(TermNodeId box,
+                             const std::vector<uint32_t>& gates) const {
+  return indexes_[box].SpanLocal(gates);
+}
+
+}  // namespace treenum

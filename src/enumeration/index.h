@@ -1,0 +1,108 @@
+// The index structure I(C) of Definition 6.1, computed bottom-up over the
+// tree of boxes (Lemma 6.3) and maintained incrementally under updates
+// (Lemma 7.3).
+//
+// Per box B we store a set of *candidate* target boxes — the fib/span values
+// of B's ∪-gates closed under least common ancestors — sorted by preorder,
+// each with its ∪-reachability relation R(candidate, B). Because candidates
+// of B that lie strictly below B are always candidates of the corresponding
+// child, all quantities are computed from the children's index in O(1)
+// lookups per entry, with no global preorder numbering (which could not be
+// maintained under updates).
+//
+// Instead of fbb(g) we store span(g) := lca of the interesting boxes of g.
+// span(g) equals fbb(g) whenever the ∪-closure of g branches and fib(g)
+// otherwise; the jump loop of Algorithm 3 then computes the first
+// bidirectional box of a boxed set Γ as lca{span(g) | g ∈ Γ} and terminates
+// when that box is not a strict ancestor of fib(Γ). This evaluates correctly
+// even for boxed sets that are only *jointly* bidirectional (each gate's own
+// closure is a chain, but the chains split at a common box).
+#ifndef TREENUM_ENUMERATION_INDEX_H_
+#define TREENUM_ENUMERATION_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "util/bit_matrix.h"
+
+namespace treenum {
+
+inline constexpr int16_t kNoCand = -1;
+
+/// Index data of one box.
+struct BoxIndex {
+  struct Cand {
+    TermNodeId box;
+    /// 0 = the box itself, 1 = inherited from left child, 2 = from right.
+    uint8_t source;
+    /// For source 1/2: index in the child's candidate list.
+    int16_t child_cand;
+    /// R(cand box, B): rows = candidate box's ∪-gates, cols = B's ∪-gates.
+    BitMatrix rel;
+  };
+
+  std::vector<Cand> cands;  ///< Sorted by preorder (B itself first if used).
+  std::vector<int16_t> fib;   ///< Per ∪-gate: candidate index (always set).
+  std::vector<int16_t> span;  ///< Per ∪-gate: candidate index (always set).
+  /// Pairwise lca over candidates: cand_lca[a * cands.size() + b].
+  std::vector<int16_t> cand_lca;
+  /// Wire relations to the children: R(child box, B) over the ∪→∪ wires
+  /// (⊤-collapse inputs). Empty matrices for leaf boxes.
+  BitMatrix wire_left;
+  BitMatrix wire_right;
+
+  int16_t Lca(int16_t a, int16_t b) const {
+    return cand_lca[static_cast<size_t>(a) * cands.size() + b];
+  }
+
+  /// lca{span(g) | g ∈ gates} as a candidate index (Observation 6.2: the
+  /// preorder-minimal pairwise lca). `gates` must be non-empty.
+  int16_t SpanLocal(const std::vector<uint32_t>& gates) const {
+    int16_t best = span[gates[0]];
+    for (size_t i = 0; i < gates.size(); ++i) {
+      for (size_t j = i; j < gates.size(); ++j) {
+        best = std::min(best, Lca(span[gates[i]], span[gates[j]]));
+      }
+    }
+    return best;
+  }
+};
+
+/// The full index, one BoxIndex per term node, rebuilt bottom-up.
+class EnumIndex {
+ public:
+  explicit EnumIndex(const AssignmentCircuit* circuit) : circuit_(circuit) {}
+
+  const AssignmentCircuit& circuit() const { return *circuit_; }
+
+  /// Builds the index for every box, bottom-up (O(|T| * poly(w))).
+  void BuildAll();
+
+  /// Recomputes one box's index from its children's (which must be current).
+  void RebuildBoxIndex(TermNodeId id);
+
+  void FreeBoxIndex(TermNodeId id);
+
+  const BoxIndex& at(TermNodeId id) const { return indexes_[id]; }
+
+  /// fib(Γ) as a candidate index at `box`: min over the gates' fib values
+  /// (minimum candidate index = first in preorder). `gates` are dense
+  /// ∪-gate indices; must be non-empty.
+  int16_t FibOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const;
+
+  /// lca{span(g)} as a candidate index (Observation 6.2: min over pairwise
+  /// candidate lcas).
+  int16_t SpanOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const;
+
+ private:
+  void EnsureSlot(TermNodeId id);
+
+  const AssignmentCircuit* circuit_;
+  std::vector<BoxIndex> indexes_;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_ENUMERATION_INDEX_H_

@@ -1,0 +1,99 @@
+#include "enumeration/simple_enum.h"
+
+#include <cassert>
+
+namespace treenum {
+
+SimpleEnumCursor::SimpleEnumCursor(const AssignmentCircuit* circuit,
+                                   TermNodeId box, uint32_t gate)
+    : circuit_(circuit) {
+  auto f = std::make_unique<Frame>();
+  f->box = box;
+  f->gate = gate;
+  stack_.push_back(std::move(f));
+}
+
+bool SimpleEnumCursor::Next(EnumOutput* out) {
+  const Term& term = circuit_->term();
+  while (!stack_.empty()) {
+    Frame& f = *stack_.back();
+    const Box& b = circuit_->box(f.box);
+    uint32_t u = f.gate;
+
+    if (f.var_pos < b.var_inputs[u].size()) {
+      uint16_t vi = b.var_inputs[u][f.var_pos++];
+      out->contributions.clear();
+      out->contributions.emplace_back(b.var_masks[vi],
+                                      term.node(f.box).tree_node);
+      out->provenance.clear();
+      return true;
+    }
+
+    if (f.cross_pos < b.cross_inputs[u].size()) {
+      uint16_t ci = b.cross_inputs[u][f.cross_pos];
+      const CrossGate& cg = b.cross_gates[ci];
+      TermNodeId lchild = term.node(f.box).left;
+      TermNodeId rchild = term.node(f.box).right;
+      const Box& lb = circuit_->box(lchild);
+      const Box& rb = circuit_->box(rchild);
+
+      if (!f.left && !f.have_left) {
+        f.left = std::make_unique<SimpleEnumCursor>(
+            circuit_, lchild,
+            static_cast<uint32_t>(lb.union_idx[cg.left_state]));
+      }
+      if (!f.have_left) {
+        if (!f.left->Next(&f.left_out)) {
+          f.left.reset();
+          f.right.reset();
+          ++f.cross_pos;
+          continue;
+        }
+        f.have_left = true;
+        f.right = std::make_unique<SimpleEnumCursor>(
+            circuit_, rchild,
+            static_cast<uint32_t>(rb.union_idx[cg.right_state]));
+      }
+      EnumOutput r;
+      if (f.right->Next(&r)) {
+        out->contributions = f.left_out.contributions;
+        out->contributions.insert(out->contributions.end(),
+                                  r.contributions.begin(),
+                                  r.contributions.end());
+        out->provenance.clear();
+        return true;
+      }
+      f.have_left = false;
+      continue;
+    }
+
+    if (f.child_pos < b.child_union_inputs[u].size()) {
+      const auto& [side, state] = b.child_union_inputs[u][f.child_pos++];
+      TermNodeId child =
+          side == 0 ? term.node(f.box).left : term.node(f.box).right;
+      const Box& cb = circuit_->box(child);
+      auto nf = std::make_unique<Frame>();
+      nf->box = child;
+      nf->gate = static_cast<uint32_t>(cb.union_idx[state]);
+      stack_.push_back(std::move(nf));
+      continue;
+    }
+
+    stack_.pop_back();
+  }
+  return false;
+}
+
+std::vector<Assignment> SimpleEnumerateAll(
+    const AssignmentCircuit& circuit, TermNodeId box,
+    const std::vector<uint32_t>& gates) {
+  std::vector<Assignment> out;
+  for (uint32_t g : gates) {
+    SimpleEnumCursor cur(&circuit, box, g);
+    EnumOutput o;
+    while (cur.Next(&o)) out.push_back(o.ToAssignment());
+  }
+  return out;
+}
+
+}  // namespace treenum

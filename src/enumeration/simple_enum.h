@@ -1,0 +1,52 @@
+// The simple enumeration scheme of §4 (Algorithm 1): enumerate S(γ) by a
+// plain preorder traversal of the circuit, producing each assignment once
+// per run of the automaton (i.e. WITH duplicates) and with delay linear in
+// the circuit depth. Kept as the ablation baseline showing what the
+// machinery of §5/§6 buys.
+#ifndef TREENUM_ENUMERATION_SIMPLE_ENUM_H_
+#define TREENUM_ENUMERATION_SIMPLE_ENUM_H_
+
+#include <memory>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "enumeration/enumerate.h"
+
+namespace treenum {
+
+/// Cursor enumerating S(g) with duplicates for one ∪-gate g (given as a
+/// dense ∪-gate index at `box`).
+class SimpleEnumCursor {
+ public:
+  SimpleEnumCursor(const AssignmentCircuit* circuit, TermNodeId box,
+                   uint32_t gate);
+
+  /// Produces the next assignment (provenance left empty); false when done.
+  bool Next(EnumOutput* out);
+
+ private:
+  struct Frame {
+    TermNodeId box;
+    uint32_t gate;
+    size_t var_pos = 0;
+    size_t cross_pos = 0;
+    size_t child_pos = 0;
+    std::unique_ptr<SimpleEnumCursor> left;
+    std::unique_ptr<SimpleEnumCursor> right;
+    EnumOutput left_out;
+    bool have_left = false;
+  };
+
+  const AssignmentCircuit* circuit_;
+  std::vector<std::unique_ptr<Frame>> stack_;
+};
+
+/// Runs Algorithm 1 over all the given root gates and returns everything it
+/// outputs (with duplicates, unsorted).
+std::vector<Assignment> SimpleEnumerateAll(const AssignmentCircuit& circuit,
+                                           TermNodeId box,
+                                           const std::vector<uint32_t>& gates);
+
+}  // namespace treenum
+
+#endif  // TREENUM_ENUMERATION_SIMPLE_ENUM_H_

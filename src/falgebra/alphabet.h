@@ -1,0 +1,95 @@
+// The binary term alphabet Λ' of forest algebra terms (§7, Appendix E).
+//
+// For a base alphabet Λ with L labels, Λ' consists of:
+//   a_t  (forest leaf: single a-labeled node)     ids [0, L)
+//   a_□  (context leaf: a-labeled node over hole) ids [L, 2L)
+//   ⊕HH, ⊕HV, ⊕VH, ⊙VV, ⊙VH (operators)          ids [2L, 2L+5)
+#ifndef TREENUM_FALGEBRA_ALPHABET_H_
+#define TREENUM_FALGEBRA_ALPHABET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "trees/unranked_tree.h"
+
+namespace treenum {
+
+/// The five forest-algebra operators. H = horizontal (forest), V = vertical
+/// (context); the suffix gives the operand types.
+enum class TermOp : uint8_t {
+  kConcatHH = 0,  ///< forest ⊕ forest → forest
+  kConcatHV = 1,  ///< forest ⊕ context → context
+  kConcatVH = 2,  ///< context ⊕ forest → context
+  kApplyVV = 3,   ///< context ⊙ context → context
+  kApplyVH = 4,   ///< context ⊙ forest → forest
+};
+
+/// Maps between base labels Λ, term-leaf symbols, operators, and the flat
+/// label ids of the binary term alphabet Λ'.
+class TermAlphabet {
+ public:
+  explicit TermAlphabet(size_t num_base_labels)
+      : num_base_labels_(num_base_labels) {}
+
+  size_t num_base_labels() const { return num_base_labels_; }
+  /// Total size of Λ' = 2L + 5.
+  size_t num_labels() const { return 2 * num_base_labels_ + 5; }
+
+  /// The a_t symbol for base label a.
+  Label TreeLeaf(Label a) const { return a; }
+  /// The a_□ symbol for base label a.
+  Label ContextLeaf(Label a) const {
+    return static_cast<Label>(num_base_labels_ + a);
+  }
+  /// The label id of operator op.
+  Label Op(TermOp op) const {
+    return static_cast<Label>(2 * num_base_labels_ +
+                              static_cast<uint32_t>(op));
+  }
+
+  bool IsTreeLeaf(Label l) const { return l < num_base_labels_; }
+  bool IsContextLeaf(Label l) const {
+    return l >= num_base_labels_ && l < 2 * num_base_labels_;
+  }
+  bool IsLeafSymbol(Label l) const { return l < 2 * num_base_labels_; }
+  bool IsOp(Label l) const {
+    return l >= 2 * num_base_labels_ && l < num_labels();
+  }
+
+  /// Base label of a leaf symbol (a_t or a_□).
+  Label BaseLabel(Label l) const {
+    return IsTreeLeaf(l) ? l : static_cast<Label>(l - num_base_labels_);
+  }
+  TermOp OpOf(Label l) const {
+    return static_cast<TermOp>(l - 2 * num_base_labels_);
+  }
+
+  std::string LabelName(Label l) const {
+    static const char* kOpNames[5] = {"+HH", "+HV", "+VH", ".VV", ".VH"};
+    if (IsTreeLeaf(l)) return "t" + std::to_string(l);
+    if (IsContextLeaf(l)) return "c" + std::to_string(BaseLabel(l));
+    return kOpNames[static_cast<uint32_t>(OpOf(l))];
+  }
+
+ private:
+  size_t num_base_labels_;
+};
+
+/// True iff the result of `op` is a context (vs. a forest).
+inline bool OpYieldsContext(TermOp op) {
+  return op == TermOp::kConcatHV || op == TermOp::kConcatVH ||
+         op == TermOp::kApplyVV;
+}
+
+/// Whether the left/right operand of `op` must be a context.
+inline bool OpLeftIsContext(TermOp op) {
+  return op == TermOp::kConcatVH || op == TermOp::kApplyVV ||
+         op == TermOp::kApplyVH;
+}
+inline bool OpRightIsContext(TermOp op) {
+  return op == TermOp::kConcatHV || op == TermOp::kApplyVV;
+}
+
+}  // namespace treenum
+
+#endif  // TREENUM_FALGEBRA_ALPHABET_H_

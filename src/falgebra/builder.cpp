@@ -1,0 +1,266 @@
+#include "falgebra/builder.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace treenum {
+
+namespace {
+
+class PieceEncoder {
+ public:
+  PieceEncoder(Term& term, const UnrankedTree& tree,
+               std::vector<TermNodeId>& leaf_of,
+               std::vector<TermNodeId>* created)
+      : term_(term), tree_(tree), leaf_of_(leaf_of), created_(created) {}
+
+  TermNodeId Encode(const std::vector<Piece>& pieces) {
+    for (const Piece& p : pieces) SizeDfs(p.root, p.hole_parent);
+    return EncForest(pieces);
+  }
+
+ private:
+  // csize_[n] = number of fragment nodes in n's subtree, where "fragment"
+  // excludes everything strictly below the enclosing piece's hole parent.
+  std::unordered_map<NodeId, uint32_t> csize_;
+
+  void SizeDfs(NodeId root, NodeId hole_parent) {
+    struct F {
+      NodeId n;
+      size_t ci;
+      uint32_t acc;
+    };
+    std::vector<F> st{{root, 0, 1}};
+    while (!st.empty()) {
+      F& f = st.back();
+      const auto& ch = tree_.children(f.n);
+      if (f.n == hole_parent || f.ci >= ch.size()) {
+        csize_[f.n] = f.acc;
+        uint32_t a = f.acc;
+        st.pop_back();
+        if (!st.empty()) st.back().acc += a;
+      } else {
+        NodeId c = ch[f.ci++];
+        st.push_back({c, 0, 1});
+      }
+    }
+  }
+
+  uint64_t PieceSize(const Piece& p) const {
+    uint32_t r = csize_.at(p.root);
+    if (!p.IsContext()) return r;
+    return r - csize_.at(p.hole_parent) + 1;
+  }
+
+  TermNodeId MakeLeaf(bool ctx, NodeId n) {
+    Label base = tree_.label(n);
+    Label sym = ctx ? term_.alphabet().ContextLeaf(base)
+                    : term_.alphabet().TreeLeaf(base);
+    TermNodeId id = term_.NewLeaf(sym, n);
+    leaf_of_[n] = id;
+    if (created_) created_->push_back(id);
+    return id;
+  }
+
+  TermNodeId MakeNode(TermOp op, TermNodeId l, TermNodeId r) {
+    TermNodeId id = term_.NewNode(op, l, r);
+    if (created_) created_->push_back(id);
+    return id;
+  }
+
+  /// Concatenation with the operator dictated by operand types.
+  TermNodeId Combine(TermNodeId l, TermNodeId r) {
+    bool lc = term_.node(l).is_context;
+    bool rc = term_.node(r).is_context;
+    assert(!(lc && rc));
+    TermOp op = lc ? TermOp::kConcatVH
+                   : (rc ? TermOp::kConcatHV : TermOp::kConcatHH);
+    return MakeNode(op, l, r);
+  }
+
+  TermNodeId EncForest(const std::vector<Piece>& pieces) {
+    assert(!pieces.empty());
+    if (pieces.size() == 1) return EncPiece(pieces[0]);
+
+    uint64_t s = 0;
+    for (const Piece& p : pieces) s += PieceSize(p);
+
+    // Isolate a piece exceeding half the total (at most one exists).
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      if (2 * PieceSize(pieces[i]) <= s) continue;
+      TermNodeId mid = EncPiece(pieces[i]);
+      if (i > 0) {
+        std::vector<Piece> left(pieces.begin(), pieces.begin() + i);
+        mid = Combine(EncForest(left), mid);
+      }
+      if (i + 1 < pieces.size()) {
+        std::vector<Piece> right(pieces.begin() + i + 1, pieces.end());
+        mid = Combine(mid, EncForest(right));
+      }
+      return mid;
+    }
+
+    // All pieces ≤ s/2: crossing split; both sides land in [s/4, 3s/4].
+    uint64_t cum = 0;
+    size_t j = 0;
+    for (; j < pieces.size(); ++j) {
+      uint64_t prev = cum;
+      cum += PieceSize(pieces[j]);
+      if (2 * cum >= s) {
+        size_t split = (4 * prev >= s) ? j : j + 1;  // before or after j
+        assert(split > 0 && split < pieces.size());
+        std::vector<Piece> left(pieces.begin(), pieces.begin() + split);
+        std::vector<Piece> right(pieces.begin() + split, pieces.end());
+        return Combine(EncForest(left), EncForest(right));
+      }
+    }
+    assert(false && "crossing point must exist");
+    return kNoTerm;
+  }
+
+  TermNodeId EncPiece(const Piece& p) {
+    if (!p.IsContext()) return EncTree(p.root);
+    return EncContext(p.root, p.hole_parent);
+  }
+
+  TermNodeId EncTree(NodeId root) {
+    uint64_t s = csize_.at(root);
+    if (s == 1) return MakeLeaf(/*ctx=*/false, root);
+    // v = deepest node with subtree size > s/2 (start at root, descend).
+    NodeId v = root;
+    while (true) {
+      NodeId next = kNoNode;
+      for (NodeId c : tree_.children(v)) {
+        if (2 * static_cast<uint64_t>(csize_.at(c)) > s) {
+          next = c;
+          break;
+        }
+      }
+      if (next == kNoNode) break;
+      v = next;
+    }
+    TermNodeId ctx = (v == root) ? MakeLeaf(/*ctx=*/true, root)
+                                 : EncContext(root, v);
+    std::vector<Piece> kids;
+    kids.reserve(tree_.children(v).size());
+    for (NodeId c : tree_.children(v)) kids.push_back(Piece{c, kNoNode});
+    assert(!kids.empty());
+    return MakeNode(TermOp::kApplyVH, ctx, EncForest(kids));
+  }
+
+  TermNodeId EncContext(NodeId u, NodeId w) {
+    if (u == w) return MakeLeaf(/*ctx=*/true, u);
+    uint64_t m = csize_.at(u) - csize_.at(w) + 1;
+    // x = deepest node on the hole path u→w whose child forest (within the
+    // piece) exceeds m/2; y = x's child on the path.
+    NodeId x = kNoNode;
+    NodeId y_path = kNoNode;
+    NodeId child = w;  // path-child of the node currently scanned
+    for (NodeId y = tree_.parent(w);; y = tree_.parent(y)) {
+      uint64_t cf = csize_.at(y) - csize_.at(w);
+      if (2 * cf > m) {
+        x = y;
+        y_path = child;
+        break;
+      }
+      if (y == u) break;
+      child = y;
+    }
+    if (x == kNoNode) {
+      // No hole-path node's child forest exceeds m/2 (e.g. m == 2):
+      // split directly below u.
+      x = u;
+      y_path = child;
+    }
+    TermNodeId c1 =
+        (x == u) ? MakeLeaf(/*ctx=*/true, u) : EncContext(u, x);
+    std::vector<Piece> kids;
+    kids.reserve(tree_.children(x).size());
+    for (NodeId c : tree_.children(x)) {
+      if (c == y_path) {
+        kids.push_back(Piece{c, w});
+      } else {
+        kids.push_back(Piece{c, kNoNode});
+      }
+    }
+    assert(!kids.empty());
+    return MakeNode(TermOp::kApplyVV, c1, EncForest(kids));
+  }
+
+  Term& term_;
+  const UnrankedTree& tree_;
+  std::vector<TermNodeId>& leaf_of_;
+  std::vector<TermNodeId>* created_;
+};
+
+}  // namespace
+
+TermNodeId EncodePieces(Term& term, const UnrankedTree& tree,
+                        const std::vector<Piece>& pieces,
+                        std::vector<TermNodeId>& leaf_of,
+                        std::vector<TermNodeId>* created) {
+  if (leaf_of.size() < tree.id_bound()) {
+    leaf_of.resize(tree.id_bound(), kNoTerm);
+  }
+  PieceEncoder enc(term, tree, leaf_of, created);
+  return enc.Encode(pieces);
+}
+
+Encoding EncodeTree(UnrankedTree tree, size_t num_base_labels) {
+  Encoding e(std::move(tree), TermAlphabet(num_base_labels));
+  e.leaf_of.assign(e.tree.id_bound(), kNoTerm);
+  TermNodeId root = EncodePieces(e.term, e.tree,
+                                 {Piece{e.tree.root(), kNoNode}}, e.leaf_of);
+  e.term.set_root(root);
+  return e;
+}
+
+uint32_t MaxAllowedHeight(uint32_t size) {
+  uint32_t lg = 0;
+  while ((uint32_t{1} << (lg + 1)) <= size) ++lg;
+  return kBalanceC * lg + kBalanceK;
+}
+
+std::vector<Piece> CollectPieces(const Term& term, TermNodeId id) {
+  const TermNode& t = term.node(id);
+  const TermAlphabet& alphabet = term.alphabet();
+  if (t.left == kNoTerm) {
+    if (alphabet.IsContextLeaf(t.label)) {
+      return {Piece{t.tree_node, t.tree_node}};
+    }
+    return {Piece{t.tree_node, kNoNode}};
+  }
+  std::vector<Piece> left = CollectPieces(term, t.left);
+  TermOp op = alphabet.OpOf(t.label);
+  if (op == TermOp::kConcatHH || op == TermOp::kConcatHV ||
+      op == TermOp::kConcatVH) {
+    std::vector<Piece> right = CollectPieces(term, t.right);
+    left.insert(left.end(), right.begin(), right.end());
+    return left;
+  }
+  // Apply (⊙VV / ⊙VH): the left context's hole is filled by the right term;
+  // its pieces are absorbed below the hole parent. For ⊙VV the combined
+  // piece keeps the right side's hole.
+  size_t ctx_idx = left.size();
+  for (size_t i = 0; i < left.size(); ++i) {
+    if (left[i].IsContext()) {
+      ctx_idx = i;
+      break;
+    }
+  }
+  assert(ctx_idx < left.size());
+  if (op == TermOp::kApplyVV) {
+    std::vector<Piece> right = CollectPieces(term, t.right);
+    NodeId inner_hole = kNoNode;
+    for (const Piece& p : right) {
+      if (p.IsContext()) inner_hole = p.hole_parent;
+    }
+    assert(inner_hole != kNoNode);
+    left[ctx_idx].hole_parent = inner_hole;
+  } else {
+    left[ctx_idx].hole_parent = kNoNode;
+  }
+  return left;
+}
+
+}  // namespace treenum

@@ -1,0 +1,74 @@
+// Static construction of logarithmic-height forest algebra terms
+// (the encoding scheme ω of Lemma 7.4, following Niewerth's construction).
+//
+// The encoder works on "pieces": a piece is either a complete subtree of the
+// input tree rooted at `root`, or a context piece (root, hole_parent): the
+// subtree at `root` with everything strictly below `hole_parent` removed
+// (the hole sits at hole_parent's child-forest slot). The divide-and-conquer
+// recursion guarantees that within O(1) levels the piece size halves, giving
+// terms of height O(log n):
+//  * a forest of pieces is split at a ~size-median boundary (both sides end
+//    up in [s/4, 3s/4]), or a piece larger than s/2 is isolated;
+//  * a single tree is split at its "heavy node" v — the deepest node whose
+//    subtree exceeds half — into the context above v's children and the
+//    child forest of v (all of whose trees are ≤ s/2);
+//  * a context piece is split at the deepest hole-path node whose child
+//    forest exceeds half, mirroring the tree case with ⊙VV.
+#ifndef TREENUM_FALGEBRA_BUILDER_H_
+#define TREENUM_FALGEBRA_BUILDER_H_
+
+#include <vector>
+
+#include "falgebra/term.h"
+#include "trees/unranked_tree.h"
+
+namespace treenum {
+
+/// A piece of the input tree to encode; hole_parent == kNoNode means a
+/// complete subtree, otherwise the context piece (root, hole_parent).
+struct Piece {
+  NodeId root;
+  NodeId hole_parent = kNoNode;
+  bool IsContext() const { return hole_parent != kNoNode; }
+};
+
+/// Encodes the pieces (in sibling order, at most one context piece) into a
+/// fresh subterm of `term`. Returns the new subterm's root (detached: no
+/// parent). Updates `leaf_of[n]` for every covered tree node n and appends
+/// all created term node ids to `created` (children before parents) if
+/// non-null.
+TermNodeId EncodePieces(Term& term, const UnrankedTree& tree,
+                        const std::vector<Piece>& pieces,
+                        std::vector<TermNodeId>& leaf_of,
+                        std::vector<TermNodeId>* created = nullptr);
+
+/// A tree together with its balanced term encoding and the leaf bijection
+/// φ: tree nodes → term leaf symbols.
+struct Encoding {
+  UnrankedTree tree;
+  Term term;
+  std::vector<TermNodeId> leaf_of;  ///< NodeId -> term leaf id.
+
+  Encoding(UnrankedTree t, const TermAlphabet& alphabet)
+      : tree(std::move(t)), term(alphabet) {}
+};
+
+/// Encodes a whole tree into a balanced term (linear time).
+Encoding EncodeTree(UnrankedTree tree, size_t num_base_labels);
+
+/// The height bound enforced by the update layer: a subterm of size s may
+/// have height at most kBalanceC * floor(log2(s)) + kBalanceK before it is
+/// rebuilt. The static builder produces heights well below this bound (see
+/// falgebra tests, which measure the static constant).
+inline constexpr uint32_t kBalanceC = 4;
+inline constexpr uint32_t kBalanceK = 6;
+
+uint32_t MaxAllowedHeight(uint32_t size);
+
+/// Collects the piece decomposition represented by the subterm `id` (used
+/// before rebuilding it). Inverse of EncodePieces up to re-balancing.
+std::vector<Piece> CollectPieces(const Term& term, TermNodeId id);
+
+}  // namespace treenum
+
+#endif  // TREENUM_FALGEBRA_BUILDER_H_

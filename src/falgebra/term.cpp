@@ -1,0 +1,323 @@
+#include "falgebra/term.h"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+namespace treenum {
+
+TermNodeId Term::Alloc() {
+  TermNodeId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = TermNode{};
+  } else {
+    id = static_cast<TermNodeId>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[id].alive = true;
+  ++num_alive_;
+  return id;
+}
+
+TermNodeId Term::NewLeaf(Label symbol, NodeId n) {
+  assert(alphabet_.IsLeafSymbol(symbol));
+  TermNodeId id = Alloc();
+  TermNode& t = nodes_[id];
+  t.label = symbol;
+  t.tree_node = n;
+  t.size = 1;
+  t.height = 0;
+  t.is_context = alphabet_.IsContextLeaf(symbol);
+  return id;
+}
+
+TermNodeId Term::NewNode(TermOp op, TermNodeId left, TermNodeId right) {
+  assert(IsAlive(left) && IsAlive(right));
+  assert(nodes_[left].parent == kNoTerm && nodes_[right].parent == kNoTerm);
+  assert(nodes_[left].is_context == OpLeftIsContext(op));
+  assert(nodes_[right].is_context == OpRightIsContext(op));
+  TermNodeId id = Alloc();
+  TermNode& t = nodes_[id];
+  t.label = alphabet_.Op(op);
+  t.left = left;
+  t.right = right;
+  t.is_context = OpYieldsContext(op);
+  nodes_[left].parent = id;
+  nodes_[right].parent = id;
+  RecomputeNode(id);
+  return id;
+}
+
+void Term::ReplaceChild(TermNodeId old_id, TermNodeId new_id) {
+  TermNodeId p = nodes_[old_id].parent;
+  nodes_[old_id].parent = kNoTerm;
+  nodes_[new_id].parent = p;
+  if (p == kNoTerm) {
+    root_ = new_id;
+    return;
+  }
+  if (nodes_[p].left == old_id) {
+    nodes_[p].left = new_id;
+  } else {
+    assert(nodes_[p].right == old_id);
+    nodes_[p].right = new_id;
+  }
+}
+
+void Term::ClearParent(TermNodeId id) { nodes_[id].parent = kNoTerm; }
+
+void Term::SetChildSlot(TermNodeId parent, bool left_slot, TermNodeId child) {
+  if (left_slot) {
+    nodes_[parent].left = child;
+  } else {
+    nodes_[parent].right = child;
+  }
+  nodes_[child].parent = parent;
+}
+
+void Term::SetChildrenRaw(TermNodeId id, TermNodeId l, TermNodeId r) {
+  nodes_[id].left = l;
+  nodes_[id].right = r;
+  nodes_[l].parent = id;
+  nodes_[r].parent = id;
+  RecomputeNode(id);
+}
+
+TermNodeId Term::SpliceOp(TermOp op, TermNodeId existing, TermNodeId fresh,
+                          bool fresh_on_left) {
+  TermNodeId p = nodes_[existing].parent;
+  bool was_left = p != kNoTerm && nodes_[p].left == existing;
+  nodes_[existing].parent = kNoTerm;
+  TermNodeId nn = fresh_on_left ? NewNode(op, fresh, existing)
+                                : NewNode(op, existing, fresh);
+  nodes_[nn].parent = p;
+  if (p == kNoTerm) {
+    root_ = nn;
+  } else if (was_left) {
+    nodes_[p].left = nn;
+  } else {
+    nodes_[p].right = nn;
+  }
+  return nn;
+}
+
+void Term::SetLabel(TermNodeId id, Label label) { nodes_[id].label = label; }
+void Term::SetTreeNode(TermNodeId id, NodeId n) { nodes_[id].tree_node = n; }
+void Term::SetContext(TermNodeId id, bool is_context) {
+  nodes_[id].is_context = is_context;
+}
+
+void Term::RecomputeNode(TermNodeId id) {
+  TermNode& t = nodes_[id];
+  if (t.left == kNoTerm) {
+    t.size = 1;
+    t.height = 0;
+    return;
+  }
+  const TermNode& l = nodes_[t.left];
+  const TermNode& r = nodes_[t.right];
+  t.size = l.size + r.size;
+  t.height = 1 + std::max(l.height, r.height);
+}
+
+void Term::RecomputeUp(TermNodeId id, std::vector<TermNodeId>* path) {
+  while (id != kNoTerm) {
+    RecomputeNode(id);
+    if (path) path->push_back(id);
+    id = nodes_[id].parent;
+  }
+}
+
+void Term::FreeNode(TermNodeId id) {
+  assert(IsAlive(id));
+  nodes_[id].alive = false;
+  free_list_.push_back(id);
+  --num_alive_;
+}
+
+void Term::FreeSubterm(TermNodeId id, std::vector<TermNodeId>* freed) {
+  std::vector<TermNodeId> stack{id};
+  while (!stack.empty()) {
+    TermNodeId n = stack.back();
+    stack.pop_back();
+    if (nodes_[n].left != kNoTerm) {
+      stack.push_back(nodes_[n].left);
+      stack.push_back(nodes_[n].right);
+    }
+    if (freed) freed->push_back(n);
+    FreeNode(n);
+  }
+}
+
+namespace {
+
+/// Intermediate decoded node; holes are marked nodes that get substituted.
+struct DNode {
+  Label label = 0;
+  std::vector<DNode*> children;
+  bool is_hole = false;
+  TermNodeId term_leaf = kNoTerm;
+};
+
+struct DForest {
+  std::vector<DNode*> roots;
+  DNode* hole = nullptr;  ///< Non-null iff this is a context.
+};
+
+}  // namespace
+
+UnrankedTree Term::Decode(std::vector<NodeId>* term_to_tree) const {
+  if (root_ == kNoTerm) {
+    throw std::logic_error("Decode: empty term");
+  }
+  std::deque<DNode> arena;
+  auto make = [&]() {
+    arena.emplace_back();
+    return &arena.back();
+  };
+
+  // Recursive evaluation (term height is O(log n) for balanced terms; decode
+  // is a test/rebuild helper, not on the enumeration fast path).
+  auto eval = [&](auto&& self, TermNodeId id) -> DForest {
+    const TermNode& t = nodes_[id];
+    if (t.left == kNoTerm) {
+      DNode* n = make();
+      n->label = alphabet_.BaseLabel(t.label);
+      n->term_leaf = id;
+      if (alphabet_.IsContextLeaf(t.label)) {
+        DNode* hole = make();
+        hole->is_hole = true;
+        n->children.push_back(hole);
+        return DForest{{n}, hole};
+      }
+      return DForest{{n}, nullptr};
+    }
+    DForest l = self(self, t.left);
+    DForest r = self(self, t.right);
+    TermOp op = alphabet_.OpOf(t.label);
+    switch (op) {
+      case TermOp::kConcatHH:
+      case TermOp::kConcatHV:
+      case TermOp::kConcatVH: {
+        DForest out;
+        out.roots = l.roots;
+        out.roots.insert(out.roots.end(), r.roots.begin(), r.roots.end());
+        out.hole = l.hole ? l.hole : r.hole;
+        return out;
+      }
+      case TermOp::kApplyVV:
+      case TermOp::kApplyVH: {
+        // Replace l's hole node by r's roots, in place in its parent's child
+        // list. The hole is always a child slot (never a root) because a_□
+        // holes start below their node.
+        DNode* hole = l.hole;
+        assert(hole != nullptr);
+        // Find hole in its parent: we do not store parents in DNode; instead
+        // mark the hole node as becoming a "splice" node that adopts r's
+        // roots and is flattened during conversion.
+        hole->is_hole = false;
+        hole->label = static_cast<Label>(-1);  // splice marker
+        hole->children = r.roots;
+        DForest out;
+        out.roots = l.roots;
+        out.hole = r.hole;
+        return out;
+      }
+    }
+    return {};
+  };
+  DForest top = eval(eval, root_);
+  if (top.hole != nullptr) {
+    throw std::logic_error("Decode: term is context-typed");
+  }
+  // Flatten splice markers: a node's effective children expand markers.
+  if (top.roots.size() != 1) {
+    throw std::logic_error("Decode: term represents a forest, not one tree");
+  }
+
+  UnrankedTree tree(0);
+  if (term_to_tree) term_to_tree->assign(nodes_.size(), kNoNode);
+
+  auto convert = [&](auto&& self, DNode* d, NodeId parent) -> void {
+    NodeId me;
+    if (parent == kNoNode) {
+      me = tree.root();
+      tree.Relabel(me, d->label);
+    } else {
+      me = tree.AppendChild(parent, d->label);
+    }
+    if (term_to_tree && d->term_leaf != kNoTerm) {
+      (*term_to_tree)[d->term_leaf] = me;
+    }
+    // Expand splice markers depth-first so child order is preserved.
+    auto emit = [&](auto&& emit_self, DNode* c) -> void {
+      if (c->label == static_cast<Label>(-1) && c->term_leaf == kNoTerm) {
+        for (DNode* cc : c->children) emit_self(emit_self, cc);
+      } else {
+        self(self, c, me);
+      }
+    };
+    for (DNode* c : d->children) emit(emit, c);
+  };
+  convert(convert, top.roots[0], kNoNode);
+  return tree;
+}
+
+std::string Term::Validate() const {
+  if (root_ == kNoTerm) return "no root";
+  std::string err;
+  auto fail = [&](TermNodeId id, const std::string& what) {
+    if (err.empty()) {
+      err = "node " + std::to_string(id) + ": " + what;
+    }
+  };
+  auto walk = [&](auto&& self, TermNodeId id) -> void {
+    if (!err.empty()) return;
+    const TermNode& t = nodes_[id];
+    if (!t.alive) {
+      fail(id, "not alive");
+      return;
+    }
+    if (t.left == kNoTerm) {
+      if (t.right != kNoTerm) fail(id, "leaf with right child");
+      if (!alphabet_.IsLeafSymbol(t.label)) fail(id, "leaf with op label");
+      if (t.tree_node == kNoNode) fail(id, "leaf without tree node");
+      if (t.size != 1 || t.height != 0) fail(id, "bad leaf counters");
+      if (t.is_context != alphabet_.IsContextLeaf(t.label)) {
+        fail(id, "leaf type mismatch");
+      }
+      return;
+    }
+    if (!alphabet_.IsOp(t.label)) {
+      fail(id, "internal node with leaf label");
+      return;
+    }
+    TermOp op = alphabet_.OpOf(t.label);
+    const TermNode& l = nodes_[t.left];
+    const TermNode& r = nodes_[t.right];
+    if (l.parent != id || r.parent != id) fail(id, "bad child parent link");
+    if (l.is_context != OpLeftIsContext(op)) fail(id, "left operand type");
+    if (r.is_context != OpRightIsContext(op)) fail(id, "right operand type");
+    if (t.is_context != OpYieldsContext(op)) fail(id, "result type");
+    if (t.size != l.size + r.size) fail(id, "bad size");
+    if (t.height != 1 + std::max(l.height, r.height)) fail(id, "bad height");
+    self(self, t.left);
+    self(self, t.right);
+  };
+  walk(walk, root_);
+  if (err.empty() && nodes_[root_].parent != kNoTerm) err = "root has parent";
+  return err;
+}
+
+std::string Term::ToString(TermNodeId id) const {
+  const TermNode& t = nodes_[id];
+  if (t.left == kNoTerm) {
+    return alphabet_.LabelName(t.label) + "#" + std::to_string(t.tree_node);
+  }
+  return "(" + alphabet_.LabelName(t.label) + " " + ToString(t.left) + " " +
+         ToString(t.right) + ")";
+}
+
+}  // namespace treenum

@@ -1,0 +1,143 @@
+// Forest algebra pre-terms and terms (§7 and Appendix E of the paper).
+//
+// A term is a binary tree whose leaves are a_t / a_□ symbols and whose
+// internal nodes are the five operators ⊕HH, ⊕HV, ⊕VH, ⊙VV, ⊙VH. Each node
+// is typed as a forest or a context; a term represents an unranked forest
+// (here: always a single tree, the encoded input tree).
+//
+// Invariant maintained by this library (used by updates and rebuilds): the
+// hole of every context is the *entire child-forest slot* of the tree node
+// carried by its a_□ leaf. Equivalently, every context piece is of the form
+// "subtree of T rooted at u, with everything strictly below w removed", for
+// a node w in that subtree; the hole sits where w's children go.
+#ifndef TREENUM_FALGEBRA_TERM_H_
+#define TREENUM_FALGEBRA_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "falgebra/alphabet.h"
+#include "trees/unranked_tree.h"
+
+namespace treenum {
+
+using TermNodeId = uint32_t;
+inline constexpr TermNodeId kNoTerm = static_cast<TermNodeId>(-1);
+
+/// A node of a forest algebra term.
+struct TermNode {
+  Label label = 0;           ///< Symbol in Λ' (leaf symbol or operator).
+  TermNodeId left = kNoTerm;
+  TermNodeId right = kNoTerm;
+  TermNodeId parent = kNoTerm;
+  NodeId tree_node = kNoNode;  ///< For leaf symbols: the represented T-node.
+  uint32_t size = 0;           ///< Number of leaf symbols below (incl. self).
+  uint32_t height = 0;         ///< Height of the subterm (leaf = 0).
+  bool is_context = false;     ///< Type: context vs. forest.
+  bool alive = false;
+};
+
+/// A mutable forest algebra term with stable node ids.
+///
+/// The term is the binary tree the assignment circuit of §3 is built on:
+/// circuit boxes are indexed by TermNodeId. All structural operations keep
+/// size/height of the affected nodes consistent (callers use RecomputeUp for
+/// path updates after splices).
+class Term {
+ public:
+  explicit Term(const TermAlphabet& alphabet) : alphabet_(alphabet) {}
+
+  const TermAlphabet& alphabet() const { return alphabet_; }
+
+  TermNodeId root() const { return root_; }
+  void set_root(TermNodeId r) {
+    root_ = r;
+    if (r != kNoTerm) nodes_[r].parent = kNoTerm;
+  }
+
+  const TermNode& node(TermNodeId id) const { return nodes_[id]; }
+  bool IsAlive(TermNodeId id) const {
+    return id < nodes_.size() && nodes_[id].alive;
+  }
+  bool IsLeaf(TermNodeId id) const { return nodes_[id].left == kNoTerm; }
+  size_t num_alive() const { return num_alive_; }
+  /// Upper bound over all ids ever allocated (for dense side arrays).
+  size_t id_bound() const { return nodes_.size(); }
+
+  /// Creates a leaf symbol node (a_t or a_□) for tree node `n`.
+  TermNodeId NewLeaf(Label symbol, NodeId n);
+
+  /// Creates an operator node over two existing root-less nodes; sets parent
+  /// pointers and computes size/height/type. Children must not already have
+  /// a parent.
+  TermNodeId NewNode(TermOp op, TermNodeId left, TermNodeId right);
+
+  /// Replaces subterm `old_id` by `new_id` in old's parent (or as root).
+  /// `old_id` keeps its subtree and becomes detached.
+  void ReplaceChild(TermNodeId old_id, TermNodeId new_id);
+
+  /// Replaces `existing` (in place, inside its parent) by a new operator
+  /// node combining `existing` with the detached subterm `fresh`:
+  /// op(fresh, existing) if fresh_on_left, else op(existing, fresh).
+  /// Returns the new operator node. Does not recompute ancestor counters.
+  TermNodeId SpliceOp(TermOp op, TermNodeId existing, TermNodeId fresh,
+                      bool fresh_on_left);
+
+  /// Low-level re-linking used by AVL rotations on ⊕HH chains (word terms):
+  /// sets both children of `id`, fixes parent pointers, and recomputes the
+  /// node's counters. Caller is responsible for type correctness.
+  void SetChildrenRaw(TermNodeId id, TermNodeId l, TermNodeId r);
+
+  /// Sets one child slot of `parent` to `child` and fixes child's parent
+  /// pointer. Does not recompute counters.
+  void SetChildSlot(TermNodeId parent, bool left_slot, TermNodeId child);
+
+  /// Detaches `id` from its parent pointer (the parent's child slot is NOT
+  /// updated — used when dismantling a node whose children move elsewhere).
+  void ClearParent(TermNodeId id);
+
+  /// Changes the label of a node in place (used by relabelings and by the
+  /// context→forest retyping walk of leaf deletion).
+  void SetLabel(TermNodeId id, Label label);
+  void SetTreeNode(TermNodeId id, NodeId n);
+  void SetContext(TermNodeId id, bool is_context);
+
+  /// Recomputes size/height from `id` upward to the root; appends the
+  /// visited ids (bottom-up, starting at id) to `path` if non-null.
+  void RecomputeUp(TermNodeId id, std::vector<TermNodeId>* path = nullptr);
+
+  /// Frees the node `id` only (not its subtree).
+  void FreeNode(TermNodeId id);
+  /// Frees the whole subtree rooted at `id`; appends freed ids if non-null.
+  void FreeSubterm(TermNodeId id, std::vector<TermNodeId>* freed = nullptr);
+
+  /// Decodes the represented forest; requires the term to be well-formed and
+  /// forest-typed with a single represented tree. Labels come from the leaf
+  /// symbols; the returned tree's node ids are fresh, and `term_to_tree`
+  /// (indexed by leaf TermNodeId) receives the new NodeId of each leaf
+  /// symbol if non-null.
+  UnrankedTree Decode(std::vector<NodeId>* term_to_tree = nullptr) const;
+
+  /// Validates structural invariants: typing of all five operators, leaf
+  /// symbols, parent pointers, size/height counters. Returns an empty string
+  /// if valid, else a description of the first violation. (Test helper.)
+  std::string Validate() const;
+
+  /// Renders the subterm rooted at `id` (debugging).
+  std::string ToString(TermNodeId id) const;
+
+ private:
+  TermNodeId Alloc();
+  void RecomputeNode(TermNodeId id);
+
+  TermAlphabet alphabet_;
+  std::vector<TermNode> nodes_;
+  std::vector<TermNodeId> free_list_;
+  TermNodeId root_ = kNoTerm;
+  size_t num_alive_ = 0;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_FALGEBRA_TERM_H_

@@ -1,0 +1,213 @@
+#include "falgebra/update.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace treenum {
+
+namespace {
+
+// Keeps the last occurrence of each id, preserving relative order, and drops
+// ids that are not alive (e.g. splice-path nodes freed by a later rebuild in
+// the same update).
+void FilterChanged(const Term& term, std::vector<TermNodeId>& v) {
+  std::unordered_map<TermNodeId, size_t> last;
+  for (size_t i = 0; i < v.size(); ++i) last[v[i]] = i;
+  std::vector<TermNodeId> out;
+  out.reserve(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (last[v[i]] == i && term.IsAlive(v[i])) out.push_back(v[i]);
+  }
+  v = std::move(out);
+}
+
+}  // namespace
+
+DynamicEncoding::DynamicEncoding(UnrankedTree tree, size_t num_base_labels)
+    : enc_(EncodeTree(std::move(tree), num_base_labels)) {}
+
+void DynamicEncoding::EnsureLeafSlot(NodeId n) {
+  if (enc_.leaf_of.size() <= n) enc_.leaf_of.resize(n + 1, kNoTerm);
+}
+
+void DynamicEncoding::FinishStructural(TermNodeId from, UpdateResult& result) {
+  Term& term = enc_.term;
+  std::vector<TermNodeId> path;
+  term.RecomputeUp(from, &path);
+  result.changed_bottom_up.insert(result.changed_bottom_up.end(), path.begin(),
+                                  path.end());
+
+  // Highest node on the path violating the height envelope.
+  TermNodeId viol = kNoTerm;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    const TermNode& t = term.node(*it);
+    if (t.height > MaxAllowedHeight(t.size)) {
+      viol = *it;
+      break;
+    }
+  }
+  if (viol != kNoTerm) {
+    std::vector<Piece> pieces = CollectPieces(term, viol);
+    result.rebuilt_size = term.node(viol).size;
+    TermNodeId newsub = EncodePieces(term, enc_.tree, pieces, enc_.leaf_of,
+                                     &result.changed_bottom_up);
+    term.ReplaceChild(viol, newsub);
+    term.FreeSubterm(viol, &result.freed);
+    std::vector<TermNodeId> path2;
+    term.RecomputeUp(newsub, &path2);
+    result.changed_bottom_up.insert(result.changed_bottom_up.end(),
+                                    path2.begin(), path2.end());
+  }
+  FilterChanged(term, result.changed_bottom_up);
+}
+
+UpdateResult DynamicEncoding::Relabel(NodeId n, Label l) {
+  UpdateResult result;
+  enc_.tree.Relabel(n, l);
+  Term& term = enc_.term;
+  TermNodeId leaf = enc_.leaf_of[n];
+  const TermAlphabet& alphabet = term.alphabet();
+  Label sym = alphabet.IsContextLeaf(term.node(leaf).label)
+                  ? alphabet.ContextLeaf(l)
+                  : alphabet.TreeLeaf(l);
+  term.SetLabel(leaf, sym);
+  for (TermNodeId x = leaf; x != kNoTerm; x = term.node(x).parent) {
+    result.changed_bottom_up.push_back(x);
+  }
+  return result;
+}
+
+UpdateResult DynamicEncoding::InsertRightSibling(NodeId n, Label l,
+                                                 NodeId* new_node) {
+  UpdateResult result;
+  NodeId u = enc_.tree.InsertRightSibling(n, l);
+  if (new_node) *new_node = u;
+  EnsureLeafSlot(u);
+  Term& term = enc_.term;
+  const TermAlphabet& alphabet = term.alphabet();
+
+  TermNodeId leaf_n = enc_.leaf_of[n];
+  TermNodeId leaf_u = term.NewLeaf(alphabet.TreeLeaf(l), u);
+  enc_.leaf_of[u] = leaf_u;
+  result.changed_bottom_up.push_back(leaf_u);
+
+  TermOp op = term.node(leaf_n).is_context ? TermOp::kConcatVH
+                                           : TermOp::kConcatHH;
+  TermNodeId nn = term.SpliceOp(op, leaf_n, leaf_u, /*fresh_on_left=*/false);
+  FinishStructural(nn, result);
+  return result;
+}
+
+UpdateResult DynamicEncoding::InsertFirstChild(NodeId n, Label l,
+                                               NodeId* new_node) {
+  UpdateResult result;
+  bool was_leaf = enc_.tree.IsLeaf(n);
+  NodeId u = enc_.tree.InsertFirstChild(n, l);
+  if (new_node) *new_node = u;
+  EnsureLeafSlot(u);
+  Term& term = enc_.term;
+  const TermAlphabet& alphabet = term.alphabet();
+
+  TermNodeId leaf_u = term.NewLeaf(alphabet.TreeLeaf(l), u);
+  enc_.leaf_of[u] = leaf_u;
+  result.changed_bottom_up.push_back(leaf_u);
+
+  TermNodeId nn;
+  if (was_leaf) {
+    // a_t(n) becomes a context over the new single-child forest.
+    TermNodeId leaf_n = enc_.leaf_of[n];
+    term.SetLabel(leaf_n, alphabet.ContextLeaf(enc_.tree.label(n)));
+    term.SetContext(leaf_n, true);
+    result.changed_bottom_up.push_back(leaf_n);
+    nn = term.SpliceOp(TermOp::kApplyVH, leaf_n, leaf_u,
+                       /*fresh_on_left=*/false);
+  } else {
+    // Insert immediately left of the old first child c.
+    NodeId c = enc_.tree.children(n)[1];
+    TermNodeId leaf_c = enc_.leaf_of[c];
+    TermOp op = term.node(leaf_c).is_context ? TermOp::kConcatHV
+                                             : TermOp::kConcatHH;
+    nn = term.SpliceOp(op, leaf_c, leaf_u, /*fresh_on_left=*/true);
+  }
+  FinishStructural(nn, result);
+  return result;
+}
+
+UpdateResult DynamicEncoding::DeleteLeaf(NodeId n) {
+  UpdateResult result;
+  Term& term = enc_.term;
+  const TermAlphabet& alphabet = term.alphabet();
+
+  NodeId m = enc_.tree.parent(n);
+  enc_.tree.DeleteLeaf(n);  // validates: n is a non-root leaf
+
+  TermNodeId leaf = enc_.leaf_of[n];
+  enc_.leaf_of[n] = kNoTerm;
+  TermNodeId p = term.node(leaf).parent;
+  assert(p != kNoTerm && "a non-root tree node's symbol cannot be the root");
+  TermNodeId sib = term.node(p).left == leaf ? term.node(p).right
+                                             : term.node(p).left;
+  TermOp op = alphabet.OpOf(term.node(p).label);
+
+  if (op == TermOp::kApplyVH) {
+    // n was the sole child of m: a_t(n) filled the hole of the context `sib`
+    // whose hole parent is m. Close the hole: retype the hole path from
+    // a_□(m) up to sib (context → forest).
+    assert(term.node(p).right == leaf);
+    TermNodeId leaf_m = enc_.leaf_of[m];
+    term.SetLabel(leaf_m, alphabet.TreeLeaf(enc_.tree.label(m)));
+    term.SetContext(leaf_m, false);
+    result.changed_bottom_up.push_back(leaf_m);
+    for (TermNodeId x = term.node(leaf_m).parent; x != p;
+         x = term.node(x).parent) {
+      TermOp xop = alphabet.OpOf(term.node(x).label);
+      TermOp nop;
+      switch (xop) {
+        case TermOp::kConcatHV:
+        case TermOp::kConcatVH:
+          nop = TermOp::kConcatHH;
+          break;
+        case TermOp::kApplyVV:
+          nop = TermOp::kApplyVH;
+          break;
+        default:
+          assert(false && "unexpected operator on hole path");
+          nop = xop;
+          break;
+      }
+      term.SetLabel(x, alphabet.Op(nop));
+      term.SetContext(x, false);
+      result.changed_bottom_up.push_back(x);
+    }
+  }
+
+  term.ReplaceChild(p, sib);
+  TermNodeId above = term.node(sib).parent;
+  term.FreeNode(p);
+  term.FreeNode(leaf);
+  result.freed.push_back(p);
+  result.freed.push_back(leaf);
+
+  if (above != kNoTerm) {
+    FinishStructural(above, result);
+  } else {
+    FilterChangedPublic(result);
+  }
+  return result;
+}
+
+void DynamicEncoding::FilterChangedPublic(UpdateResult& result) const {
+  FilterChanged(enc_.term, result.changed_bottom_up);
+}
+
+bool DynamicEncoding::CheckBalanced() const {
+  const Term& term = enc_.term;
+  for (TermNodeId id = 0; id < term.id_bound(); ++id) {
+    if (!term.IsAlive(id)) continue;
+    const TermNode& t = term.node(id);
+    if (t.height > MaxAllowedHeight(t.size)) return false;
+  }
+  return true;
+}
+
+}  // namespace treenum

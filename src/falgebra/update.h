@@ -1,0 +1,78 @@
+// Dynamic maintenance of the balanced term under the edit operations of
+// Definition 7.1 (the "tree hollowing" updates of §7).
+//
+// Every edit is realized as an O(1)-size local splice of the term, plus an
+// O(log n) path recomputation, plus — when a subterm's height exceeds the
+// balance envelope — a partial rebuild of the highest unbalanced subterm via
+// the static encoder. The splice rules exploit the invariant that every
+// hole is a whole-child-forest slot:
+//
+//  * relabel(n, l): relabel n's leaf symbol.
+//  * insertR(n, l): the new node u goes immediately right of tree(n); splice
+//    at n's root symbol:  a_t(n) ↦ a_t(n) ⊕HH a_t(u),
+//                         a_□(n) ↦ a_□(n) ⊕VH a_t(u).
+//  * insert(n, l) (first child): if n was a leaf, a_t(n) ↦ a_□(n) ⊙VH
+//    a_t(u); otherwise u goes immediately left of n's (old) first child c:
+//    a_t(c) ↦ a_t(u) ⊕HH a_t(c),  a_□(c) ↦ a_t(u) ⊕HV a_□(c).
+//  * delete(n): remove a_t(n); if n was the sole child of m (i.e. a_t(n)
+//    filled the hole of the context above a_□(m)), close the hole by
+//    retyping the hole path of that context from a_□(m) upward
+//    (⊕HV, ⊕VH ↦ ⊕HH; ⊙VV ↦ ⊙VH) — an O(log n) walk.
+#ifndef TREENUM_FALGEBRA_UPDATE_H_
+#define TREENUM_FALGEBRA_UPDATE_H_
+
+#include <vector>
+
+#include "falgebra/builder.h"
+#include "falgebra/term.h"
+#include "trees/unranked_tree.h"
+
+namespace treenum {
+
+/// What an update changed, for consumers maintaining per-term-node state
+/// (the circuit boxes and enumeration index of Lemma 7.3).
+struct UpdateResult {
+  /// Term ids that are no longer alive.
+  std::vector<TermNodeId> freed;
+  /// New or structurally/label-modified ids together with all their
+  /// ancestors up to the root, in an order where children precede parents.
+  std::vector<TermNodeId> changed_bottom_up;
+  /// Number of term nodes rebuilt by rebalancing (0 if none) — exposed for
+  /// benchmarks measuring amortized update cost.
+  size_t rebuilt_size = 0;
+};
+
+/// A tree paired with its balanced term encoding, kept in sync under edits.
+class DynamicEncoding {
+ public:
+  /// Encodes `tree` (linear time).
+  DynamicEncoding(UnrankedTree tree, size_t num_base_labels);
+
+  const UnrankedTree& tree() const { return enc_.tree; }
+  const Term& term() const { return enc_.term; }
+  /// The leaf bijection φ: tree node → its leaf symbol's term id.
+  TermNodeId LeafOf(NodeId n) const { return enc_.leaf_of[n]; }
+
+  UpdateResult Relabel(NodeId n, Label l);
+  UpdateResult InsertFirstChild(NodeId n, Label l, NodeId* new_node = nullptr);
+  UpdateResult InsertRightSibling(NodeId n, Label l,
+                                  NodeId* new_node = nullptr);
+  UpdateResult DeleteLeaf(NodeId n);
+
+  /// Test hook: true iff every alive subterm respects the height envelope.
+  bool CheckBalanced() const;
+
+ private:
+  void EnsureLeafSlot(NodeId n);
+  /// Recomputes counters from `from` to the root, rebalances if needed, and
+  /// fills result.changed_bottom_up / freed / rebuilt_size.
+  void FinishStructural(TermNodeId from, UpdateResult& result);
+  /// Deduplicates / drops dead ids from result.changed_bottom_up.
+  void FilterChangedPublic(UpdateResult& result) const;
+
+  Encoding enc_;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_FALGEBRA_UPDATE_H_

@@ -1,0 +1,50 @@
+#include "trees/assignment.h"
+
+#include <algorithm>
+
+namespace treenum {
+
+Assignment::Assignment(std::vector<Singleton> singletons)
+    : singletons_(std::move(singletons)) {
+  Normalize();
+}
+
+void Assignment::Normalize() {
+  std::sort(singletons_.begin(), singletons_.end());
+  singletons_.erase(std::unique(singletons_.begin(), singletons_.end()),
+                    singletons_.end());
+}
+
+Assignment Assignment::DisjointUnion(const Assignment& a,
+                                     const Assignment& b) {
+  Assignment out;
+  out.singletons_.resize(a.size() + b.size());
+  std::merge(a.singletons_.begin(), a.singletons_.end(),
+             b.singletons_.begin(), b.singletons_.end(),
+             out.singletons_.begin());
+  return out;
+}
+
+std::string Assignment::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < singletons_.size(); ++i) {
+    if (i) s += ", ";
+    s += "<X" + std::to_string(singletons_[i].var) + ":" +
+         std::to_string(singletons_[i].node) + ">";
+  }
+  s += "}";
+  return s;
+}
+
+size_t AssignmentHash::operator()(const Assignment& a) const {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (const Singleton& s : a.singletons()) {
+    uint64_t v = (static_cast<uint64_t>(s.var) << 32) | s.node;
+    v *= 0xff51afd7ed558ccdull;
+    v ^= v >> 33;
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace treenum

@@ -1,0 +1,259 @@
+#include "trees/unranked_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace treenum {
+
+UnrankedTree::UnrankedTree(Label root_label) {
+  root_ = AllocNode(root_label, kNoNode);
+}
+
+NodeId UnrankedTree::AllocNode(Label l, NodeId parent) {
+  NodeId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = Node{};
+  } else {
+    id = static_cast<NodeId>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[id].label = l;
+  nodes_[id].parent = parent;
+  nodes_[id].alive = true;
+  ++size_;
+  return id;
+}
+
+void UnrankedTree::Relabel(NodeId n, Label l) {
+  assert(IsAlive(n));
+  nodes_[n].label = l;
+}
+
+NodeId UnrankedTree::InsertFirstChild(NodeId n, Label l) {
+  assert(IsAlive(n));
+  NodeId id = AllocNode(l, n);
+  auto& ch = nodes_[n].children;
+  ch.insert(ch.begin(), id);
+  return id;
+}
+
+NodeId UnrankedTree::InsertRightSibling(NodeId n, Label l) {
+  assert(IsAlive(n));
+  NodeId p = nodes_[n].parent;
+  if (p == kNoNode) {
+    throw std::invalid_argument("InsertRightSibling: n must not be the root");
+  }
+  NodeId id = AllocNode(l, p);
+  auto& ch = nodes_[p].children;
+  auto it = std::find(ch.begin(), ch.end(), n);
+  assert(it != ch.end());
+  ch.insert(it + 1, id);
+  return id;
+}
+
+void UnrankedTree::DeleteLeaf(NodeId n) {
+  assert(IsAlive(n));
+  if (!IsLeaf(n)) {
+    throw std::invalid_argument("DeleteLeaf: node is not a leaf");
+  }
+  if (n == root_) {
+    throw std::invalid_argument("DeleteLeaf: cannot delete the root");
+  }
+  NodeId p = nodes_[n].parent;
+  auto& ch = nodes_[p].children;
+  ch.erase(std::find(ch.begin(), ch.end(), n));
+  nodes_[n].alive = false;
+  free_list_.push_back(n);
+  --size_;
+}
+
+NodeId UnrankedTree::AppendChild(NodeId n, Label l) {
+  assert(IsAlive(n));
+  NodeId id = AllocNode(l, n);
+  nodes_[n].children.push_back(id);
+  return id;
+}
+
+std::vector<NodeId> UnrankedTree::PreorderNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(size_);
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    const auto& ch = nodes_[n].children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+size_t UnrankedTree::Depth(NodeId n) const {
+  size_t d = 0;
+  while (nodes_[n].parent != kNoNode) {
+    n = nodes_[n].parent;
+    ++d;
+  }
+  return d;
+}
+
+size_t UnrankedTree::Height() const {
+  size_t h = 0;
+  // Iterative DFS carrying depth.
+  std::vector<std::pair<NodeId, size_t>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto [n, d] = stack.back();
+    stack.pop_back();
+    h = std::max(h, d);
+    for (NodeId c : nodes_[n].children) stack.emplace_back(c, d + 1);
+  }
+  return h;
+}
+
+namespace {
+
+void ToStringRec(const UnrankedTree& t, NodeId n, std::string& out) {
+  out += '(';
+  Label l = t.label(n);
+  if (l < 26) {
+    out += static_cast<char>('a' + l);
+  } else {
+    out += 'L';
+    out += std::to_string(l);
+  }
+  for (NodeId c : t.children(n)) {
+    out += ' ';
+    ToStringRec(t, c, out);
+  }
+  out += ')';
+}
+
+}  // namespace
+
+std::string UnrankedTree::ToString() const {
+  std::string out;
+  ToStringRec(*this, root_, out);
+  return out;
+}
+
+UnrankedTree UnrankedTree::Parse(const std::string& sexpr) {
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < sexpr.size() && sexpr[pos] == ' ') ++pos;
+  };
+
+  // Recursive-descent parser.
+  struct Parser {
+    const std::string& s;
+    size_t& pos;
+    UnrankedTree* tree;
+    void Node(NodeId parent) {
+      while (pos < s.size() && s[pos] == ' ') ++pos;
+      if (pos >= s.size() || s[pos] != '(') {
+        throw std::invalid_argument("Parse error: expected '('");
+      }
+      ++pos;
+      if (pos >= s.size() || s[pos] < 'a' || s[pos] > 'z') {
+        throw std::invalid_argument("Parse error: expected label letter");
+      }
+      Label l = static_cast<Label>(s[pos] - 'a');
+      ++pos;
+      NodeId me;
+      if (parent == kNoNode) {
+        me = tree->root();
+        tree->Relabel(me, l);
+      } else {
+        me = tree->AppendChild(parent, l);
+      }
+      while (true) {
+        while (pos < s.size() && s[pos] == ' ') ++pos;
+        if (pos < s.size() && s[pos] == '(') {
+          Node(me);
+        } else {
+          break;
+        }
+      }
+      if (pos >= s.size() || s[pos] != ')') {
+        throw std::invalid_argument("Parse error: expected ')'");
+      }
+      ++pos;
+    }
+  };
+
+  UnrankedTree t(0);
+  skip_ws();
+  Parser p{sexpr, pos, &t};
+  p.Node(kNoNode);
+  skip_ws();
+  if (pos != sexpr.size()) {
+    throw std::invalid_argument("Parse error: trailing characters");
+  }
+  return t;
+}
+
+namespace {
+
+bool SubtreeEquals(const UnrankedTree& a, NodeId na, const UnrankedTree& b,
+                   NodeId nb) {
+  if (a.label(na) != b.label(nb)) return false;
+  const auto& ca = a.children(na);
+  const auto& cb = b.children(nb);
+  if (ca.size() != cb.size()) return false;
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (!SubtreeEquals(a, ca[i], b, cb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool UnrankedTree::operator==(const UnrankedTree& other) const {
+  if (size_ != other.size_) return false;
+  return SubtreeEquals(*this, root_, other, other.root_);
+}
+
+UnrankedTree RandomTree(size_t n, size_t num_labels, Rng& rng) {
+  assert(n >= 1);
+  UnrankedTree t(static_cast<Label>(rng.Index(num_labels)));
+  std::vector<NodeId> ids{t.root()};
+  for (size_t i = 1; i < n; ++i) {
+    NodeId parent = ids[rng.Index(ids.size())];
+    NodeId c = t.AppendChild(parent, static_cast<Label>(rng.Index(num_labels)));
+    ids.push_back(c);
+  }
+  return t;
+}
+
+UnrankedTree PathTree(size_t n, size_t num_labels, Rng& rng) {
+  assert(n >= 1);
+  UnrankedTree t(static_cast<Label>(rng.Index(num_labels)));
+  NodeId cur = t.root();
+  for (size_t i = 1; i < n; ++i) {
+    cur = t.AppendChild(cur, static_cast<Label>(rng.Index(num_labels)));
+  }
+  return t;
+}
+
+UnrankedTree KaryTree(size_t n, size_t k, size_t num_labels, Rng& rng) {
+  assert(n >= 1 && k >= 1);
+  UnrankedTree t(static_cast<Label>(rng.Index(num_labels)));
+  std::vector<NodeId> frontier{t.root()};
+  size_t made = 1;
+  size_t fi = 0;
+  while (made < n) {
+    NodeId p = frontier[fi++];
+    for (size_t j = 0; j < k && made < n; ++j) {
+      frontier.push_back(
+          t.AppendChild(p, static_cast<Label>(rng.Index(num_labels))));
+      ++made;
+    }
+  }
+  return t;
+}
+
+}  // namespace treenum

@@ -1,0 +1,127 @@
+// Unranked ordered labeled trees (the input data model of the paper, §7)
+// together with the edit operations of Definition 7.1: leaf insertion, leaf
+// deletion, and relabeling.
+#ifndef TREENUM_TREES_UNRANKED_TREE_H_
+#define TREENUM_TREES_UNRANKED_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treenum {
+
+/// Tree labels are small integer ids; callers map their alphabet (e.g. XML
+/// element names) to contiguous ids.
+using Label = uint32_t;
+
+/// Stable identifier of a tree node. Node ids are never reused while the
+/// node is alive and remain valid across edits to other nodes.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// An unranked, rooted, ordered, labeled tree.
+///
+/// Nodes are stored in a slot vector with a free list so NodeIds are stable
+/// under insertions and deletions. Children are kept in order in a per-node
+/// vector; sibling-local edits cost O(degree), which is outside the paper's
+/// complexity accounting (the forest-algebra term layer is where the
+/// logarithmic update bounds live).
+class UnrankedTree {
+ public:
+  /// Creates a tree with a single root labeled `root_label`.
+  explicit UnrankedTree(Label root_label);
+
+  NodeId root() const { return root_; }
+  Label label(NodeId n) const { return nodes_[n].label; }
+  NodeId parent(NodeId n) const { return nodes_[n].parent; }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return nodes_[n].children;
+  }
+  bool IsLeaf(NodeId n) const { return nodes_[n].children.empty(); }
+  bool IsAlive(NodeId n) const {
+    return n < nodes_.size() && nodes_[n].alive;
+  }
+
+  /// Number of alive nodes.
+  size_t size() const { return size_; }
+
+  /// Exclusive upper bound on node ids ever allocated; suitable for sizing
+  /// dense side arrays indexed by NodeId.
+  size_t id_bound() const { return nodes_.size(); }
+
+  // ---- Edit operations (Definition 7.1) ----
+
+  /// relabel(n, l): change the label of n to l.
+  void Relabel(NodeId n, Label l);
+
+  /// insert(n, l): insert an l-node as the *first child* of n.
+  /// Returns the id of the new node.
+  NodeId InsertFirstChild(NodeId n, Label l);
+
+  /// insertR(n, l): insert an l-node as the *right sibling* of n.
+  /// n must not be the root. Returns the id of the new node.
+  NodeId InsertRightSibling(NodeId n, Label l);
+
+  /// delete(n): remove n (must be a leaf and not the root).
+  void DeleteLeaf(NodeId n);
+
+  // ---- Construction helpers (not edits; used to build initial trees) ----
+
+  /// Appends an l-node as the last child of n. Returns the new node id.
+  NodeId AppendChild(NodeId n, Label l);
+
+  // ---- Traversal / inspection ----
+
+  /// All alive node ids in document (preorder) order.
+  std::vector<NodeId> PreorderNodes() const;
+
+  /// Depth of node n (root has depth 0).
+  size_t Depth(NodeId n) const;
+
+  /// Height of the tree (single node = 0).
+  size_t Height() const;
+
+  /// Renders the tree as an s-expression, e.g. "(a (b) (c (d)))" with labels
+  /// printed through `label_name` (defaults to the numeric id).
+  std::string ToString() const;
+
+  /// Parses an s-expression produced by ToString-like syntax where labels
+  /// are single lowercase letters mapped a->0, b->1, ...  e.g. "(a (b) (c))".
+  static UnrankedTree Parse(const std::string& sexpr);
+
+  bool operator==(const UnrankedTree& other) const;
+
+ private:
+  struct Node {
+    Label label = 0;
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;
+    bool alive = false;
+  };
+
+  NodeId AllocNode(Label l, NodeId parent);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> free_list_;
+  NodeId root_;
+  size_t size_ = 0;
+};
+
+/// Generates a uniformly random tree shape with n nodes and labels drawn
+/// uniformly from [0, num_labels). Attachment is "random parent" which
+/// produces trees of expected logarithmic-ish height; see RandomPathTree for
+/// adversarially deep inputs.
+class Rng;
+UnrankedTree RandomTree(size_t n, size_t num_labels, Rng& rng);
+
+/// Generates a path-shaped tree (each node has one child) with n nodes;
+/// the adversarial input for depth-dependent algorithms.
+UnrankedTree PathTree(size_t n, size_t num_labels, Rng& rng);
+
+/// Generates a full k-ary tree with ~n nodes.
+UnrankedTree KaryTree(size_t n, size_t k, size_t num_labels, Rng& rng);
+
+}  // namespace treenum
+
+#endif  // TREENUM_TREES_UNRANKED_TREE_H_

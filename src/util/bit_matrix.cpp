@@ -1,0 +1,119 @@
+#include "util/bit_matrix.h"
+
+#include <cassert>
+
+namespace treenum {
+
+BitMatrix BitMatrix::Identity(size_t n) {
+  BitMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.Set(i, i);
+  return m;
+}
+
+bool BitMatrix::RowAny(size_t r) const {
+  const uint64_t* row = Row(r);
+  for (size_t w = 0; w < words_per_row_; ++w) {
+    if (row[w]) return true;
+  }
+  return false;
+}
+
+bool BitMatrix::ColAny(size_t c) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    if (Get(r, c)) return true;
+  }
+  return false;
+}
+
+bool BitMatrix::Any() const {
+  for (uint64_t w : bits_) {
+    if (w) return true;
+  }
+  return false;
+}
+
+size_t BitMatrix::Count() const {
+  size_t n = 0;
+  for (uint64_t w : bits_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+BitMatrix BitMatrix::Compose(const BitMatrix& other) const {
+  assert(cols_ == other.rows_);
+  BitMatrix result(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const uint64_t* row = Row(r);
+    uint64_t* out = result.MutableRow(r);
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      uint64_t bits = row[w];
+      while (bits) {
+        size_t b = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* mid = other.Row(b);
+        for (size_t ow = 0; ow < other.words_per_row_; ++ow) out[ow] |= mid[ow];
+      }
+    }
+  }
+  return result;
+}
+
+void BitMatrix::UnionWith(const BitMatrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+void BitMatrix::ZeroRowsNotIn(const std::vector<uint64_t>& keep) {
+  for (size_t r = 0; r < rows_; ++r) {
+    bool kept = r / 64 < keep.size() && ((keep[r / 64] >> (r % 64)) & 1u);
+    if (!kept) {
+      uint64_t* row = MutableRow(r);
+      for (size_t w = 0; w < words_per_row_; ++w) row[w] = 0;
+    }
+  }
+}
+
+std::vector<uint32_t> BitMatrix::NonEmptyRows() const {
+  std::vector<uint32_t> out;
+  for (size_t r = 0; r < rows_; ++r) {
+    if (RowAny(r)) out.push_back(static_cast<uint32_t>(r));
+  }
+  return out;
+}
+
+std::vector<uint32_t> BitMatrix::NonEmptyCols() const {
+  std::vector<uint32_t> out;
+  std::vector<uint64_t> acc(words_per_row_, 0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const uint64_t* row = Row(r);
+    for (size_t w = 0; w < words_per_row_; ++w) acc[w] |= row[w];
+  }
+  for (size_t c = 0; c < cols_; ++c) {
+    if ((acc[c / 64] >> (c % 64)) & 1u) out.push_back(static_cast<uint32_t>(c));
+  }
+  return out;
+}
+
+std::string BitMatrix::ToString() const {
+  std::string s;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) s += Get(r, c) ? '1' : '0';
+    s += '\n';
+  }
+  return s;
+}
+
+BitMatrix ComposeNaive(const BitMatrix& a, const BitMatrix& b) {
+  assert(a.cols() == b.rows());
+  BitMatrix result(a.rows(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t m = 0; m < a.cols(); ++m) {
+      if (!a.Get(r, m)) continue;
+      for (size_t c = 0; c < b.cols(); ++c) {
+        if (b.Get(m, c)) result.Set(r, c);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace treenum

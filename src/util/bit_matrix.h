@@ -1,0 +1,99 @@
+// Bit-packed Boolean matrices used to represent the ∪-reachability relations
+// R(B', B) of Section 6 of the paper. Composition of relations (the
+// complexity kernel the paper bounds by O(w^ω)) is implemented word-parallel,
+// i.e. in O(rows * cols / 64) per row pair.
+#ifndef TREENUM_UTIL_BIT_MATRIX_H_
+#define TREENUM_UTIL_BIT_MATRIX_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace treenum {
+
+/// A dense rows x cols Boolean matrix with 64-bit packed rows.
+///
+/// Semantics throughout the enumeration module: entry (r, c) of the matrix
+/// standing for relation R(B', B) is true iff the r-th ∪-gate of box B' has a
+/// path of ∪-gates to the c-th ∪-gate of box B (the relation "g' ∪⇝ g").
+class BitMatrix {
+ public:
+  BitMatrix() : rows_(0), cols_(0), words_per_row_(0) {}
+  BitMatrix(size_t rows, size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        words_per_row_((cols + 63) / 64),
+        bits_(rows * words_per_row_, 0) {}
+
+  /// The identity relation over n elements.
+  static BitMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  bool Get(size_t r, size_t c) const {
+    return (bits_[r * words_per_row_ + c / 64] >> (c % 64)) & 1u;
+  }
+  void Set(size_t r, size_t c, bool v = true) {
+    uint64_t& w = bits_[r * words_per_row_ + c / 64];
+    if (v) {
+      w |= (uint64_t{1} << (c % 64));
+    } else {
+      w &= ~(uint64_t{1} << (c % 64));
+    }
+  }
+
+  /// True iff some entry in row r is set.
+  bool RowAny(size_t r) const;
+  /// True iff some entry in column c is set.
+  bool ColAny(size_t c) const;
+  /// True iff any entry is set.
+  bool Any() const;
+  /// Number of set entries.
+  size_t Count() const;
+
+  /// Relational composition: result(a, c) = ∃b this(a, b) && other(b, c).
+  /// Requires cols() == other.rows().
+  BitMatrix Compose(const BitMatrix& other) const;
+
+  /// Entrywise union. Requires identical dimensions.
+  void UnionWith(const BitMatrix& other);
+
+  /// Restrict rows: keep only rows whose index bit is set in `keep`
+  /// (represented as a bitset over row indices packed into uint64 words);
+  /// other rows are zeroed.
+  void ZeroRowsNotIn(const std::vector<uint64_t>& keep);
+
+  /// The set of row indices with at least one set entry ("π1" of the
+  /// relation, as used in Algorithms 2 and 3).
+  std::vector<uint32_t> NonEmptyRows() const;
+  /// The set of column indices with at least one set entry.
+  std::vector<uint32_t> NonEmptyCols() const;
+
+  /// Row r as a bitset over column indices (words_per_row() words).
+  const uint64_t* Row(size_t r) const { return &bits_[r * words_per_row_]; }
+  uint64_t* MutableRow(size_t r) { return &bits_[r * words_per_row_]; }
+  size_t words_per_row() const { return words_per_row_; }
+
+  bool operator==(const BitMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           bits_ == other.bits_;
+  }
+
+  /// Debug rendering as '0'/'1' rows.
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  size_t words_per_row_;
+  std::vector<uint64_t> bits_;
+};
+
+/// Naive cubic composition used as a test oracle for BitMatrix::Compose.
+BitMatrix ComposeNaive(const BitMatrix& a, const BitMatrix& b);
+
+}  // namespace treenum
+
+#endif  // TREENUM_UTIL_BIT_MATRIX_H_

@@ -1,0 +1,5 @@
+#include "util/random.h"
+
+// Rng is header-only; this translation unit exists so the build file can
+// list one .cpp per header uniformly.
+namespace treenum {}

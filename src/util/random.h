@@ -1,0 +1,42 @@
+// Deterministic random generators used by tests, benchmarks and workload
+// generators (random trees, random automata, random edit scripts).
+#ifndef TREENUM_UTIL_RANDOM_H_
+#define TREENUM_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace treenum {
+
+/// A small deterministic RNG wrapper (mt19937_64) so workloads are
+/// reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Int(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform in [0, n).
+  size_t Index(size_t n) {
+    return static_cast<size_t>(Int(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Bernoulli with probability p.
+  bool Flip(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_UTIL_RANDOM_H_

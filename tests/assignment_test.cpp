@@ -1,0 +1,54 @@
+#include "trees/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace treenum {
+namespace {
+
+TEST(Assignment, NormalizeSortsAndDedups) {
+  Assignment a;
+  a.Add(Singleton{1, 5});
+  a.Add(Singleton{0, 7});
+  a.Add(Singleton{1, 5});
+  a.Normalize();
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.singletons()[0], (Singleton{0, 7}));
+  EXPECT_EQ(a.singletons()[1], (Singleton{1, 5}));
+}
+
+TEST(Assignment, DisjointUnionMergesSorted) {
+  Assignment a({{0, 1}, {0, 3}});
+  Assignment b({{0, 2}});
+  Assignment c = Assignment::DisjointUnion(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.singletons()[0].node, 1u);
+  EXPECT_EQ(c.singletons()[1].node, 2u);
+  EXPECT_EQ(c.singletons()[2].node, 3u);
+}
+
+TEST(Assignment, OrderingIsTotal) {
+  Assignment a({{0, 1}});
+  Assignment b({{0, 2}});
+  Assignment empty;
+  EXPECT_LT(empty, a);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, Assignment({{0, 1}}));
+}
+
+TEST(Assignment, HashUsableInSets) {
+  std::unordered_set<Assignment, AssignmentHash> s;
+  s.insert(Assignment({{0, 1}}));
+  s.insert(Assignment({{0, 1}}));
+  s.insert(Assignment({{1, 1}}));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Assignment, ToString) {
+  Assignment a({{0, 1}, {1, 2}});
+  EXPECT_EQ(a.ToString(), "{<X0:1>, <X1:2>}");
+}
+
+}  // namespace
+}  // namespace treenum

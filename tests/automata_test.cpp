@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "automata/binary_tva.h"
+#include "automata/homogenize.h"
+#include "automata/unranked_tva.h"
+#include "automata/wva.h"
+#include "test_util.h"
+
+namespace treenum {
+namespace {
+
+TEST(BinaryTva, LookupStructures) {
+  BinaryTva a(3, 4, 2);
+  a.AddLeafInit(0, 0b01, 1);
+  a.AddLeafInit(0, 0b00, 0);
+  a.AddTransition(2, 0, 1, 2);
+  a.AddTransition(2, 0, 1, 1);
+  a.AddFinal(2);
+
+  EXPECT_EQ(a.LeafInitsFor(0).size(), 2u);
+  EXPECT_TRUE(a.LeafInitsFor(1).empty());
+  EXPECT_EQ(a.TransitionsFor(2, 0, 1).size(), 2u);
+  EXPECT_TRUE(a.TransitionsFor(2, 1, 0).empty());
+  EXPECT_TRUE(a.IsFinal(2));
+  EXPECT_FALSE(a.IsFinal(0));
+  EXPECT_EQ(a.size(), 3u + 2u + 2u);
+}
+
+TEST(BinaryTva, DeduplicatesEntries) {
+  BinaryTva a(2, 3, 1);
+  a.AddLeafInit(0, 1, 1);
+  a.AddLeafInit(0, 1, 1);
+  a.AddTransition(2, 0, 0, 1);
+  a.AddTransition(2, 0, 0, 1);
+  EXPECT_EQ(a.leaf_inits().size(), 1u);
+  EXPECT_EQ(a.transitions().size(), 1u);
+}
+
+TEST(UnrankedTva, AcceptsStepwiseSemantics) {
+  // Query: tree contains a node labeled 1 (no variables).
+  UnrankedTva a(2, 2, 0);
+  a.AddInit(0, 0, 0);
+  a.AddInit(1, 0, 1);
+  a.AddTransition(0, 0, 0);
+  a.AddTransition(0, 1, 1);
+  a.AddTransition(1, 0, 1);
+  a.AddTransition(1, 1, 1);
+  a.AddFinal(1);
+
+  UnrankedTree yes = UnrankedTree::Parse("(a (a (b)) (a))");
+  UnrankedTree no = UnrankedTree::Parse("(a (a) (a (a)))");
+  std::vector<VarMask> empty(yes.id_bound(), 0);
+  EXPECT_TRUE(a.Accepts(yes, empty));
+  std::vector<VarMask> empty2(no.id_bound(), 0);
+  EXPECT_FALSE(a.Accepts(no, empty2));
+}
+
+TEST(UnrankedTva, AnnotationsReadAtAllNodes) {
+  // Query: the root is annotated with variable x (internal node!).
+  UnrankedTva a(2, 1, 1);
+  a.AddInit(0, 0, 0);
+  a.AddInit(0, 1, 1);
+  a.AddTransition(0, 0, 0);
+  a.AddTransition(1, 0, 1);
+  a.AddFinal(1);
+
+  UnrankedTree t = UnrankedTree::Parse("(a (a))");
+  std::vector<VarMask> nu(t.id_bound(), 0);
+  nu[t.root()] = 1;
+  EXPECT_TRUE(a.Accepts(t, nu));
+  nu[t.root()] = 0;
+  nu[t.children(t.root())[0]] = 1;
+  EXPECT_FALSE(a.Accepts(t, nu));
+}
+
+TEST(UnrankedTva, BruteForceEnumerationTiny) {
+  // Φ(x) = x labeled b. Tree (a (b) (b)).
+  UnrankedTva a(2, 2, 1);
+  a.AddInit(0, 0, 0);
+  a.AddInit(1, 0, 0);
+  a.AddInit(1, 1, 1);
+  a.AddTransition(0, 0, 0);
+  a.AddTransition(0, 1, 1);
+  a.AddTransition(1, 0, 1);
+  a.AddFinal(1);
+
+  UnrankedTree t = UnrankedTree::Parse("(a (b) (b))");
+  std::vector<Assignment> res = a.BruteForceAssignments(t);
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].size(), 1u);
+  EXPECT_EQ(res[1].size(), 1u);
+}
+
+TEST(Wva, AcceptsAndBruteForce) {
+  // Words over {a, b}; query: some position labeled b, bound to x.
+  Wva a(2, 2, 1);
+  a.AddInitial(0);
+  a.AddTransition(0, 0, 0, 0);
+  a.AddTransition(0, 1, 0, 0);
+  a.AddTransition(0, 1, 1, 1);
+  a.AddTransition(1, 0, 0, 1);
+  a.AddTransition(1, 1, 0, 1);
+  a.AddFinal(1);
+
+  Word w{0, 1, 0, 1};
+  std::vector<VarMask> nu(4, 0);
+  nu[1] = 1;
+  EXPECT_TRUE(a.Accepts(w, nu));
+  nu[1] = 0;
+  nu[0] = 1;
+  EXPECT_FALSE(a.Accepts(w, nu));
+
+  std::vector<Assignment> res = a.BruteForceAssignments(w);
+  ASSERT_EQ(res.size(), 2u);  // positions 1 and 3
+}
+
+TEST(Homogenize, StateKindsFixpoint) {
+  // One state reachable only empty, one only non-empty, one both.
+  BinaryTva a(3, 3, 1);
+  TermAlphabet alpha(1);
+  a.AddLeafInit(alpha.TreeLeaf(0), 0, 0);
+  a.AddLeafInit(alpha.TreeLeaf(0), 1, 1);
+  a.AddLeafInit(alpha.TreeLeaf(0), 0, 2);
+  a.AddLeafInit(alpha.TreeLeaf(0), 1, 2);
+  StateKinds k = ComputeStateKinds(a);
+  EXPECT_TRUE(k.zero_state[0]);
+  EXPECT_FALSE(k.one_state[0]);
+  EXPECT_FALSE(k.zero_state[1]);
+  EXPECT_TRUE(k.one_state[1]);
+  EXPECT_TRUE(k.zero_state[2]);
+  EXPECT_TRUE(k.one_state[2]);
+  EXPECT_FALSE(IsHomogenized(a));
+}
+
+TEST(Homogenize, TrimRemovesUnreachable) {
+  BinaryTva a(4, 3, 0);
+  TermAlphabet alpha(1);
+  a.AddLeafInit(alpha.TreeLeaf(0), 0, 0);
+  a.AddTransition(alpha.Op(TermOp::kConcatHH), 0, 0, 1);
+  // State 2 requires itself: unreachable. State 3 never mentioned.
+  a.AddTransition(alpha.Op(TermOp::kConcatHH), 2, 0, 2);
+  a.AddFinal(1);
+  a.AddFinal(2);
+  std::vector<State> map;
+  BinaryTva trimmed = TrimBinaryTva(a, &map);
+  EXPECT_EQ(trimmed.num_states(), 2u);
+  EXPECT_EQ(map[2], kNoState);
+  EXPECT_EQ(map[3], kNoState);
+  EXPECT_EQ(trimmed.final_states().size(), 1u);
+}
+
+TEST(Homogenize, ProducesEquivalentHomogenizedAutomaton) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    BinaryTva a = RandomBinaryTvaOnHH(rng, 3, 2, 1, 4, 8);
+    HomogenizedTva h = HomogenizeBinaryTva(a);
+    EXPECT_TRUE(IsHomogenized(h.tva));
+    // Equivalence on random small terms.
+    for (int t = 0; t < 5; ++t) {
+      Term term(h.tva.num_labels() >= 2 * 2 + 5 ? TermAlphabet(2)
+                                                : TermAlphabet(2));
+      term.set_root(BuildRandomHHTerm(term, rng, 1 + rng.Index(4), 2));
+      std::vector<Assignment> orig = TermBruteForceAssignments(a, term);
+      std::vector<Assignment> homog = TermBruteForceAssignments(h.tva, term);
+      EXPECT_EQ(orig, homog) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Homogenize, KindsMatchComputedKinds) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    BinaryTva a = RandomBinaryTvaOnHH(rng, 4, 2, 2, 5, 10);
+    HomogenizedTva h = HomogenizeBinaryTva(a);
+    StateKinds k = ComputeStateKinds(h.tva);
+    for (State q = 0; q < h.tva.num_states(); ++q) {
+      EXPECT_EQ(h.kind[q] == 1, k.one_state[q]);
+      EXPECT_EQ(h.kind[q] == 0, k.zero_state[q]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treenum

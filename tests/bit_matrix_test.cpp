@@ -1,0 +1,116 @@
+#include "util/bit_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+TEST(BitMatrix, SetGet) {
+  BitMatrix m(3, 70);
+  EXPECT_FALSE(m.Get(2, 69));
+  m.Set(2, 69);
+  EXPECT_TRUE(m.Get(2, 69));
+  m.Set(2, 69, false);
+  EXPECT_FALSE(m.Get(2, 69));
+  EXPECT_FALSE(m.Any());
+  m.Set(0, 0);
+  EXPECT_TRUE(m.Any());
+  EXPECT_EQ(m.Count(), 1u);
+}
+
+TEST(BitMatrix, Identity) {
+  BitMatrix id = BitMatrix::Identity(5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(id.Get(i, j), i == j);
+    }
+  }
+}
+
+TEST(BitMatrix, RowColAny) {
+  BitMatrix m(4, 4);
+  m.Set(1, 3);
+  EXPECT_TRUE(m.RowAny(1));
+  EXPECT_FALSE(m.RowAny(0));
+  EXPECT_TRUE(m.ColAny(3));
+  EXPECT_FALSE(m.ColAny(1));
+  EXPECT_EQ(m.NonEmptyRows(), std::vector<uint32_t>{1});
+  EXPECT_EQ(m.NonEmptyCols(), std::vector<uint32_t>{3});
+}
+
+TEST(BitMatrix, ComposeSmall) {
+  // R1 = {(0,1)}, R2 = {(1,2)}  =>  R1∘R2 = {(0,2)}.
+  BitMatrix a(2, 3), b(3, 4);
+  a.Set(0, 1);
+  b.Set(1, 2);
+  BitMatrix c = a.Compose(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_TRUE(c.Get(0, 2));
+  EXPECT_EQ(c.Count(), 1u);
+}
+
+TEST(BitMatrix, ComposeIdentityIsNoop) {
+  Rng rng(1);
+  BitMatrix m(6, 6);
+  for (int i = 0; i < 12; ++i) m.Set(rng.Index(6), rng.Index(6));
+  EXPECT_EQ(BitMatrix::Identity(6).Compose(m), m);
+  EXPECT_EQ(m.Compose(BitMatrix::Identity(6)), m);
+}
+
+TEST(BitMatrix, ComposeMatchesNaiveOracle) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.Index(90);
+    size_t m = 1 + rng.Index(90);
+    size_t k = 1 + rng.Index(90);
+    BitMatrix a(n, m), b(m, k);
+    for (size_t i = 0; i < n * m / 3 + 1; ++i) {
+      a.Set(rng.Index(n), rng.Index(m));
+    }
+    for (size_t i = 0; i < m * k / 3 + 1; ++i) {
+      b.Set(rng.Index(m), rng.Index(k));
+    }
+    EXPECT_EQ(a.Compose(b), ComposeNaive(a, b)) << "trial " << trial;
+  }
+}
+
+TEST(BitMatrix, ComposeIsAssociative) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitMatrix a(10, 10), b(10, 10), c(10, 10);
+    for (int i = 0; i < 25; ++i) {
+      a.Set(rng.Index(10), rng.Index(10));
+      b.Set(rng.Index(10), rng.Index(10));
+      c.Set(rng.Index(10), rng.Index(10));
+    }
+    EXPECT_EQ(a.Compose(b).Compose(c), a.Compose(b.Compose(c)));
+  }
+}
+
+TEST(BitMatrix, UnionWith) {
+  BitMatrix a(2, 2), b(2, 2);
+  a.Set(0, 0);
+  b.Set(1, 1);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Get(0, 0));
+  EXPECT_TRUE(a.Get(1, 1));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(BitMatrix, ZeroRowsNotIn) {
+  BitMatrix a(3, 3);
+  a.Set(0, 1);
+  a.Set(1, 1);
+  a.Set(2, 1);
+  std::vector<uint64_t> keep{0b101};  // keep rows 0 and 2
+  a.ZeroRowsNotIn(keep);
+  EXPECT_TRUE(a.Get(0, 1));
+  EXPECT_FALSE(a.Get(1, 1));
+  EXPECT_TRUE(a.Get(2, 1));
+}
+
+}  // namespace
+}  // namespace treenum

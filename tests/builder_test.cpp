@@ -1,0 +1,153 @@
+#include "falgebra/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+// Decode(Encode(T)) == T, and the leaf bijection maps every node to a leaf
+// symbol with the node's label.
+void CheckRoundtrip(const UnrankedTree& tree, size_t num_labels) {
+  Encoding enc = EncodeTree(tree, num_labels);
+  ASSERT_EQ(enc.term.Validate(), "") << tree.ToString();
+  UnrankedTree decoded = enc.term.Decode();
+  EXPECT_TRUE(decoded == tree) << "expected " << tree.ToString() << " got "
+                               << decoded.ToString();
+  for (NodeId n : tree.PreorderNodes()) {
+    TermNodeId leaf = enc.leaf_of[n];
+    ASSERT_NE(leaf, kNoTerm);
+    EXPECT_EQ(enc.term.node(leaf).tree_node, n);
+    EXPECT_EQ(enc.term.alphabet().BaseLabel(enc.term.node(leaf).label),
+              tree.label(n));
+    // Leaf kind: context symbol iff the node has children.
+    EXPECT_EQ(enc.term.alphabet().IsContextLeaf(enc.term.node(leaf).label),
+              !tree.IsLeaf(n));
+  }
+  // Leaf count equals tree size.
+  EXPECT_EQ(enc.term.node(enc.term.root()).size, tree.size());
+}
+
+TEST(Builder, TinyTrees) {
+  for (const char* s :
+       {"(a)", "(a (b))", "(a (b) (c))", "(a (b (c)))", "(a (b) (c) (d))",
+        "(a (b (c) (d)) (e))", "(a (b (c (d (e)))))"}) {
+    CheckRoundtrip(UnrankedTree::Parse(s), 5);
+  }
+}
+
+TEST(Builder, RandomTreesRoundtrip) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(200), 3, rng);
+    CheckRoundtrip(t, 3);
+  }
+}
+
+TEST(Builder, PathTreeRoundtripAndHeight) {
+  Rng rng(19);
+  for (size_t n : {1u, 2u, 3u, 10u, 100u, 1000u, 5000u}) {
+    UnrankedTree t = PathTree(n, 2, rng);
+    Encoding enc = EncodeTree(t, 2);
+    ASSERT_EQ(enc.term.Validate(), "");
+    EXPECT_TRUE(enc.term.Decode() == t);
+    uint32_t h = enc.term.node(enc.term.root()).height;
+    double bound = 4.0 * std::log2(static_cast<double>(n) + 1) + 8;
+    EXPECT_LE(h, bound) << "n=" << n;
+  }
+}
+
+TEST(Builder, StarTreeHeight) {
+  for (size_t n : {10u, 100u, 1000u}) {
+    UnrankedTree t(0);
+    for (size_t i = 0; i + 1 < n; ++i) t.AppendChild(t.root(), 1);
+    Encoding enc = EncodeTree(t, 2);
+    ASSERT_EQ(enc.term.Validate(), "");
+    uint32_t h = enc.term.node(enc.term.root()).height;
+    EXPECT_LE(h, 4.0 * std::log2(static_cast<double>(n)) + 8) << "n=" << n;
+  }
+}
+
+TEST(Builder, CaterpillarHeight) {
+  // Path where every node also has a leaf child: stresses the context
+  // splitting.
+  for (size_t n : {10u, 100u, 1000u}) {
+    UnrankedTree t(0);
+    NodeId cur = t.root();
+    for (size_t i = 0; i < n; ++i) {
+      t.AppendChild(cur, 1);
+      cur = t.AppendChild(cur, 0);
+    }
+    Encoding enc = EncodeTree(t, 2);
+    ASSERT_EQ(enc.term.Validate(), "");
+    EXPECT_TRUE(enc.term.Decode() == t);
+    uint32_t h = enc.term.node(enc.term.root()).height;
+    double sz = static_cast<double>(t.size());
+    EXPECT_LE(h, 4.0 * std::log2(sz) + 8) << "n=" << n;
+  }
+}
+
+TEST(Builder, RandomTreesHeightLogarithmic) {
+  Rng rng(23);
+  for (size_t n : {100u, 1000u, 10000u}) {
+    UnrankedTree t = RandomTree(n, 3, rng);
+    Encoding enc = EncodeTree(t, 3);
+    uint32_t h = enc.term.node(enc.term.root()).height;
+    EXPECT_LE(h, 4.0 * std::log2(static_cast<double>(n)) + 8) << "n=" << n;
+  }
+}
+
+TEST(Builder, HeightWithinBalanceEnvelope) {
+  // The static builder must stay comfortably inside MaxAllowedHeight so
+  // that updates have slack before triggering rebuilds.
+  Rng rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(3000), 2, rng);
+    Encoding enc = EncodeTree(t, 2);
+    for (TermNodeId id = 0; id < enc.term.id_bound(); ++id) {
+      if (!enc.term.IsAlive(id)) continue;
+      const TermNode& nd = enc.term.node(id);
+      ASSERT_LE(nd.height, MaxAllowedHeight(nd.size))
+          << "node size " << nd.size;
+    }
+  }
+}
+
+TEST(Builder, CollectPiecesInverse) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(60), 2, rng);
+    Encoding enc = EncodeTree(t, 2);
+    std::vector<Piece> pieces = CollectPieces(enc.term, enc.term.root());
+    ASSERT_EQ(pieces.size(), 1u);
+    EXPECT_EQ(pieces[0].root, t.root());
+    EXPECT_FALSE(pieces[0].IsContext());
+    // Re-encoding the collected pieces yields an equivalent term.
+    std::vector<TermNodeId> leaf_of(t.id_bound(), kNoTerm);
+    Term term2(enc.term.alphabet());
+    TermNodeId root2 = EncodePieces(term2, t, pieces, leaf_of);
+    term2.set_root(root2);
+    EXPECT_EQ(term2.Validate(), "");
+    EXPECT_TRUE(term2.Decode() == t);
+  }
+}
+
+TEST(Builder, CollectPiecesOnSubterms) {
+  // Every subterm's pieces re-encode to a fragment with identical leaves.
+  Rng rng(37);
+  UnrankedTree t = RandomTree(40, 2, rng);
+  Encoding enc = EncodeTree(t, 2);
+  for (TermNodeId id = 0; id < enc.term.id_bound(); ++id) {
+    if (!enc.term.IsAlive(id)) continue;
+    std::vector<Piece> pieces = CollectPieces(enc.term, id);
+    size_t ctx_count = 0;
+    for (const Piece& p : pieces) ctx_count += p.IsContext();
+    EXPECT_EQ(ctx_count, enc.term.node(id).is_context ? 1u : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace treenum

@@ -1,0 +1,175 @@
+#include "circuit/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/homogenize.h"
+#include "automata/query_library.h"
+#include "automata/translate.h"
+#include "circuit/assignment_circuit.h"
+#include "falgebra/builder.h"
+#include "falgebra/update.h"
+#include "test_util.h"
+
+namespace treenum {
+namespace {
+
+// Structural invariants of Lemma 3.7 / Definition 3.4 on every box.
+void CheckStructure(const AssignmentCircuit& c) {
+  const Term& term = c.term();
+  size_t w = c.width();
+  for (TermNodeId id = 0; id < term.id_bound(); ++id) {
+    if (!term.IsAlive(id)) continue;
+    const Box& b = c.box(id);
+    ASSERT_EQ(b.gamma.size(), w);
+    // Width bound: at most w ∪-gates, at most w² ×-gates.
+    EXPECT_LE(b.num_unions(), w);
+    EXPECT_LE(b.cross_gates.size(), w * w);
+    for (size_t u = 0; u < b.num_unions(); ++u) {
+      // Every ∪-gate has at least one input.
+      EXPECT_TRUE(!b.cross_inputs[u].empty() ||
+                  !b.child_union_inputs[u].empty() ||
+                  !b.var_inputs[u].empty());
+      // Dense index consistency.
+      State q = b.union_states[u];
+      EXPECT_EQ(b.union_idx[q], static_cast<int16_t>(u));
+      EXPECT_EQ(b.gamma[q], GateKind::kUnion);
+    }
+    if (term.IsLeaf(id)) {
+      EXPECT_TRUE(b.cross_gates.empty());
+    } else {
+      EXPECT_TRUE(b.var_masks.empty());
+      // ×-gates and child-union inputs reference ∪-gates (never ⊤/⊥) in the
+      // child boxes — the ⊤/⊥-collapse rule of the appendix construction.
+      const Box& lb = c.box(term.node(id).left);
+      const Box& rb = c.box(term.node(id).right);
+      for (const CrossGate& cg : b.cross_gates) {
+        EXPECT_EQ(lb.gamma[cg.left_state], GateKind::kUnion);
+        EXPECT_EQ(rb.gamma[cg.right_state], GateKind::kUnion);
+      }
+      for (size_t u = 0; u < b.num_unions(); ++u) {
+        for (const auto& [side, state] : b.child_union_inputs[u]) {
+          const Box& cb = side == 0 ? lb : rb;
+          EXPECT_EQ(cb.gamma[state], GateKind::kUnion);
+        }
+      }
+    }
+  }
+}
+
+TEST(Circuit, GammaSemanticsOnHHTerms) {
+  // For every term node n and state q: S(γ(n,q)) must equal the set of
+  // assignments of valuations under which some run reaches q at n
+  // (Definition 3.3), checked by brute force.
+  Rng rng(61);
+  for (int trial = 0; trial < 25; ++trial) {
+    BinaryTva raw = RandomBinaryTvaOnHH(rng, 3, 2, 1, 4, 8);
+    HomogenizedTva h = HomogenizeBinaryTva(raw);
+    Term term(TermAlphabet{2});
+    term.set_root(BuildRandomHHTerm(term, rng, 1 + rng.Index(5), 2));
+    AssignmentCircuit circuit(&term, &h.tva, &h.kind);
+    circuit.BuildAll();
+    CheckStructure(circuit);
+
+    std::vector<Assignment> expected = TermBruteForceAssignments(h.tva, term);
+    std::vector<Assignment> actual =
+        MaterializeSatisfying(circuit, h.kind);
+    EXPECT_EQ(expected, actual) << "trial " << trial;
+  }
+}
+
+TEST(Circuit, GammaPerStateSemantics) {
+  Rng rng(67);
+  for (int trial = 0; trial < 10; ++trial) {
+    BinaryTva raw = RandomBinaryTvaOnHH(rng, 3, 2, 1, 3, 7);
+    HomogenizedTva h = HomogenizeBinaryTva(raw);
+    Term term(TermAlphabet{2});
+    term.set_root(BuildRandomHHTerm(term, rng, 3, 2));
+    AssignmentCircuit circuit(&term, &h.tva, &h.kind);
+    circuit.BuildAll();
+    // Check every root gate against per-state brute force.
+    for (State q = 0; q < h.tva.num_states(); ++q) {
+      BinaryTva one(h.tva.num_states(), h.tva.num_labels(), h.tva.num_vars());
+      for (const LeafInit& li : h.tva.leaf_inits()) {
+        one.AddLeafInit(li.label, li.vars, li.state);
+      }
+      for (const Transition& t : h.tva.transitions()) {
+        one.AddTransition(t.label, t.left, t.right, t.state);
+      }
+      one.AddFinal(q);
+      std::vector<Assignment> expected =
+          TermBruteForceAssignments(one, term);
+      std::set<Assignment> got =
+          MaterializeGamma(circuit, term.root(), q);
+      std::vector<Assignment> actual(got.begin(), got.end());
+      EXPECT_EQ(expected, actual) << "trial " << trial << " state " << q;
+    }
+  }
+}
+
+TEST(Circuit, FullTreePipelineCircuitSemantics) {
+  // Translated + homogenized automata on balanced encodings of real trees.
+  Rng rng(71);
+  UnrankedTva q = QueryMarkedAncestor(3, 1, 2);
+  TranslatedTva tr = TranslateUnrankedTva(q);
+  HomogenizedTva h = HomogenizeBinaryTva(tr.tva);
+  for (const char* s :
+       {"(a (c))", "(b (c))", "(b (a (c)) (c))", "(a (b (c) (a (c))))"}) {
+    UnrankedTree tree = UnrankedTree::Parse(s);
+    Encoding enc = EncodeTree(tree, 3);
+    AssignmentCircuit circuit(&enc.term, &h.tva, &h.kind);
+    circuit.BuildAll();
+    CheckStructure(circuit);
+    std::vector<Assignment> expected = q.BruteForceAssignments(tree);
+    std::vector<Assignment> actual = MaterializeSatisfying(circuit, h.kind);
+    EXPECT_EQ(expected, actual) << s;
+  }
+}
+
+TEST(Circuit, IncrementalRebuildMatchesFreshBuild) {
+  // Rebuilding boxes along an update path yields the same circuit contents
+  // as building from scratch.
+  Rng rng(73);
+  UnrankedTva q = QuerySelectLabel(2, 1);
+  TranslatedTva tr = TranslateUnrankedTva(q);
+  HomogenizedTva h = HomogenizeBinaryTva(tr.tva);
+
+  DynamicEncoding dyn(RandomTree(40, 2, rng), 2);
+  AssignmentCircuit circuit(&dyn.term(), &h.tva, &h.kind);
+  circuit.BuildAll();
+
+  for (int step = 0; step < 30; ++step) {
+    std::vector<NodeId> nodes = dyn.tree().PreorderNodes();
+    NodeId n = nodes[rng.Index(nodes.size())];
+    UpdateResult r = dyn.InsertFirstChild(n, static_cast<Label>(
+                                                 rng.Index(2)));
+    for (TermNodeId id : r.freed) circuit.FreeBox(id);
+    for (TermNodeId id : r.changed_bottom_up) circuit.RebuildBox(id);
+
+    AssignmentCircuit fresh(&dyn.term(), &h.tva, &h.kind);
+    fresh.BuildAll();
+    std::vector<Assignment> a = MaterializeSatisfying(circuit, h.kind);
+    std::vector<Assignment> b = MaterializeSatisfying(fresh, h.kind);
+    ASSERT_EQ(a, b) << "step " << step;
+  }
+}
+
+TEST(Circuit, GateCountLinearInTree) {
+  UnrankedTva q = QuerySelectLabel(2, 1);
+  TranslatedTva tr = TranslateUnrankedTva(q);
+  HomogenizedTva h = HomogenizeBinaryTva(tr.tva);
+  Rng rng(79);
+  size_t per_node = 0;
+  for (size_t n : {100u, 200u, 400u}) {
+    UnrankedTree tree = RandomTree(n, 2, rng);
+    Encoding enc = EncodeTree(tree, 2);
+    AssignmentCircuit c(&enc.term, &h.tva, &h.kind);
+    c.BuildAll();
+    size_t gates = c.CountGates();
+    size_t nodes = enc.term.num_alive();
+    if (per_node == 0) per_node = gates / nodes + 1;
+    EXPECT_LE(gates, per_node * nodes * 2) << n;
+  }
+}
+
+}  // namespace
+}  // namespace treenum

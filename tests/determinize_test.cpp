@@ -1,0 +1,55 @@
+#include "automata/determinize.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/query_library.h"
+#include "automata/translate.h"
+#include "test_util.h"
+
+namespace treenum {
+namespace {
+
+TEST(Determinize, ResultIsDeterministicAndEquivalent) {
+  Rng rng(251);
+  for (int trial = 0; trial < 20; ++trial) {
+    BinaryTva a = RandomBinaryTvaOnHH(rng, 3, 2, 1, 4, 8);
+    auto det = DeterminizeBinaryTva(a, 1 << 10);
+    ASSERT_TRUE(det.has_value());
+    EXPECT_TRUE(IsDeterministic(det->tva));
+    // Equivalence on random small terms.
+    for (int t = 0; t < 5; ++t) {
+      Term term(TermAlphabet{2});
+      term.set_root(BuildRandomHHTerm(term, rng, 1 + rng.Index(5), 2));
+      EXPECT_EQ(TermBruteForceAssignments(a, term),
+                TermBruteForceAssignments(det->tva, term))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(Determinize, RespectsStateCap) {
+  Rng rng(257);
+  BinaryTva a = RandomBinaryTvaOnHH(rng, 6, 2, 1, 10, 40);
+  auto det = DeterminizeBinaryTva(a, 2);
+  // Either it fit in 2 subset states (unlikely) or we get nullopt.
+  if (det.has_value()) {
+    EXPECT_LE(det->num_subsets, 2u);
+  }
+}
+
+TEST(Determinize, BlowupGrowsWithNondeterminism) {
+  // Determinizing the translated ancestor-at-distance-k automaton blows up
+  // with k while the nondeterministic pipeline stays polynomial.
+  size_t prev = 0;
+  for (size_t k : {1u, 2u, 3u}) {
+    UnrankedTva q = QueryAncestorAtDistance(2, 0, k);
+    TranslatedTva tr = TranslateUnrankedTva(q);
+    auto det = DeterminizeBinaryTva(tr.tva, size_t{1} << 22);
+    ASSERT_TRUE(det.has_value()) << "k=" << k;
+    EXPECT_GT(det->num_subsets, prev) << "k=" << k;
+    prev = det->num_subsets;
+  }
+}
+
+}  // namespace
+}  // namespace treenum

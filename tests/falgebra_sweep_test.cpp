@@ -1,0 +1,141 @@
+// Parameterized sweeps over tree shapes and sizes for the forest-algebra
+// layer: encode/decode roundtrip, height envelope, and balance maintenance
+// under sustained edit pressure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "falgebra/builder.h"
+#include "falgebra/update.h"
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+enum class Shape { kRandom, kPath, kStar, kCaterpillar, kBinary };
+
+struct SweepConfig {
+  Shape shape;
+  size_t size;
+};
+
+std::string ShapeName(Shape s) {
+  switch (s) {
+    case Shape::kRandom:
+      return "Random";
+    case Shape::kPath:
+      return "Path";
+    case Shape::kStar:
+      return "Star";
+    case Shape::kCaterpillar:
+      return "Caterpillar";
+    case Shape::kBinary:
+      return "Binary";
+  }
+  return "?";
+}
+
+UnrankedTree MakeShape(Shape s, size_t n, Rng& rng) {
+  switch (s) {
+    case Shape::kRandom:
+      return RandomTree(n, 3, rng);
+    case Shape::kPath:
+      return PathTree(n, 3, rng);
+    case Shape::kStar: {
+      UnrankedTree t(0);
+      for (size_t i = 1; i < n; ++i) t.AppendChild(t.root(), 1);
+      return t;
+    }
+    case Shape::kCaterpillar: {
+      UnrankedTree t(0);
+      NodeId cur = t.root();
+      while (t.size() + 2 <= n) {
+        t.AppendChild(cur, 1);
+        cur = t.AppendChild(cur, 0);
+      }
+      return t;
+    }
+    case Shape::kBinary:
+      return KaryTree(n, 2, 3, rng);
+  }
+  return UnrankedTree(0);
+}
+
+class FalgebraSweepTest : public ::testing::TestWithParam<SweepConfig> {};
+
+TEST_P(FalgebraSweepTest, RoundtripAndHeightEnvelope) {
+  const SweepConfig& cfg = GetParam();
+  Rng rng(static_cast<uint64_t>(cfg.size) * 31 +
+          static_cast<uint64_t>(cfg.shape));
+  UnrankedTree t = MakeShape(cfg.shape, cfg.size, rng);
+  Encoding enc = EncodeTree(t, 3);
+  ASSERT_EQ(enc.term.Validate(), "");
+  EXPECT_TRUE(enc.term.Decode() == t);
+  uint32_t h = enc.term.node(enc.term.root()).height;
+  double bound = 4.0 * std::log2(static_cast<double>(t.size()) + 1) + 8;
+  EXPECT_LE(h, bound);
+  // Every subterm inside the envelope.
+  for (TermNodeId id = 0; id < enc.term.id_bound(); ++id) {
+    if (!enc.term.IsAlive(id)) continue;
+    const TermNode& nd = enc.term.node(id);
+    ASSERT_LE(nd.height, MaxAllowedHeight(nd.size));
+  }
+}
+
+TEST_P(FalgebraSweepTest, EditPressureKeepsInvariants) {
+  const SweepConfig& cfg = GetParam();
+  Rng rng(static_cast<uint64_t>(cfg.size) * 37 +
+          static_cast<uint64_t>(cfg.shape));
+  DynamicEncoding enc(MakeShape(cfg.shape, cfg.size, rng), 3);
+  size_t edits = std::min<size_t>(cfg.size, 150);
+  for (size_t step = 0; step < edits; ++step) {
+    std::vector<NodeId> nodes = enc.tree().PreorderNodes();
+    NodeId n = nodes[rng.Index(nodes.size())];
+    switch (rng.Index(4)) {
+      case 0:
+        enc.Relabel(n, static_cast<Label>(rng.Index(3)));
+        break;
+      case 1:
+        enc.InsertFirstChild(n, static_cast<Label>(rng.Index(3)));
+        break;
+      case 2:
+        if (n != enc.tree().root()) {
+          enc.InsertRightSibling(n, static_cast<Label>(rng.Index(3)));
+        }
+        break;
+      case 3:
+        if (n != enc.tree().root() && enc.tree().IsLeaf(n)) {
+          enc.DeleteLeaf(n);
+        }
+        break;
+    }
+  }
+  EXPECT_EQ(enc.term().Validate(), "");
+  EXPECT_TRUE(enc.CheckBalanced());
+  EXPECT_TRUE(enc.term().Decode() == enc.tree());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FalgebraSweepTest,
+    ::testing::Values(SweepConfig{Shape::kRandom, 10},
+                      SweepConfig{Shape::kRandom, 100},
+                      SweepConfig{Shape::kRandom, 1000},
+                      SweepConfig{Shape::kRandom, 5000},
+                      SweepConfig{Shape::kPath, 10},
+                      SweepConfig{Shape::kPath, 100},
+                      SweepConfig{Shape::kPath, 2000},
+                      SweepConfig{Shape::kStar, 10},
+                      SweepConfig{Shape::kStar, 100},
+                      SweepConfig{Shape::kStar, 2000},
+                      SweepConfig{Shape::kCaterpillar, 20},
+                      SweepConfig{Shape::kCaterpillar, 500},
+                      SweepConfig{Shape::kCaterpillar, 2000},
+                      SweepConfig{Shape::kBinary, 15},
+                      SweepConfig{Shape::kBinary, 1023},
+                      SweepConfig{Shape::kBinary, 4000}),
+    [](const ::testing::TestParamInfo<SweepConfig>& info) {
+      return ShapeName(info.param.shape) + std::to_string(info.param.size);
+    });
+
+}  // namespace
+}  // namespace treenum

@@ -1,0 +1,224 @@
+#include "enumeration/index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "automata/homogenize.h"
+#include "automata/query_library.h"
+#include "automata/translate.h"
+#include "falgebra/builder.h"
+#include "falgebra/update.h"
+#include "test_util.h"
+
+namespace treenum {
+namespace {
+
+// --- naive reference implementations -------------------------------------
+
+std::map<TermNodeId, size_t> PreorderNumbers(const Term& term) {
+  std::map<TermNodeId, size_t> num;
+  size_t next = 0;
+  auto walk = [&](auto&& self, TermNodeId id) -> void {
+    num[id] = next++;
+    if (!term.IsLeaf(id)) {
+      self(self, term.node(id).left);
+      self(self, term.node(id).right);
+    }
+  };
+  walk(walk, term.root());
+  return num;
+}
+
+TermNodeId NaiveLca(const Term& term, TermNodeId a, TermNodeId b) {
+  std::vector<TermNodeId> ancestors;
+  for (TermNodeId x = a; x != kNoTerm; x = term.node(x).parent) {
+    ancestors.push_back(x);
+  }
+  for (TermNodeId y = b; y != kNoTerm; y = term.node(y).parent) {
+    for (TermNodeId x : ancestors) {
+      if (x == y) return y;
+    }
+  }
+  return kNoTerm;
+}
+
+// Boxes containing var/×-gates ∪-reachable from gate `u` of `box`
+// (the interesting boxes of {u}).
+std::vector<TermNodeId> NaiveInteresting(const AssignmentCircuit& c,
+                                         TermNodeId box, uint32_t u) {
+  std::vector<TermNodeId> out;
+  std::vector<std::pair<TermNodeId, uint32_t>> stack{{box, u}};
+  std::set<std::pair<TermNodeId, uint32_t>> seen;
+  const Term& term = c.term();
+  while (!stack.empty()) {
+    auto [b, g] = stack.back();
+    stack.pop_back();
+    if (!seen.emplace(b, g).second) continue;
+    const Box& bx = c.box(b);
+    if (bx.HasNonUnionInput(g)) out.push_back(b);
+    for (const auto& [side, state] : bx.child_union_inputs[g]) {
+      TermNodeId child = side == 0 ? term.node(b).left : term.node(b).right;
+      out.size();  // no-op
+      stack.push_back(
+          {child,
+           static_cast<uint32_t>(c.box(child).union_idx[state])});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+struct Pipeline {
+  HomogenizedTva h;
+  Encoding enc;
+  AssignmentCircuit circuit;
+  EnumIndex index;
+
+  Pipeline(const UnrankedTva& q, UnrankedTree tree)
+      : h(HomogenizeBinaryTva(TranslateUnrankedTva(q).tva)),
+        enc(EncodeTree(std::move(tree), q.num_labels())),
+        circuit(&enc.term, &h.tva, &h.kind),
+        index(&circuit) {
+    circuit.BuildAll();
+    index.BuildAll();
+  }
+};
+
+void CheckIndexAgainstNaive(const AssignmentCircuit& circuit,
+                            const EnumIndex& index) {
+  const Term& term = circuit.term();
+  std::map<TermNodeId, size_t> pre = PreorderNumbers(term);
+  for (TermNodeId id = 0; id < term.id_bound(); ++id) {
+    if (!term.IsAlive(id)) continue;
+    const Box& box = circuit.box(id);
+    if (box.num_unions() == 0) continue;
+    const BoxIndex& bi = index.at(id);
+    ASSERT_EQ(bi.fib.size(), box.num_unions());
+
+    // Candidates sorted strictly by preorder.
+    for (size_t i = 0; i + 1 < bi.cands.size(); ++i) {
+      EXPECT_LT(pre.at(bi.cands[i].box), pre.at(bi.cands[i + 1].box));
+    }
+
+    for (uint32_t u = 0; u < box.num_unions(); ++u) {
+      std::vector<TermNodeId> interesting = NaiveInteresting(circuit, id, u);
+      ASSERT_FALSE(interesting.empty());
+      // fib = preorder-first interesting box.
+      TermNodeId first = interesting[0];
+      for (TermNodeId b : interesting) {
+        if (pre.at(b) < pre.at(first)) first = b;
+      }
+      EXPECT_EQ(bi.cands[bi.fib[u]].box, first) << "box " << id << " gate "
+                                                << u;
+      // span = lca of all interesting boxes.
+      TermNodeId lca = interesting[0];
+      for (TermNodeId b : interesting) lca = NaiveLca(term, lca, b);
+      EXPECT_EQ(bi.cands[bi.span[u]].box, lca) << "box " << id << " gate "
+                                               << u;
+    }
+
+    // Candidate lca table agrees with the naive lca.
+    for (size_t a = 0; a < bi.cands.size(); ++a) {
+      for (size_t b = 0; b < bi.cands.size(); ++b) {
+        TermNodeId expected =
+            NaiveLca(term, bi.cands[a].box, bi.cands[b].box);
+        EXPECT_EQ(bi.cands[bi.Lca(static_cast<int16_t>(a),
+                                  static_cast<int16_t>(b))]
+                      .box,
+                  expected);
+      }
+    }
+
+    // Reachability relations: R(cand, B)[g', u] iff g' ∪⇝ u. Verify via
+    // the naive closure from each gate u.
+    for (uint32_t u = 0; u < box.num_unions(); ++u) {
+      // Gates reachable from u by ∪-paths, per box.
+      std::map<TermNodeId, std::set<uint32_t>> reach;
+      std::vector<std::pair<TermNodeId, uint32_t>> stack{{id, u}};
+      while (!stack.empty()) {
+        auto [b, g] = stack.back();
+        stack.pop_back();
+        if (!reach[b].insert(g).second) continue;
+        const Box& bx = circuit.box(b);
+        for (const auto& [side, state] : bx.child_union_inputs[g]) {
+          TermNodeId child =
+              side == 0 ? term.node(b).left : term.node(b).right;
+          stack.push_back(
+              {child,
+               static_cast<uint32_t>(circuit.box(child).union_idx[state])});
+        }
+      }
+      for (const BoxIndex::Cand& cand : bi.cands) {
+        const auto it = reach.find(cand.box);
+        for (size_t g = 0; g < circuit.box(cand.box).num_unions(); ++g) {
+          bool expected =
+              it != reach.end() && it->second.count(static_cast<uint32_t>(g));
+          EXPECT_EQ(cand.rel.Get(g, u), expected)
+              << "box " << id << " cand box " << cand.box << " g " << g
+              << " u " << u;
+        }
+      }
+    }
+  }
+}
+
+TEST(Index, MatchesNaiveReferenceOnQueries) {
+  Rng rng(83);
+  UnrankedTva queries[] = {QuerySelectLabel(2, 1),
+                           QueryMarkedAncestor(3, 1, 2),
+                           QueryDescendantPairs(2, 0, 1)};
+  for (const UnrankedTva& q : queries) {
+    for (int trial = 0; trial < 6; ++trial) {
+      Pipeline p(q, RandomTree(1 + rng.Index(40), q.num_labels(), rng));
+      CheckIndexAgainstNaive(p.circuit, p.index);
+    }
+  }
+}
+
+TEST(Index, MatchesNaiveReferenceOnPathTrees) {
+  Rng rng(89);
+  Pipeline p(QueryMarkedAncestor(3, 1, 2), PathTree(30, 3, rng));
+  CheckIndexAgainstNaive(p.circuit, p.index);
+}
+
+TEST(Index, MatchesNaiveReferenceOnRandomAutomata) {
+  Rng rng(97);
+  for (int trial = 0; trial < 10; ++trial) {
+    UnrankedTva q = RandomUnrankedTva(rng, 3, 2, 1, 3, 8);
+    Pipeline p(q, RandomTree(1 + rng.Index(25), 2, rng));
+    CheckIndexAgainstNaive(p.circuit, p.index);
+  }
+}
+
+TEST(Index, IncrementalRebuildMatchesFresh) {
+  Rng rng(101);
+  UnrankedTva q = QuerySelectLabel(2, 1);
+  HomogenizedTva h = HomogenizeBinaryTva(TranslateUnrankedTva(q).tva);
+  DynamicEncoding dyn(RandomTree(30, 2, rng), 2);
+  AssignmentCircuit circuit(&dyn.term(), &h.tva, &h.kind);
+  circuit.BuildAll();
+  EnumIndex index(&circuit);
+  index.BuildAll();
+
+  for (int step = 0; step < 25; ++step) {
+    std::vector<NodeId> nodes = dyn.tree().PreorderNodes();
+    NodeId n = nodes[rng.Index(nodes.size())];
+    UpdateResult r =
+        step % 2 ? dyn.InsertFirstChild(n, 1)
+                 : dyn.Relabel(n, static_cast<Label>(rng.Index(2)));
+    for (TermNodeId id : r.freed) {
+      circuit.FreeBox(id);
+      index.FreeBoxIndex(id);
+    }
+    for (TermNodeId id : r.changed_bottom_up) {
+      circuit.RebuildBox(id);
+      index.RebuildBoxIndex(id);
+    }
+    CheckIndexAgainstNaive(circuit, index);
+  }
+}
+
+}  // namespace
+}  // namespace treenum

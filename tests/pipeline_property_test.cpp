@@ -1,0 +1,155 @@
+// End-to-end property tests: long random edit scripts over random trees and
+// random nondeterministic automata, cross-checked against the independent
+// naive materializing oracle after every edit.
+//
+// Random automata can have exponentially many answers (e.g. subset-style
+// queries), so each step first counts answers through the cursor with a cap
+// and only materializes the oracle when the result set is small; steps whose
+// result sets exceed the cap still check structural invariants.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "baseline/naive_engine.h"
+#include "automata/query_library.h"
+#include "core/tree_enumerator.h"
+#include "test_util.h"
+
+namespace treenum {
+namespace {
+
+constexpr size_t kAnswerCap = 20000;
+
+std::optional<std::vector<Assignment>> CollectCapped(
+    const TreeEnumerator& e) {
+  TreeEnumerator::Cursor c = e.Enumerate();
+  std::vector<Assignment> out;
+  Assignment a;
+  while (c.Next(&a)) {
+    out.push_back(a);
+    if (out.size() > kAnswerCap) return std::nullopt;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct ScriptConfig {
+  uint64_t seed;
+  size_t initial_size;
+  size_t steps;
+  size_t states;
+  size_t vars;
+  /// Growth cap: with v variables a subset-style automaton can have up to
+  /// 2^(v*n) answers, so the cap keeps every step below kAnswerCap and thus
+  /// oracle-checkable.
+  size_t max_size;
+};
+
+class PipelinePropertyTest : public ::testing::TestWithParam<ScriptConfig> {};
+
+TEST_P(PipelinePropertyTest, RandomAutomatonRandomEditScript) {
+  const ScriptConfig& cfg = GetParam();
+  Rng rng(cfg.seed);
+  UnrankedTva q =
+      RandomUnrankedTva(rng, cfg.states, 2, cfg.vars, 4, 3 * cfg.states);
+  UnrankedTree t = RandomTree(cfg.initial_size, 2, rng);
+  TreeEnumerator indexed(t, q, BoxEnumMode::kIndexed);
+  TreeEnumerator naive_mode(t, q, BoxEnumMode::kNaive);
+  UnrankedTree mirror = t;  // same edits => same NodeIds
+
+  size_t checked = 0;
+  for (size_t step = 0; step < cfg.steps; ++step) {
+    std::vector<NodeId> nodes = mirror.PreorderNodes();
+    NodeId n = nodes[rng.Index(nodes.size())];
+    size_t op = rng.Index(4);
+    if (mirror.size() >= cfg.max_size && (op == 1 || op == 2)) op = 0;
+    switch (op) {
+      case 0: {
+        Label l = static_cast<Label>(rng.Index(2));
+        indexed.Relabel(n, l);
+        naive_mode.Relabel(n, l);
+        mirror.Relabel(n, l);
+        break;
+      }
+      case 1: {
+        Label l = static_cast<Label>(rng.Index(2));
+        indexed.InsertFirstChild(n, l);
+        naive_mode.InsertFirstChild(n, l);
+        mirror.InsertFirstChild(n, l);
+        break;
+      }
+      case 2: {
+        if (n == mirror.root()) break;
+        Label l = static_cast<Label>(rng.Index(2));
+        indexed.InsertRightSibling(n, l);
+        naive_mode.InsertRightSibling(n, l);
+        mirror.InsertRightSibling(n, l);
+        break;
+      }
+      case 3: {
+        if (n == mirror.root() || !mirror.IsLeaf(n)) break;
+        indexed.DeleteLeaf(n);
+        naive_mode.DeleteLeaf(n);
+        mirror.DeleteLeaf(n);
+        break;
+      }
+    }
+    ASSERT_TRUE(indexed.tree() == mirror);
+    std::optional<std::vector<Assignment>> got = CollectCapped(indexed);
+    if (!got.has_value()) continue;  // result set too large to oracle-check
+    ASSERT_EQ(*got, MaterializeAssignments(mirror, q))
+        << "seed " << cfg.seed << " step " << step;
+    std::optional<std::vector<Assignment>> got2 = CollectCapped(naive_mode);
+    ASSERT_TRUE(got2.has_value());
+    ASSERT_EQ(*got, *got2) << "seed " << cfg.seed << " step " << step;
+    ++checked;
+  }
+  // The configs are chosen so that a decent share of steps is checkable.
+  EXPECT_GT(checked, cfg.steps / 8) << "seed " << cfg.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scripts, PipelinePropertyTest,
+    ::testing::Values(ScriptConfig{1001, 5, 60, 2, 1, 14},
+                      ScriptConfig{1002, 14, 50, 3, 1, 14},
+                      ScriptConfig{1003, 6, 40, 2, 2, 7},
+                      ScriptConfig{1004, 1, 80, 3, 1, 14},
+                      ScriptConfig{1005, 12, 30, 3, 1, 13},
+                      ScriptConfig{1006, 10, 50, 4, 1, 12},
+                      ScriptConfig{1007, 5, 40, 2, 2, 7},
+                      ScriptConfig{1008, 7, 30, 3, 2, 7}),
+    [](const ::testing::TestParamInfo<ScriptConfig>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// Deep path trees exercise the rebalancing and hole-closure paths harder:
+// grow a path node by node, then delete it back down, checking after every
+// edit against the oracle.
+TEST(PipelineProperty, PathGrowShrinkAgainstOracle) {
+  Rng rng(307);
+  UnrankedTva q = QueryMarkedAncestor(2, 0, 1);
+  UnrankedTree t(0);
+  TreeEnumerator e(t, q);
+  NaiveEngine oracle(t, q);
+  std::vector<NodeId> path{oracle.tree().root()};
+  for (int i = 0; i < 40; ++i) {
+    Label l = static_cast<Label>(rng.Index(2));
+    NodeId u;
+    e.InsertFirstChild(path.back(), l, &u);
+    NodeId v = oracle.InsertFirstChild(path.back(), l);
+    ASSERT_EQ(u, v);
+    path.push_back(u);
+    ASSERT_EQ(e.EnumerateAll(), oracle.results()) << "grow " << i;
+  }
+  while (path.size() > 1) {
+    NodeId leaf = path.back();
+    path.pop_back();
+    e.DeleteLeaf(leaf);
+    oracle.DeleteLeaf(leaf);
+    ASSERT_EQ(e.EnumerateAll(), oracle.results())
+        << "shrink at " << path.size();
+  }
+}
+
+}  // namespace
+}  // namespace treenum

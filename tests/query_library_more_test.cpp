@@ -1,0 +1,145 @@
+// Tests for the XPath-style additions to the query library (child axis,
+// leaf selection, sibling adjacency), each validated against an independent
+// tree-walk reference and exercised under updates.
+#include <gtest/gtest.h>
+
+#include "automata/query_library.h"
+#include "baseline/naive_engine.h"
+#include "circuit/dot_export.h"
+#include "core/tree_enumerator.h"
+#include "test_util.h"
+
+namespace treenum {
+namespace {
+
+std::vector<Assignment> RefChildOf(const UnrankedTree& t, Label a, Label b) {
+  std::vector<Assignment> out;
+  for (NodeId n : t.PreorderNodes()) {
+    if (t.label(n) == b && t.parent(n) != kNoNode &&
+        t.label(t.parent(n)) == a) {
+      out.push_back(Assignment({{0, n}}));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Assignment> RefLeaves(const UnrankedTree& t) {
+  std::vector<Assignment> out;
+  for (NodeId n : t.PreorderNodes()) {
+    if (t.IsLeaf(n)) out.push_back(Assignment({{0, n}}));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Assignment> RefNextSibling(const UnrankedTree& t, Label a,
+                                       Label b) {
+  std::vector<Assignment> out;
+  for (NodeId p : t.PreorderNodes()) {
+    const auto& ch = t.children(p);
+    for (size_t i = 0; i + 1 < ch.size(); ++i) {
+      if (t.label(ch[i]) == a && t.label(ch[i + 1]) == b) {
+        out.push_back(Assignment({{0, ch[i]}, {1, ch[i + 1]}}));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(QueryLibraryMore, ChildOfLabelAgainstReference) {
+  Rng rng(701);
+  for (int trial = 0; trial < 12; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(60), 3, rng);
+    TreeEnumerator e(t, QueryChildOfLabel(3, 0, 1));
+    EXPECT_EQ(e.EnumerateAll(), RefChildOf(t, 0, 1)) << t.ToString();
+  }
+}
+
+TEST(QueryLibraryMore, ChildOfLabelRootNeverSelected) {
+  UnrankedTree t = UnrankedTree::Parse("(b (a (b)))");
+  TreeEnumerator e(t, QueryChildOfLabel(2, 0, 1));
+  std::vector<Assignment> res = e.EnumerateAll();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_NE(res[0].singletons()[0].node, t.root());
+}
+
+TEST(QueryLibraryMore, SelectLeavesAgainstReference) {
+  Rng rng(709);
+  for (int trial = 0; trial < 12; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(50), 2, rng);
+    TreeEnumerator e(t, QuerySelectLeaves(2));
+    EXPECT_EQ(e.EnumerateAll(), RefLeaves(t)) << t.ToString();
+  }
+}
+
+TEST(QueryLibraryMore, SelectLeavesSingletonTree) {
+  UnrankedTree t(0);
+  TreeEnumerator e(t, QuerySelectLeaves(2));
+  std::vector<Assignment> res = e.EnumerateAll();
+  ASSERT_EQ(res.size(), 1u);  // the root is a leaf
+}
+
+TEST(QueryLibraryMore, NextSiblingAgainstReference) {
+  Rng rng(719);
+  for (int trial = 0; trial < 12; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(50), 2, rng);
+    TreeEnumerator e(t, QueryNextSibling(2, 0, 1));
+    EXPECT_EQ(e.EnumerateAll(), RefNextSibling(t, 0, 1)) << t.ToString();
+  }
+}
+
+TEST(QueryLibraryMore, NextSiblingTracksSiblingInsertions) {
+  // Inserting a node *between* an (a, b) pair must remove the answer;
+  // inserting a b right of an a must add one.
+  UnrankedTree t = UnrankedTree::Parse("(a (a) (b))");
+  TreeEnumerator e(t, QueryNextSibling(2, 0, 1));
+  EXPECT_EQ(e.EnumerateAll().size(), 1u);
+  NodeId first_child = e.tree().children(e.tree().root())[0];
+  e.InsertRightSibling(first_child, 0);  // children: a, a, b
+  EXPECT_EQ(e.EnumerateAll().size(), 1u);  // only the (a, b) at the end
+  e.InsertRightSibling(first_child, 1);  // children: a, b, a, b
+  EXPECT_EQ(e.EnumerateAll().size(), 2u);
+  // Breaking an adjacency removes the answer.
+  NodeId second = e.tree().children(e.tree().root())[1];
+  e.InsertRightSibling(second, 1);  // children: a, b, b, a, b
+  EXPECT_EQ(e.EnumerateAll().size(), 2u);  // (a,b)@0-1 and (a,b)@3-4
+}
+
+TEST(QueryLibraryMore, LeavesUnderEditScript) {
+  Rng rng(727);
+  TreeEnumerator e(RandomTree(15, 2, rng), QuerySelectLeaves(2));
+  for (int step = 0; step < 60; ++step) {
+    std::vector<NodeId> nodes = e.tree().PreorderNodes();
+    NodeId n = nodes[rng.Index(nodes.size())];
+    if (rng.Flip(0.5)) {
+      e.InsertFirstChild(n, static_cast<Label>(rng.Index(2)));
+    } else if (n != e.tree().root() && e.tree().IsLeaf(n)) {
+      e.DeleteLeaf(n);
+    }
+    ASSERT_EQ(e.EnumerateAll(), RefLeaves(e.tree())) << "step " << step;
+  }
+}
+
+TEST(DotExport, ProducesWellFormedOutput) {
+  UnrankedTree t = UnrankedTree::Parse("(a (b) (c))");
+  TreeEnumerator e(t, QuerySelectLabel(3, 1));
+  std::string term_dot = TermToDot(e.term());
+  EXPECT_NE(term_dot.find("digraph term"), std::string::npos);
+  EXPECT_NE(term_dot.find(".VH"), std::string::npos);
+  std::string circuit_dot = CircuitToDot(e.circuit());
+  EXPECT_NE(circuit_dot.find("digraph circuit"), std::string::npos);
+  EXPECT_NE(circuit_dot.find("cluster_"), std::string::npos);
+  // Every cluster for every alive term node.
+  size_t clusters = 0;
+  for (size_t pos = 0; (pos = circuit_dot.find("subgraph", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++clusters;
+  }
+  EXPECT_EQ(clusters, e.term().num_alive());
+}
+
+}  // namespace
+}  // namespace treenum

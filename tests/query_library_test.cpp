@@ -1,0 +1,144 @@
+#include "automata/query_library.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_engine.h"
+#include "core/tree_enumerator.h"
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+// Independent per-query reference implementations computed directly on the
+// tree, used to validate the automata in the library.
+
+std::vector<Assignment> RefSelectLabel(const UnrankedTree& t, Label a) {
+  std::vector<Assignment> out;
+  for (NodeId n : t.PreorderNodes()) {
+    if (t.label(n) == a) out.push_back(Assignment({{0, n}}));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Assignment> RefMarkedAncestor(const UnrankedTree& t, Label marked,
+                                          Label special) {
+  std::vector<Assignment> out;
+  for (NodeId n : t.PreorderNodes()) {
+    if (t.label(n) != special) continue;
+    bool has = false;
+    for (NodeId p = t.parent(n); p != kNoNode; p = t.parent(p)) {
+      if (t.label(p) == marked) has = true;
+    }
+    if (has) out.push_back(Assignment({{0, n}}));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Assignment> RefDescendantPairs(const UnrankedTree& t, Label a,
+                                           Label b) {
+  std::vector<Assignment> out;
+  for (NodeId x : t.PreorderNodes()) {
+    if (t.label(x) != a) continue;
+    for (NodeId y : t.PreorderNodes()) {
+      if (t.label(y) != b || y == x) continue;
+      bool desc = false;
+      for (NodeId p = t.parent(y); p != kNoNode; p = t.parent(p)) {
+        if (p == x) desc = true;
+      }
+      if (desc) out.push_back(Assignment({{0, x}, {1, y}}));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Assignment> RefAncestorAtDistance(const UnrankedTree& t, Label a,
+                                              size_t k) {
+  std::vector<Assignment> out;
+  for (NodeId n : t.PreorderNodes()) {
+    NodeId p = n;
+    for (size_t i = 0; i < k && p != kNoNode; ++i) p = t.parent(p);
+    if (p != kNoNode && t.label(p) == a) {
+      out.push_back(Assignment({{0, n}}));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(QueryLibrary, SelectLabelAgainstReference) {
+  Rng rng(211);
+  for (int trial = 0; trial < 10; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(80), 3, rng);
+    TreeEnumerator e(t, QuerySelectLabel(3, 2));
+    EXPECT_EQ(e.EnumerateAll(), RefSelectLabel(t, 2));
+  }
+}
+
+TEST(QueryLibrary, SelectAllCountsNodes) {
+  Rng rng(223);
+  UnrankedTree t = RandomTree(37, 2, rng);
+  TreeEnumerator e(t, QuerySelectAll(2));
+  EXPECT_EQ(e.EnumerateAll().size(), 37u);
+}
+
+TEST(QueryLibrary, MarkedAncestorAgainstReference) {
+  Rng rng(227);
+  for (int trial = 0; trial < 10; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(60), 3, rng);
+    TreeEnumerator e(t, QueryMarkedAncestor(3, 1, 2));
+    EXPECT_EQ(e.EnumerateAll(), RefMarkedAncestor(t, 1, 2));
+  }
+}
+
+TEST(QueryLibrary, DescendantPairsAgainstReference) {
+  Rng rng(229);
+  for (int trial = 0; trial < 10; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(40), 2, rng);
+    TreeEnumerator e(t, QueryDescendantPairs(2, 0, 1));
+    EXPECT_EQ(e.EnumerateAll(), RefDescendantPairs(t, 0, 1));
+  }
+}
+
+TEST(QueryLibrary, ContainsLabelBoolean) {
+  Rng rng(233);
+  for (int trial = 0; trial < 10; ++trial) {
+    UnrankedTree t = RandomTree(1 + rng.Index(30), 2, rng);
+    bool expected = false;
+    for (NodeId n : t.PreorderNodes()) expected |= t.label(n) == 1;
+    TreeEnumerator e(t, QueryContainsLabel(2, 1));
+    EXPECT_EQ(e.EnumerateAll().size(), expected ? 1u : 0u);
+  }
+}
+
+TEST(QueryLibrary, AnySubsetCountsPowerset) {
+  Rng rng(239);
+  UnrankedTree t = RandomTree(12, 2, rng);
+  size_t b_count = 0;
+  for (NodeId n : t.PreorderNodes()) b_count += t.label(n) == 1;
+  TreeEnumerator e(t, QueryAnySubsetOfLabel(2, 1));
+  EXPECT_EQ(e.EnumerateAll().size(), (size_t{1} << b_count) - 1);
+}
+
+TEST(QueryLibrary, AncestorAtDistanceAgainstReference) {
+  Rng rng(241);
+  for (size_t k : {1u, 2u, 3u}) {
+    for (int trial = 0; trial < 6; ++trial) {
+      UnrankedTree t = RandomTree(1 + rng.Index(40), 2, rng);
+      TreeEnumerator e(t, QueryAncestorAtDistance(2, 0, k));
+      EXPECT_EQ(e.EnumerateAll(), RefAncestorAtDistance(t, 0, k))
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(QueryLibrary, AncestorAtDistanceIsNondeterministic) {
+  // The automaton must have genuinely nondeterministic ι (the anchor guess).
+  UnrankedTva q = QueryAncestorAtDistance(2, 0, 3);
+  EXPECT_GE(q.InitsFor(0, 0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace treenum

@@ -1,0 +1,90 @@
+#include "automata/regex_spanner.h"
+
+#include <gtest/gtest.h>
+
+namespace treenum {
+namespace {
+
+bool Matches(const Wva& a, const std::string& s) {
+  Word w = ToWord(s);
+  return a.Accepts(w, std::vector<VarMask>(w.size(), 0));
+}
+
+TEST(RegexSpanner, Literals) {
+  Wva a = CompileRegexSpanner("ab", 2, 0);
+  EXPECT_TRUE(Matches(a, "ab"));
+  EXPECT_FALSE(Matches(a, "ba"));
+  EXPECT_FALSE(Matches(a, "a"));
+  EXPECT_FALSE(Matches(a, "abb"));
+}
+
+TEST(RegexSpanner, Alternation) {
+  Wva a = CompileRegexSpanner("ab|ba", 2, 0);
+  EXPECT_TRUE(Matches(a, "ab"));
+  EXPECT_TRUE(Matches(a, "ba"));
+  EXPECT_FALSE(Matches(a, "aa"));
+}
+
+TEST(RegexSpanner, StarPlusOptional) {
+  Wva star = CompileRegexSpanner("a*b", 2, 0);
+  EXPECT_TRUE(Matches(star, "b"));
+  EXPECT_TRUE(Matches(star, "aaab"));
+  Wva plus = CompileRegexSpanner("a+b", 2, 0);
+  EXPECT_FALSE(Matches(plus, "b"));
+  EXPECT_TRUE(Matches(plus, "ab"));
+  Wva opt = CompileRegexSpanner("a?b", 2, 0);
+  EXPECT_TRUE(Matches(opt, "b"));
+  EXPECT_TRUE(Matches(opt, "ab"));
+  EXPECT_FALSE(Matches(opt, "aab"));
+}
+
+TEST(RegexSpanner, AnyLetter) {
+  Wva a = CompileRegexSpanner(".b", 3, 0);
+  EXPECT_TRUE(Matches(a, "ab"));
+  EXPECT_TRUE(Matches(a, "cb"));
+  EXPECT_FALSE(Matches(a, "ba"));
+}
+
+TEST(RegexSpanner, NestedGroups) {
+  Wva a = CompileRegexSpanner("(ab)*(c|b)+", 3, 0);
+  EXPECT_TRUE(Matches(a, "ababcc"));
+  EXPECT_TRUE(Matches(a, "b"));
+  EXPECT_FALSE(Matches(a, "aab"));
+}
+
+TEST(RegexSpanner, CaptureSemantics) {
+  Wva a = CompileRegexSpanner(".*<0:b>.*", 2, 1);
+  Word w = ToWord("abab");
+  std::vector<Assignment> res = a.BruteForceAssignments(w);
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0], Assignment({{0, 1}}));
+  EXPECT_EQ(res[1], Assignment({{0, 3}}));
+}
+
+TEST(RegexSpanner, CaptureAnyLetter) {
+  Wva a = CompileRegexSpanner("a<0:.>a", 2, 1);
+  EXPECT_EQ(a.BruteForceAssignments(ToWord("aba")).size(), 1u);
+  EXPECT_EQ(a.BruteForceAssignments(ToWord("aaa")).size(), 1u);
+  EXPECT_TRUE(a.BruteForceAssignments(ToWord("ab")).empty());
+}
+
+TEST(RegexSpanner, SyntaxErrors) {
+  EXPECT_THROW(CompileRegexSpanner("(ab", 2, 0), std::invalid_argument);
+  EXPECT_THROW(CompileRegexSpanner("a)", 2, 0), std::invalid_argument);
+  EXPECT_THROW(CompileRegexSpanner("*a", 2, 0), std::invalid_argument);
+  EXPECT_THROW(CompileRegexSpanner("a|", 2, 0), std::invalid_argument);
+  EXPECT_THROW(CompileRegexSpanner("<5:a>", 2, 1), std::invalid_argument);
+  EXPECT_THROW(CompileRegexSpanner("<0a>", 2, 1), std::invalid_argument);
+  EXPECT_THROW(CompileRegexSpanner("z", 2, 0), std::invalid_argument);
+}
+
+TEST(RegexSpanner, ToWordMapping) {
+  Word w = ToWord("abc");
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 0u);
+  EXPECT_EQ(w[2], 2u);
+  EXPECT_THROW(ToWord("A"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treenum

@@ -1,0 +1,104 @@
+// Parameterized end-to-end sweeps for the word/spanner pipeline: several
+// regex spanners, random words, random edit scripts (including bulk moves),
+// all cross-checked against the WVA brute-force oracle.
+#include <gtest/gtest.h>
+
+#include "automata/regex_spanner.h"
+#include "core/word_enumerator.h"
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+struct SpannerConfig {
+  const char* name;
+  const char* pattern;
+  size_t num_labels;
+  size_t num_vars;
+};
+
+class SpannerSweepTest : public ::testing::TestWithParam<SpannerConfig> {};
+
+TEST_P(SpannerSweepTest, StaticAgainstBruteForce) {
+  const SpannerConfig& cfg = GetParam();
+  Wva q = CompileRegexSpanner(cfg.pattern, cfg.num_labels, cfg.num_vars);
+  Rng rng(0xABCD);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t n = 1 + rng.Index(9);
+    Word w;
+    for (size_t i = 0; i < n; ++i) {
+      w.push_back(static_cast<Label>(rng.Index(cfg.num_labels)));
+    }
+    WordEnumerator e(w, q);
+    EXPECT_EQ(e.EnumerateAllByPosition(), q.BruteForceAssignments(w))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(SpannerSweepTest, EditScriptAgainstBruteForce) {
+  const SpannerConfig& cfg = GetParam();
+  Wva q = CompileRegexSpanner(cfg.pattern, cfg.num_labels, cfg.num_vars);
+  Rng rng(0xBEEF);
+  Word ref{0, 1};
+  WordEnumerator e(ref, q);
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.Index(4)) {
+      case 0: {
+        size_t pos = rng.Index(ref.size() + 1);
+        Label l = static_cast<Label>(rng.Index(cfg.num_labels));
+        ref.insert(ref.begin() + pos, l);
+        e.Insert(pos, l);
+        break;
+      }
+      case 1: {
+        if (ref.size() <= 1) break;
+        size_t pos = rng.Index(ref.size());
+        ref.erase(ref.begin() + pos);
+        e.Erase(pos);
+        break;
+      }
+      case 2: {
+        size_t pos = rng.Index(ref.size());
+        Label l = static_cast<Label>(rng.Index(cfg.num_labels));
+        ref[pos] = l;
+        e.Replace(pos, l);
+        break;
+      }
+      case 3: {
+        if (ref.size() < 2) break;
+        size_t begin = rng.Index(ref.size() - 1);
+        size_t end = begin + 1 + rng.Index(ref.size() - begin - 1);
+        size_t dst = rng.Index(ref.size() - (end - begin) + 1);
+        Word factor(ref.begin() + begin, ref.begin() + end);
+        ref.erase(ref.begin() + begin, ref.begin() + end);
+        ref.insert(ref.begin() + dst, factor.begin(), factor.end());
+        e.MoveRange(begin, end, dst);
+        break;
+      }
+    }
+    if (ref.size() <= 9) {
+      ASSERT_EQ(e.EnumerateAllByPosition(), q.BruteForceAssignments(ref))
+          << cfg.name << " step " << step;
+    } else {
+      WordEnumerator fresh(ref, q);
+      ASSERT_EQ(e.EnumerateAllByPosition(), fresh.EnumerateAllByPosition())
+          << cfg.name << " step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, SpannerSweepTest,
+    ::testing::Values(
+        SpannerConfig{"AnyB", ".*<0:b>.*", 2, 1},
+        SpannerConfig{"BBeforeOnlyAs", "a*<0:b>.*", 2, 1},
+        SpannerConfig{"BThenC", ".*<0:b>c+.*|.*<0:b>c+", 3, 1},
+        SpannerConfig{"Pairs", ".*<0:a>.*<1:b>.*", 2, 2},
+        SpannerConfig{"Anchored", "<0:.>.*", 2, 1},
+        SpannerConfig{"AltStar", "(a|b)*<0:c>(a|b)*", 3, 1}),
+    [](const ::testing::TestParamInfo<SpannerConfig>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace treenum

@@ -1,0 +1,173 @@
+// Shared helpers for the treenum test suite: random automata/tree/term
+// generators and independent brute-force oracles.
+#ifndef TREENUM_TESTS_TEST_UTIL_H_
+#define TREENUM_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "automata/binary_tva.h"
+#include "automata/unranked_tva.h"
+#include "falgebra/term.h"
+#include "trees/assignment.h"
+#include "util/random.h"
+
+namespace treenum {
+
+/// Random nondeterministic unranked stepwise TVA. Densities control how
+/// many ι entries / δ triples are created.
+inline UnrankedTva RandomUnrankedTva(Rng& rng, size_t states, size_t labels,
+                                     size_t vars, size_t num_inits,
+                                     size_t num_transitions) {
+  UnrankedTva a(states, labels, vars);
+  // Guarantee every label has at least one empty-annotation init so random
+  // trees are never trivially rejected everywhere.
+  for (Label l = 0; l < labels; ++l) {
+    a.AddInit(l, 0, static_cast<State>(rng.Index(states)));
+  }
+  for (size_t i = 0; i < num_inits; ++i) {
+    a.AddInit(static_cast<Label>(rng.Index(labels)),
+              static_cast<VarMask>(rng.Index(size_t{1} << vars)),
+              static_cast<State>(rng.Index(states)));
+  }
+  for (size_t i = 0; i < num_transitions; ++i) {
+    a.AddTransition(static_cast<State>(rng.Index(states)),
+                    static_cast<State>(rng.Index(states)),
+                    static_cast<State>(rng.Index(states)));
+  }
+  a.AddFinal(static_cast<State>(rng.Index(states)));
+  if (states > 1) a.AddFinal(static_cast<State>(rng.Index(states)));
+  return a;
+}
+
+/// Random nondeterministic binary TVA over an ⊕HH-only term alphabet
+/// (leaves a_t for `labels` base labels, one internal operator). Used to
+/// exercise the circuit/enumeration layers directly on arbitrary binary
+/// trees.
+inline BinaryTva RandomBinaryTvaOnHH(Rng& rng, size_t states, size_t labels,
+                                     size_t vars, size_t num_inits,
+                                     size_t num_transitions) {
+  TermAlphabet alphabet(labels);
+  BinaryTva a(states, alphabet.num_labels(), vars);
+  for (Label l = 0; l < labels; ++l) {
+    a.AddLeafInit(alphabet.TreeLeaf(l), 0,
+                  static_cast<State>(rng.Index(states)));
+  }
+  for (size_t i = 0; i < num_inits; ++i) {
+    a.AddLeafInit(alphabet.TreeLeaf(static_cast<Label>(rng.Index(labels))),
+                  static_cast<VarMask>(rng.Index(size_t{1} << vars)),
+                  static_cast<State>(rng.Index(states)));
+  }
+  Label op = alphabet.Op(TermOp::kConcatHH);
+  for (size_t i = 0; i < num_transitions; ++i) {
+    a.AddTransition(op, static_cast<State>(rng.Index(states)),
+                    static_cast<State>(rng.Index(states)),
+                    static_cast<State>(rng.Index(states)));
+  }
+  a.AddFinal(static_cast<State>(rng.Index(states)));
+  if (states > 1) a.AddFinal(static_cast<State>(rng.Index(states)));
+  return a;
+}
+
+/// Random binary ⊕HH term with `leaves` leaf symbols over `labels` base
+/// labels; leaf tree_node ids are 0..leaves-1.
+inline TermNodeId BuildRandomHHTerm(Term& term, Rng& rng, size_t leaves,
+                                    size_t labels) {
+  const TermAlphabet& alphabet = term.alphabet();
+  std::vector<TermNodeId> nodes;
+  for (size_t i = 0; i < leaves; ++i) {
+    nodes.push_back(term.NewLeaf(
+        alphabet.TreeLeaf(static_cast<Label>(rng.Index(labels))),
+        static_cast<NodeId>(i)));
+  }
+  while (nodes.size() > 1) {
+    size_t i = rng.Index(nodes.size() - 1);
+    TermNodeId combined =
+        term.NewNode(TermOp::kConcatHH, nodes[i], nodes[i + 1]);
+    nodes[i] = combined;
+    nodes.erase(nodes.begin() + i + 1);
+  }
+  return nodes[0];
+}
+
+/// Reachable states of a binary TVA at a term node under a fixed valuation
+/// of the leaf symbols (indexed by leaf tree_node id).
+inline std::vector<bool> TermReachableStates(
+    const BinaryTva& a, const Term& term, TermNodeId id,
+    const std::vector<VarMask>& valuation) {
+  const TermNode& t = term.node(id);
+  std::vector<bool> out(a.num_states(), false);
+  if (t.left == kNoTerm) {
+    VarMask mask = t.tree_node < valuation.size() ? valuation[t.tree_node] : 0;
+    for (const auto& [vars, q] : a.LeafInitsFor(t.label)) {
+      if (vars == mask) out[q] = true;
+    }
+    return out;
+  }
+  std::vector<bool> l = TermReachableStates(a, term, t.left, valuation);
+  std::vector<bool> r = TermReachableStates(a, term, t.right, valuation);
+  for (State q1 = 0; q1 < a.num_states(); ++q1) {
+    if (!l[q1]) continue;
+    for (State q2 = 0; q2 < a.num_states(); ++q2) {
+      if (!r[q2]) continue;
+      for (State q : a.TransitionsFor(t.label, q1, q2)) out[q] = true;
+    }
+  }
+  return out;
+}
+
+/// Brute-force satisfying assignments of a binary TVA on a term, trying all
+/// valuations of the leaf symbols (tiny instances only). Returns sorted.
+inline std::vector<Assignment> TermBruteForceAssignments(const BinaryTva& a,
+                                                         const Term& term) {
+  // Collect leaves.
+  std::vector<std::pair<TermNodeId, NodeId>> leaves;
+  auto walk = [&](auto&& self, TermNodeId id) -> void {
+    const TermNode& t = term.node(id);
+    if (t.left == kNoTerm) {
+      leaves.emplace_back(id, t.tree_node);
+      return;
+    }
+    self(self, t.left);
+    self(self, t.right);
+  };
+  walk(walk, term.root());
+
+  size_t vars = a.num_vars();
+  size_t bits = leaves.size() * vars;
+  std::vector<Assignment> out;
+  NodeId max_id = 0;
+  for (auto& [tid, nid] : leaves) max_id = std::max(max_id, nid);
+  for (uint64_t code = 0; code < (uint64_t{1} << bits); ++code) {
+    std::vector<VarMask> nu(max_id + 1, 0);
+    uint64_t c = code;
+    for (auto& [tid, nid] : leaves) {
+      nu[nid] = static_cast<VarMask>(c & ((VarMask{1} << vars) - 1));
+      c >>= vars;
+    }
+    std::vector<bool> root = TermReachableStates(a, term, term.root(), nu);
+    bool ok = false;
+    for (State q : a.final_states()) ok = ok || root[q];
+    if (ok) {
+      Assignment as;
+      for (auto& [tid, nid] : leaves) {
+        for (VarId v = 0; v < vars; ++v) {
+          if (nu[nid] & (VarMask{1} << v)) as.Add(Singleton{v, nid});
+        }
+      }
+      as.Normalize();
+      out.push_back(std::move(as));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Random edit script driver: applies `steps` random edits to a tree-like
+/// interface via callbacks. (Used by update/pipeline tests.)
+enum class EditKind { kRelabel, kInsertFirst, kInsertRight, kDeleteLeaf };
+
+}  // namespace treenum
+
+#endif  // TREENUM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,146 @@
+#include "automata/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/query_library.h"
+#include "automata/wva.h"
+#include "falgebra/builder.h"
+#include "falgebra/word_avl.h"
+#include "test_util.h"
+
+namespace treenum {
+namespace {
+
+// Faithfulness (Lemma 7.4): the binary TVA accepts the encoded term under
+// ν∘φ exactly when the unranked TVA accepts the tree under ν. Since the
+// encoding reuses the tree's NodeIds on leaf symbols, the two brute-force
+// assignment sets must be literally equal.
+void CheckFaithful(const UnrankedTva& a, const UnrankedTree& tree) {
+  TranslatedTva tr = TranslateUnrankedTva(a);
+  Encoding enc = EncodeTree(tree, a.num_labels());
+  ASSERT_EQ(enc.term.Validate(), "");
+  std::vector<Assignment> expected = a.BruteForceAssignments(tree);
+  std::vector<Assignment> actual =
+      TermBruteForceAssignments(tr.tva, enc.term);
+  EXPECT_EQ(expected, actual) << tree.ToString();
+}
+
+TEST(Translate, SelectLabelOnSmallTrees) {
+  UnrankedTva q = QuerySelectLabel(2, 1);
+  for (const char* s :
+       {"(a)", "(b)", "(a (b))", "(a (b) (b))", "(b (a (b)))",
+        "(a (a) (b (a)))", "(a (b (a) (b)))"}) {
+    CheckFaithful(q, UnrankedTree::Parse(s));
+  }
+}
+
+TEST(Translate, MarkedAncestorOnSmallTrees) {
+  // labels: a=0 plain, b=1 marked, c=2 special.
+  UnrankedTva q = QueryMarkedAncestor(3, 1, 2);
+  for (const char* s :
+       {"(a (c))", "(b (c))", "(b (a (c)))", "(a (b (c) (c)) (c))",
+        "(c (b (c)))"}) {
+    CheckFaithful(q, UnrankedTree::Parse(s));
+  }
+}
+
+TEST(Translate, DescendantPairsOnSmallTrees) {
+  UnrankedTva q = QueryDescendantPairs(2, 0, 1);
+  for (const char* s :
+       {"(a (b))", "(b (a))", "(a (a (b)))", "(a (b) (b))", "(b)"}) {
+    CheckFaithful(q, UnrankedTree::Parse(s));
+  }
+}
+
+TEST(Translate, BooleanContainment) {
+  UnrankedTva q = QueryContainsLabel(2, 1);
+  for (const char* s : {"(a)", "(b)", "(a (a) (a (b)))", "(a (a) (a))"}) {
+    CheckFaithful(q, UnrankedTree::Parse(s));
+  }
+}
+
+TEST(Translate, RandomAutomataRandomTreesProperty) {
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    UnrankedTva a = RandomUnrankedTva(rng, 3, 2, 1, 3, 9);
+    UnrankedTree tree = RandomTree(1 + rng.Index(6), 2, rng);
+    CheckFaithful(a, tree);
+  }
+}
+
+TEST(Translate, RandomTwoVarProperty) {
+  Rng rng(202);
+  for (int trial = 0; trial < 20; ++trial) {
+    UnrankedTva a = RandomUnrankedTva(rng, 2, 2, 2, 4, 6);
+    UnrankedTree tree = RandomTree(1 + rng.Index(5), 2, rng);
+    CheckFaithful(a, tree);
+  }
+}
+
+TEST(Translate, PathAndStarShapes) {
+  Rng rng(7);
+  UnrankedTva q = QuerySelectLabel(2, 1);
+  CheckFaithful(q, PathTree(7, 2, rng));
+  // star: root with many leaves
+  UnrankedTree star(0);
+  for (int i = 0; i < 6; ++i) star.AppendChild(star.root(), 1);
+  CheckFaithful(q, star);
+}
+
+TEST(TranslateWva, RegularLanguageFaithful) {
+  // L = a*ba*, x bound to the b position.
+  Wva a(2, 2, 1);
+  a.AddInitial(0);
+  a.AddTransition(0, 0, 0, 0);
+  a.AddTransition(0, 1, 1, 1);
+  a.AddTransition(1, 0, 0, 1);
+  a.AddFinal(1);
+
+  TranslatedTva tr = TranslateWva(a);
+  for (const Word& w :
+       {Word{0, 1, 0}, Word{1}, Word{0, 0}, Word{1, 1}, Word{0, 1, 0, 0}}) {
+    WordEncoding enc(w, a.num_labels());
+    std::vector<Assignment> expected = a.BruteForceAssignments(w);
+    std::vector<Assignment> actual =
+        TermBruteForceAssignments(tr.tva, enc.term());
+    EXPECT_EQ(expected, actual);
+  }
+}
+
+TEST(TranslateWva, RandomWvaProperty) {
+  Rng rng(303);
+  for (int trial = 0; trial < 40; ++trial) {
+    Wva a(3, 2, 1);
+    a.AddInitial(static_cast<State>(rng.Index(3)));
+    for (int i = 0; i < 10; ++i) {
+      a.AddTransition(static_cast<State>(rng.Index(3)),
+                      static_cast<Label>(rng.Index(2)),
+                      static_cast<VarMask>(rng.Index(2)),
+                      static_cast<State>(rng.Index(3)));
+    }
+    a.AddFinal(static_cast<State>(rng.Index(3)));
+    size_t len = 1 + rng.Index(5);
+    Word w;
+    for (size_t i = 0; i < len; ++i) {
+      w.push_back(static_cast<Label>(rng.Index(2)));
+    }
+    TranslatedTva tr = TranslateWva(a);
+    WordEncoding enc(w, a.num_labels());
+    EXPECT_EQ(a.BruteForceAssignments(w),
+              TermBruteForceAssignments(tr.tva, enc.term()))
+        << "trial " << trial;
+  }
+}
+
+TEST(Translate, TranslatedSizePolynomial) {
+  // |Q'| ≤ (|Q|+2)^2 + (|Q|+2)^4 — and in practice much smaller after the
+  // reachable-only closure.
+  UnrankedTva q = QueryMarkedAncestor(3, 1, 2);
+  TranslatedTva tr = TranslateUnrankedTva(q);
+  size_t n = q.num_states() + 2;
+  EXPECT_LE(tr.tva.num_states(), n * n + n * n * n * n);
+  EXPECT_FALSE(tr.tva.final_states().empty());
+}
+
+}  // namespace
+}  // namespace treenum

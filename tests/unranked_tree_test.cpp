@@ -1,0 +1,122 @@
+#include "trees/unranked_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+TEST(UnrankedTree, SingleRoot) {
+  UnrankedTree t(3);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.label(t.root()), 3u);
+  EXPECT_TRUE(t.IsLeaf(t.root()));
+  EXPECT_EQ(t.parent(t.root()), kNoNode);
+  EXPECT_EQ(t.Height(), 0u);
+}
+
+TEST(UnrankedTree, AppendChildOrder) {
+  UnrankedTree t(0);
+  NodeId a = t.AppendChild(t.root(), 1);
+  NodeId b = t.AppendChild(t.root(), 2);
+  ASSERT_EQ(t.children(t.root()).size(), 2u);
+  EXPECT_EQ(t.children(t.root())[0], a);
+  EXPECT_EQ(t.children(t.root())[1], b);
+  EXPECT_EQ(t.Depth(a), 1u);
+}
+
+TEST(UnrankedTree, InsertFirstChild) {
+  UnrankedTree t(0);
+  NodeId a = t.AppendChild(t.root(), 1);
+  NodeId u = t.InsertFirstChild(t.root(), 5);
+  EXPECT_EQ(t.children(t.root())[0], u);
+  EXPECT_EQ(t.children(t.root())[1], a);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(UnrankedTree, InsertRightSibling) {
+  UnrankedTree t(0);
+  NodeId a = t.AppendChild(t.root(), 1);
+  NodeId b = t.AppendChild(t.root(), 2);
+  NodeId u = t.InsertRightSibling(a, 7);
+  const auto& ch = t.children(t.root());
+  ASSERT_EQ(ch.size(), 3u);
+  EXPECT_EQ(ch[0], a);
+  EXPECT_EQ(ch[1], u);
+  EXPECT_EQ(ch[2], b);
+}
+
+TEST(UnrankedTree, InsertRightSiblingOfRootThrows) {
+  UnrankedTree t(0);
+  EXPECT_THROW(t.InsertRightSibling(t.root(), 1), std::invalid_argument);
+}
+
+TEST(UnrankedTree, DeleteLeaf) {
+  UnrankedTree t(0);
+  NodeId a = t.AppendChild(t.root(), 1);
+  NodeId b = t.AppendChild(a, 2);
+  EXPECT_THROW(t.DeleteLeaf(a), std::invalid_argument);  // not a leaf
+  t.DeleteLeaf(b);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.IsLeaf(a));
+  EXPECT_FALSE(t.IsAlive(b));
+  EXPECT_THROW(t.DeleteLeaf(t.root()), std::invalid_argument);
+}
+
+TEST(UnrankedTree, NodeIdsStableAcrossEdits) {
+  UnrankedTree t(0);
+  NodeId a = t.AppendChild(t.root(), 1);
+  NodeId b = t.AppendChild(t.root(), 2);
+  t.DeleteLeaf(a);
+  NodeId c = t.AppendChild(b, 3);
+  EXPECT_TRUE(t.IsAlive(b));
+  EXPECT_TRUE(t.IsAlive(c));
+  EXPECT_EQ(t.label(b), 2u);
+}
+
+TEST(UnrankedTree, ParseToStringRoundtrip) {
+  std::string s = "(a (b) (c (d) (e)) (b))";
+  UnrankedTree t = UnrankedTree::Parse(s);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.ToString(), s);
+}
+
+TEST(UnrankedTree, ParseRejectsGarbage) {
+  EXPECT_THROW(UnrankedTree::Parse("(a (b)"), std::invalid_argument);
+  EXPECT_THROW(UnrankedTree::Parse("a"), std::invalid_argument);
+  EXPECT_THROW(UnrankedTree::Parse("(a) junk"), std::invalid_argument);
+}
+
+TEST(UnrankedTree, EqualityIsStructural) {
+  UnrankedTree a = UnrankedTree::Parse("(a (b) (c))");
+  UnrankedTree b = UnrankedTree::Parse("(a (b) (c))");
+  UnrankedTree c = UnrankedTree::Parse("(a (c) (b))");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(UnrankedTree, PreorderNodes) {
+  UnrankedTree t = UnrankedTree::Parse("(a (b (d)) (c))");
+  std::vector<NodeId> pre = t.PreorderNodes();
+  ASSERT_EQ(pre.size(), 4u);
+  EXPECT_EQ(t.label(pre[0]), 0u);  // a
+  EXPECT_EQ(t.label(pre[1]), 1u);  // b
+  EXPECT_EQ(t.label(pre[2]), 3u);  // d
+  EXPECT_EQ(t.label(pre[3]), 2u);  // c
+}
+
+TEST(UnrankedTree, Generators) {
+  Rng rng(5);
+  UnrankedTree r = RandomTree(200, 3, rng);
+  EXPECT_EQ(r.size(), 200u);
+  UnrankedTree p = PathTree(50, 2, rng);
+  EXPECT_EQ(p.size(), 50u);
+  EXPECT_EQ(p.Height(), 49u);
+  UnrankedTree k = KaryTree(100, 3, 2, rng);
+  EXPECT_EQ(k.size(), 100u);
+  EXPECT_LE(k.Height(), 6u);
+}
+
+}  // namespace
+}  // namespace treenum

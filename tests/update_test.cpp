@@ -1,0 +1,202 @@
+#include "falgebra/update.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+void ExpectSync(const DynamicEncoding& enc) {
+  ASSERT_EQ(enc.term().Validate(), "");
+  UnrankedTree decoded = enc.term().Decode();
+  EXPECT_TRUE(decoded == enc.tree())
+      << "term decodes to " << decoded.ToString() << " but tree is "
+      << enc.tree().ToString();
+  // Leaf bijection intact.
+  for (NodeId n : enc.tree().PreorderNodes()) {
+    TermNodeId leaf = enc.LeafOf(n);
+    ASSERT_NE(leaf, kNoTerm);
+    EXPECT_EQ(enc.term().node(leaf).tree_node, n);
+  }
+}
+
+TEST(Update, RelabelLeafAndInternal) {
+  DynamicEncoding enc(UnrankedTree::Parse("(a (b) (c (d)))"), 5);
+  NodeId root = enc.tree().root();
+  NodeId c = enc.tree().children(root)[1];
+  UpdateResult r1 = enc.Relabel(c, 4);
+  EXPECT_FALSE(r1.changed_bottom_up.empty());
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().label(c), 4u);
+  UpdateResult r2 = enc.Relabel(root, 3);
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().ToString(), "(d (b) (e (d)))");
+  (void)r2;
+}
+
+TEST(Update, InsertRightSiblingOfLeaf) {
+  DynamicEncoding enc(UnrankedTree::Parse("(a (b) (c))"), 5);
+  NodeId b = enc.tree().children(enc.tree().root())[0];
+  enc.InsertRightSibling(b, 4);
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().ToString(), "(a (b) (e) (c))");
+}
+
+TEST(Update, InsertRightSiblingOfInternal) {
+  DynamicEncoding enc(UnrankedTree::Parse("(a (b (c) (d)) (e))"), 6);
+  NodeId b = enc.tree().children(enc.tree().root())[0];
+  enc.InsertRightSibling(b, 5);
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().ToString(), "(a (b (c) (d)) (f) (e))");
+}
+
+TEST(Update, InsertFirstChildOfLeaf) {
+  DynamicEncoding enc(UnrankedTree::Parse("(a (b))"), 5);
+  NodeId b = enc.tree().children(enc.tree().root())[0];
+  enc.InsertFirstChild(b, 2);
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().ToString(), "(a (b (c)))");
+}
+
+TEST(Update, InsertFirstChildOfInternal) {
+  DynamicEncoding enc(UnrankedTree::Parse("(a (b) (c))"), 5);
+  enc.InsertFirstChild(enc.tree().root(), 3);
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().ToString(), "(a (d) (b) (c))");
+}
+
+TEST(Update, InsertFirstChildWhenFirstChildIsInternal) {
+  DynamicEncoding enc(UnrankedTree::Parse("(a (b (c)) (d))"), 5);
+  enc.InsertFirstChild(enc.tree().root(), 4);
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().ToString(), "(a (e) (b (c)) (d))");
+}
+
+TEST(Update, DeleteLeafWithSiblings) {
+  DynamicEncoding enc(UnrankedTree::Parse("(a (b) (c) (d))"), 5);
+  NodeId c = enc.tree().children(enc.tree().root())[1];
+  UpdateResult r = enc.DeleteLeaf(c);
+  EXPECT_EQ(r.freed.size(), 2u);
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().ToString(), "(a (b) (d))");
+}
+
+TEST(Update, DeleteSoleChildClosesHole) {
+  DynamicEncoding enc(UnrankedTree::Parse("(a (b (c)) (d))"), 5);
+  NodeId b = enc.tree().children(enc.tree().root())[0];
+  NodeId c = enc.tree().children(b)[0];
+  enc.DeleteLeaf(c);
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().ToString(), "(a (b) (d))");
+  // b's symbol must now be a tree leaf again.
+  EXPECT_TRUE(enc.term().alphabet().IsTreeLeaf(
+      enc.term().node(enc.LeafOf(b)).label));
+}
+
+TEST(Update, DeleteDeepSoleChildChain) {
+  DynamicEncoding enc(UnrankedTree::Parse("(a (b (c (d (e)))))"), 5);
+  // Repeatedly delete the deepest node.
+  for (int i = 0; i < 4; ++i) {
+    NodeId cur = enc.tree().root();
+    while (!enc.tree().IsLeaf(cur)) cur = enc.tree().children(cur)[0];
+    enc.DeleteLeaf(cur);
+    ExpectSync(enc);
+  }
+  EXPECT_EQ(enc.tree().ToString(), "(a)");
+}
+
+TEST(Update, InsertManyKeepsBalance) {
+  DynamicEncoding enc(UnrankedTree(0), 3);
+  Rng rng(41);
+  NodeId cur = enc.tree().root();
+  // Grow a path by always inserting as first child of the deepest node —
+  // the adversarial case for balance.
+  for (int i = 0; i < 2000; ++i) {
+    NodeId u;
+    enc.InsertFirstChild(cur, static_cast<Label>(rng.Index(3)), &u);
+    cur = u;
+  }
+  EXPECT_TRUE(enc.CheckBalanced());
+  uint32_t h = enc.term().node(enc.term().root()).height;
+  EXPECT_LE(h, MaxAllowedHeight(2001));
+  ExpectSync(enc);
+}
+
+TEST(Update, RandomEditScriptProperty) {
+  Rng rng(43);
+  for (int trial = 0; trial < 15; ++trial) {
+    DynamicEncoding enc(RandomTree(1 + rng.Index(30), 3, rng), 3);
+    for (int step = 0; step < 120; ++step) {
+      std::vector<NodeId> nodes = enc.tree().PreorderNodes();
+      NodeId n = nodes[rng.Index(nodes.size())];
+      switch (rng.Index(4)) {
+        case 0:
+          enc.Relabel(n, static_cast<Label>(rng.Index(3)));
+          break;
+        case 1:
+          enc.InsertFirstChild(n, static_cast<Label>(rng.Index(3)));
+          break;
+        case 2:
+          if (n != enc.tree().root()) {
+            enc.InsertRightSibling(n, static_cast<Label>(rng.Index(3)));
+          }
+          break;
+        case 3:
+          if (n != enc.tree().root() && enc.tree().IsLeaf(n)) {
+            enc.DeleteLeaf(n);
+          }
+          break;
+      }
+      if (step % 20 == 19) ExpectSync(enc);
+    }
+    ExpectSync(enc);
+    EXPECT_TRUE(enc.CheckBalanced());
+  }
+}
+
+TEST(Update, GrowAndShrinkToSingleton) {
+  DynamicEncoding enc(UnrankedTree(0), 2);
+  std::vector<NodeId> inserted;
+  NodeId root = enc.tree().root();
+  for (int i = 0; i < 50; ++i) {
+    NodeId u;
+    enc.InsertFirstChild(root, 1, &u);
+    inserted.push_back(u);
+  }
+  ExpectSync(enc);
+  // Delete in insertion order (each is a leaf: children of root).
+  for (NodeId u : inserted) enc.DeleteLeaf(u);
+  ExpectSync(enc);
+  EXPECT_EQ(enc.tree().size(), 1u);
+}
+
+TEST(Update, ChangedListIsChildrenFirst) {
+  Rng rng(48);
+  DynamicEncoding enc(RandomTree(50, 2, rng), 2);
+  for (int step = 0; step < 40; ++step) {
+    std::vector<NodeId> nodes = enc.tree().PreorderNodes();
+    NodeId n = nodes[rng.Index(nodes.size())];
+    UpdateResult r = enc.InsertFirstChild(n, 1);
+    // children-first: when id appears, none of its descendants may appear
+    // later in the list.
+    for (size_t i = 0; i < r.changed_bottom_up.size(); ++i) {
+      for (size_t j = i + 1; j < r.changed_bottom_up.size(); ++j) {
+        // j must not be an ancestor-before-descendant violation: check that
+        // changed[i] is not a proper ancestor of changed[j].
+        TermNodeId x = r.changed_bottom_up[j];
+        while (x != kNoTerm && x != r.changed_bottom_up[i]) {
+          x = enc.term().node(x).parent;
+        }
+        EXPECT_EQ(x, kNoTerm)
+            << "ancestor " << r.changed_bottom_up[i]
+            << " appears before descendant " << r.changed_bottom_up[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treenum

@@ -1,0 +1,150 @@
+// Bulk word updates (MoveRange): AVL split/join correctness, balance, and
+// end-to-end maintenance through the WordEnumerator.
+#include <gtest/gtest.h>
+
+#include "automata/regex_spanner.h"
+#include "core/word_enumerator.h"
+#include "falgebra/word_avl.h"
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+Word MakeWord(const std::string& s) { return ToWord(s); }
+
+void RefMove(Word& w, size_t begin, size_t end, size_t dst) {
+  Word factor(w.begin() + begin, w.begin() + end);
+  w.erase(w.begin() + begin, w.begin() + end);
+  w.insert(w.begin() + dst, factor.begin(), factor.end());
+}
+
+TEST(WordBulk, MoveSmall) {
+  WordEncoding enc(MakeWord("abcdef"), 6);
+  enc.MoveRange(1, 3, 0);  // move "bc" to the front
+  EXPECT_EQ(enc.Current(), MakeWord("bcadef"));
+  EXPECT_TRUE(enc.CheckBalanced());
+  EXPECT_EQ(enc.term().Validate(), "");
+}
+
+TEST(WordBulk, MoveToEnd) {
+  WordEncoding enc(MakeWord("abcdef"), 6);
+  enc.MoveRange(0, 2, 4);  // move "ab" behind "cdef"
+  EXPECT_EQ(enc.Current(), MakeWord("cdefab"));
+  EXPECT_TRUE(enc.CheckBalanced());
+}
+
+TEST(WordBulk, MoveWholeWordIsNoop) {
+  WordEncoding enc(MakeWord("abc"), 3);
+  enc.MoveRange(0, 3, 0);
+  EXPECT_EQ(enc.Current(), MakeWord("abc"));
+  EXPECT_EQ(enc.term().Validate(), "");
+}
+
+TEST(WordBulk, SingleLetterMove) {
+  WordEncoding enc(MakeWord("abcd"), 4);
+  enc.MoveRange(3, 4, 0);
+  EXPECT_EQ(enc.Current(), MakeWord("dabc"));
+}
+
+TEST(WordBulk, RandomMovesMatchVector) {
+  Rng rng(601);
+  for (int trial = 0; trial < 10; ++trial) {
+    Word ref;
+    size_t n = 2 + rng.Index(60);
+    for (size_t i = 0; i < n; ++i) {
+      ref.push_back(static_cast<Label>(rng.Index(3)));
+    }
+    WordEncoding enc(ref, 3);
+    for (int step = 0; step < 80; ++step) {
+      size_t begin = rng.Index(ref.size());
+      size_t end = begin + 1 + rng.Index(ref.size() - begin);
+      size_t dst = rng.Index(ref.size() - (end - begin) + 1);
+      RefMove(ref, begin, end, dst);
+      enc.MoveRange(begin, end, dst);
+      ASSERT_EQ(enc.Current(), ref) << "trial " << trial << " step " << step;
+      ASSERT_TRUE(enc.CheckBalanced());
+      ASSERT_EQ(enc.term().Validate(), "");
+    }
+  }
+}
+
+TEST(WordBulk, PositionIdsSurviveMoves) {
+  WordEncoding enc(MakeWord("abcde"), 5);
+  NodeId id_c = enc.PositionId(2);
+  enc.MoveRange(2, 4, 0);  // "cdabe"
+  EXPECT_EQ(enc.PositionOf(id_c), 0u);
+  enc.MoveRange(0, 1, 4);  // "dabec"
+  EXPECT_EQ(enc.PositionOf(id_c), 4u);
+}
+
+TEST(WordBulk, ChangedListIsChildrenFirstAndAlive) {
+  Rng rng(607);
+  Word ref;
+  for (size_t i = 0; i < 100; ++i) {
+    ref.push_back(static_cast<Label>(rng.Index(2)));
+  }
+  WordEncoding enc(ref, 2);
+  for (int step = 0; step < 30; ++step) {
+    size_t begin = rng.Index(ref.size() - 1);
+    size_t end = begin + 1 + rng.Index(ref.size() - begin - 1);
+    size_t dst = rng.Index(ref.size() - (end - begin) + 1);
+    UpdateResult r = enc.MoveRange(begin, end, dst);
+    RefMove(ref, begin, end, dst);
+    for (size_t i = 0; i < r.changed_bottom_up.size(); ++i) {
+      ASSERT_TRUE(enc.term().IsAlive(r.changed_bottom_up[i]));
+      for (size_t j = i + 1; j < r.changed_bottom_up.size(); ++j) {
+        // No ancestor before descendant.
+        TermNodeId x = r.changed_bottom_up[j];
+        while (x != kNoTerm && x != r.changed_bottom_up[i]) {
+          x = enc.term().node(x).parent;
+        }
+        ASSERT_EQ(x, kNoTerm);
+      }
+    }
+  }
+  EXPECT_EQ(enc.Current(), ref);
+}
+
+TEST(WordBulk, MoveCostLogarithmic) {
+  // Structural changes per move should be O(log n): compare counts at two
+  // sizes.
+  auto changes_for = [](size_t n) {
+    Rng rng(613);
+    Word w(n, 0);
+    WordEncoding enc(w, 2);
+    size_t total = 0;
+    const int kMoves = 50;
+    for (int i = 0; i < kMoves; ++i) {
+      size_t begin = rng.Index(n / 2);
+      size_t end = begin + 1 + rng.Index(n / 4);
+      size_t dst = rng.Index(n - (end - begin));
+      UpdateResult r = enc.MoveRange(begin, end, dst);
+      total += r.changed_bottom_up.size() + r.freed.size();
+    }
+    return total / kMoves;
+  };
+  size_t small = changes_for(1024);
+  size_t large = changes_for(65536);
+  // log2(65536)/log2(1024) = 1.6; allow generous slack but rule out linear
+  // growth (which would be a 64x ratio).
+  EXPECT_LE(large, 4 * small);
+}
+
+TEST(WordBulk, EndToEndSpannerMaintenance) {
+  Rng rng(617);
+  Wva q = CompileRegexSpanner(".*<0:b>c+.*|.*<0:b>c+", 3, 1);
+  Word ref = ToWord("abcabcbcc");
+  WordEnumerator e(ref, q);
+  for (int step = 0; step < 40; ++step) {
+    size_t begin = rng.Index(ref.size() - 1);
+    size_t end = begin + 1 + rng.Index(ref.size() - begin - 1);
+    size_t dst = rng.Index(ref.size() - (end - begin) + 1);
+    e.MoveRange(begin, end, dst);
+    RefMove(ref, begin, end, dst);
+    ASSERT_EQ(e.EnumerateAllByPosition(), q.BruteForceAssignments(ref))
+        << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace treenum

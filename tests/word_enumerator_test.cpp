@@ -1,0 +1,109 @@
+#include "core/word_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/regex_spanner.h"
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+Wva SomeBPosition() {
+  // a*<x:b>(a|b)* — select every b position.
+  Wva a(2, 2, 1);
+  a.AddInitial(0);
+  a.AddTransition(0, 0, 0, 0);
+  a.AddTransition(0, 1, 0, 0);
+  a.AddTransition(0, 1, 1, 1);
+  a.AddTransition(1, 0, 0, 1);
+  a.AddTransition(1, 1, 0, 1);
+  a.AddFinal(1);
+  return a;
+}
+
+TEST(WordEnumerator, StaticEnumeration) {
+  WordEnumerator e(ToWord("abab"), SomeBPosition());
+  std::vector<Assignment> res = e.EnumerateAllByPosition();
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].singletons()[0].node, 1u);
+  EXPECT_EQ(res[1].singletons()[0].node, 3u);
+}
+
+TEST(WordEnumerator, MatchesBruteForceOnRandomWords) {
+  Rng rng(181);
+  Wva q = SomeBPosition();
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 1 + rng.Index(10);
+    Word w;
+    for (size_t i = 0; i < n; ++i) {
+      w.push_back(static_cast<Label>(rng.Index(2)));
+    }
+    WordEnumerator e(w, q);
+    EXPECT_EQ(e.EnumerateAllByPosition(), q.BruteForceAssignments(w));
+  }
+}
+
+TEST(WordEnumerator, UpdatesTrackBruteForce) {
+  Rng rng(191);
+  Wva q = SomeBPosition();
+  Word ref = ToWord("ab");
+  WordEnumerator e(ref, q);
+  for (int step = 0; step < 200; ++step) {
+    switch (rng.Index(3)) {
+      case 0: {
+        size_t pos = rng.Index(ref.size() + 1);
+        Label l = static_cast<Label>(rng.Index(2));
+        ref.insert(ref.begin() + pos, l);
+        e.Insert(pos, l);
+        break;
+      }
+      case 1: {
+        if (ref.size() <= 1) break;
+        size_t pos = rng.Index(ref.size());
+        ref.erase(ref.begin() + pos);
+        e.Erase(pos);
+        break;
+      }
+      case 2: {
+        size_t pos = rng.Index(ref.size());
+        Label l = static_cast<Label>(rng.Index(2));
+        ref[pos] = l;
+        e.Replace(pos, l);
+        break;
+      }
+    }
+    if (ref.size() <= 10) {
+      ASSERT_EQ(e.EnumerateAllByPosition(), q.BruteForceAssignments(ref))
+          << "step " << step;
+    } else {
+      // Cross-check against a fresh enumerator (brute force too slow).
+      WordEnumerator fresh(ref, q);
+      ASSERT_EQ(e.EnumerateAllByPosition(), fresh.EnumerateAllByPosition())
+          << "step " << step;
+    }
+  }
+}
+
+TEST(WordEnumerator, RegexSpannerEndToEnd) {
+  // All b positions preceded only by a's.
+  Wva q = CompileRegexSpanner("a*<0:b>.*", 2, 1);
+  WordEnumerator e(ToWord("aababb"), q);
+  std::vector<Assignment> res = e.EnumerateAllByPosition();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].singletons()[0].node, 2u);
+}
+
+TEST(WordEnumerator, TwoVariableSpanner) {
+  // <0:a>.*<1:b>: every a position paired with every later b position.
+  Wva q = CompileRegexSpanner("<0:a>.*<1:b>", 2, 2);
+  // The pattern is anchored: the captured a must be the first letter and
+  // the captured b the last one.
+  WordEnumerator e(ToWord("aabb"), q);
+  std::vector<Assignment> res = e.EnumerateAllByPosition();
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0], Assignment({{0, 0}, {1, 3}}));
+  EXPECT_EQ(res, q.BruteForceAssignments(ToWord("aabb")));
+}
+
+}  // namespace
+}  // namespace treenum
