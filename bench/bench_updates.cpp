@@ -84,6 +84,53 @@ BENCHMARK(BM_Update_MixedStream)
     ->Range(1024, 131072)
     ->Unit(benchmark::kMicrosecond);
 
+// ---- Batched updates: ApplyEdits(k edits) vs the same k edits applied
+// one-by-one. The batch coalesces the changed_bottom_up sets, so shared
+// root-path boxes are refreshed once per batch instead of once per edit;
+// the win grows with k (until the batch covers the whole tree).
+template <bool kBatched>
+void UpdateScriptBench(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  UnrankedTree tree = bench::MakeTree(n);
+  TreeEnumerator e(tree, bench::StandardQuery());
+  bench::EngineEditDriver driver(e, tree, kSeed);
+  size_t boxes = 0;
+  for (auto _ : state) {
+    if (kBatched) e.BeginBatch();
+    for (size_t i = 0; i < k; ++i) boxes += driver.Step().boxes_recomputed;
+    if (kBatched) boxes += e.CommitBatch().boxes_recomputed;
+  }
+  double per_edit_boxes = static_cast<double>(boxes) /
+                          static_cast<double>(state.iterations() * k);
+  state.counters["boxes_per_edit"] = per_edit_boxes;
+  state.counters["edits_per_batch"] = static_cast<double>(k);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * k));
+  bench::EmitJson(kBatched ? "update_batched" : "update_sequential",
+                  {{"n", static_cast<double>(n)},
+                   {"k", static_cast<double>(k)},
+                   {"boxes_per_edit", per_edit_boxes},
+                   {"iterations", static_cast<double>(state.iterations())}});
+}
+
+void BM_Update_SequentialEdits(benchmark::State& state) {
+  UpdateScriptBench<false>(state);
+}
+BENCHMARK(BM_Update_SequentialEdits)
+    ->Args({131072, 16})
+    ->Args({131072, 64})
+    ->Args({131072, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Update_BatchedEdits(benchmark::State& state) {
+  UpdateScriptBench<true>(state);
+}
+BENCHMARK(BM_Update_BatchedEdits)
+    ->Args({131072, 16})
+    ->Args({131072, 64})
+    ->Args({131072, 256})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Update_AdversarialPathGrowth(benchmark::State& state) {
   // Always extend the deepest node: maximal rebalancing pressure.
   TreeEnumerator e(UnrankedTree(0), bench::StandardQuery());

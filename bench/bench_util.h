@@ -3,9 +3,14 @@
 #ifndef TREENUM_BENCH_BENCH_UTIL_H_
 #define TREENUM_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "automata/query_library.h"
+#include "core/engine.h"
 #include "core/tree_enumerator.h"
 #include "trees/unranked_tree.h"
 #include "util/random.h"
@@ -90,6 +95,89 @@ class EditDriver {
   Rng rng_;
   std::vector<NodeId> pool_;
 };
+
+/// Random-edit driver for any Engine backend: the candidate pool is kept in
+/// sync with a mirror tree (same edits => same NodeIds on every backend),
+/// so one driver instance can feed engines that expose no tree() accessor.
+/// Emits through Engine::ApplyEdit, i.e. the shared update surface.
+class EngineEditDriver {
+ public:
+  EngineEditDriver(Engine& e, UnrankedTree mirror, uint64_t seed)
+      : e_(e), mirror_(std::move(mirror)), rng_(seed) {
+    pool_ = mirror_.PreorderNodes();
+  }
+
+  UpdateStats Step() {
+    NodeId n = Pick();
+    Label l = static_cast<Label>(rng_.Index(3));
+    switch (rng_.Index(4)) {
+      case 1: {
+        mirror_.InsertFirstChild(n, l);
+        NodeId u;
+        UpdateStats s = e_.ApplyEdit(Edit::InsertFirstChild(n, l), &u);
+        pool_.push_back(u);
+        return s;
+      }
+      case 2: {
+        if (n == mirror_.root()) break;
+        mirror_.InsertRightSibling(n, l);
+        NodeId u;
+        UpdateStats s = e_.ApplyEdit(Edit::InsertRightSibling(n, l), &u);
+        pool_.push_back(u);
+        return s;
+      }
+      case 3: {
+        if (n == mirror_.root() || !mirror_.IsLeaf(n)) break;
+        mirror_.DeleteLeaf(n);
+        return e_.ApplyEdit(Edit::DeleteLeaf(n));
+      }
+      default:
+        break;
+    }
+    mirror_.Relabel(n, l);
+    return e_.ApplyEdit(Edit::Relabel(n, l));
+  }
+
+ private:
+  NodeId Pick() {
+    while (true) {
+      size_t i = rng_.Index(pool_.size());
+      NodeId n = pool_[i];
+      if (mirror_.IsAlive(n)) return n;
+      pool_[i] = pool_.back();  // drop stale (deleted) entries lazily
+      pool_.pop_back();
+    }
+  }
+
+  Engine& e_;
+  UnrankedTree mirror_;
+  Rng rng_;
+  std::vector<NodeId> pool_;
+};
+
+/// Machine-readable benchmark output: appends one JSON object per call to
+/// the file named by $TREENUM_BENCH_JSON (no-op when unset), so CI can
+/// collect a BENCH_*.json trajectory across PRs without parsing console
+/// output. google-benchmark invokes each benchmark several times while
+/// calibrating iteration counts, so the file holds several lines per
+/// (bench, args) key; the final measured run comes last — consumers keep
+/// the last line per key (or the one with the largest "iterations" field,
+/// which benches should include). The binaries additionally support
+/// --benchmark_format=json for the full report.
+inline void EmitJson(
+    const char* bench,
+    std::initializer_list<std::pair<const char*, double>> fields) {
+  const char* path = std::getenv("TREENUM_BENCH_JSON");
+  if (!path) return;
+  std::FILE* f = std::fopen(path, "a");
+  if (!f) return;
+  std::fprintf(f, "{\"bench\":\"%s\"", bench);
+  for (const auto& [key, value] : fields) {
+    std::fprintf(f, ",\"%s\":%.6g", key, value);
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
 
 /// Drains a cursor; returns the number of answers.
 inline size_t Drain(const TreeEnumerator& e) {

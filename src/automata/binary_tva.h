@@ -30,7 +30,9 @@ struct LeafInit {
   Label label;
   VarMask vars;
   State state;
-  friend bool operator==(const LeafInit&, const LeafInit&) = default;
+  friend bool operator==(const LeafInit& a, const LeafInit& b) {
+    return a.label == b.label && a.vars == b.vars && a.state == b.state;
+  }
 };
 
 /// An internal transition (l, q1, q2, q) ∈ δ: on an internal node labeled l
@@ -41,7 +43,10 @@ struct Transition {
   State left;
   State right;
   State state;
-  friend bool operator==(const Transition&, const Transition&) = default;
+  friend bool operator==(const Transition& a, const Transition& b) {
+    return a.label == b.label && a.left == b.left && a.right == b.right &&
+           a.state == b.state;
+  }
 };
 
 /// A nondeterministic tree variable automaton on binary Λ-trees.

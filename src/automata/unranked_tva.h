@@ -23,8 +23,9 @@ struct StepTransition {
   State from;
   State child;
   State to;
-  friend bool operator==(const StepTransition&, const StepTransition&) =
-      default;
+  friend bool operator==(const StepTransition& a, const StepTransition& b) {
+    return a.from == b.from && a.child == b.child && a.to == b.to;
+  }
 };
 
 /// A nondeterministic stepwise TVA on unranked Λ-trees.

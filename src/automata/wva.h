@@ -25,8 +25,10 @@ struct WvaTransition {
   Label label;
   VarMask vars;
   State to;
-  friend bool operator==(const WvaTransition&, const WvaTransition&) =
-      default;
+  friend bool operator==(const WvaTransition& a, const WvaTransition& b) {
+    return a.from == b.from && a.label == b.label && a.vars == b.vars &&
+           a.to == b.to;
+  }
 };
 
 /// A nondeterministic word variable automaton.

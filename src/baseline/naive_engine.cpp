@@ -1,6 +1,7 @@
 #include "baseline/naive_engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 namespace treenum {
@@ -85,34 +86,34 @@ std::vector<Assignment> MaterializeAssignments(const UnrankedTree& tree,
 }
 
 NaiveEngine::NaiveEngine(UnrankedTree tree, UnrankedTva query)
-    : tree_(std::move(tree)), query_(std::move(query)) {
-  Recompute();
+    : RecomputeEngineBase(std::move(tree)), query_(std::move(query)) {
+  Refresh();
 }
 
-void NaiveEngine::Recompute() {
+UpdateStats NaiveEngine::Refresh() {
   results_ = MaterializeAssignments(tree_, query_);
+  UpdateStats stats;
+  stats.rebuilt_size = tree_.size();
+  return stats;
 }
 
-void NaiveEngine::Relabel(NodeId n, Label l) {
-  tree_.Relabel(n, l);
-  Recompute();
-}
+std::unique_ptr<Engine::Cursor> NaiveEngine::MakeCursor() const {
+  // Snapshot so the cursor survives subsequent recomputes.
+  class Snapshot : public Engine::Cursor {
+   public:
+    explicit Snapshot(std::vector<Assignment> results)
+        : results_(std::move(results)) {}
+    bool Next(Assignment* out) override {
+      if (pos_ >= results_.size()) return false;
+      *out = results_[pos_++];
+      return true;
+    }
 
-NodeId NaiveEngine::InsertFirstChild(NodeId n, Label l) {
-  NodeId u = tree_.InsertFirstChild(n, l);
-  Recompute();
-  return u;
-}
-
-NodeId NaiveEngine::InsertRightSibling(NodeId n, Label l) {
-  NodeId u = tree_.InsertRightSibling(n, l);
-  Recompute();
-  return u;
-}
-
-void NaiveEngine::DeleteLeaf(NodeId n) {
-  tree_.DeleteLeaf(n);
-  Recompute();
+   private:
+    std::vector<Assignment> results_;
+    size_t pos_ = 0;
+  };
+  return std::make_unique<Snapshot>(results_);
 }
 
 }  // namespace treenum

@@ -7,9 +7,11 @@
 #ifndef TREENUM_BASELINE_NAIVE_ENGINE_H_
 #define TREENUM_BASELINE_NAIVE_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "automata/unranked_tva.h"
+#include "baseline/recompute_engine.h"
 #include "trees/assignment.h"
 #include "trees/unranked_tree.h"
 
@@ -20,23 +22,23 @@ namespace treenum {
 std::vector<Assignment> MaterializeAssignments(const UnrankedTree& tree,
                                                const UnrankedTva& query);
 
-/// The recompute-per-update engine.
-class NaiveEngine {
+/// The recompute-per-update engine. Batched updates (BeginBatch/
+/// CommitBatch) skip the per-edit recompute and materialize once at
+/// commit.
+class NaiveEngine : public RecomputeEngineBase {
  public:
   NaiveEngine(UnrankedTree tree, UnrankedTva query);
 
-  const UnrankedTree& tree() const { return tree_; }
   const std::vector<Assignment>& results() const { return results_; }
 
-  void Relabel(NodeId n, Label l);
-  NodeId InsertFirstChild(NodeId n, Label l);
-  NodeId InsertRightSibling(NodeId n, Label l);
-  void DeleteLeaf(NodeId n);
+  std::vector<Assignment> EnumerateAll() const override { return results_; }
+  std::unique_ptr<Engine::Cursor> MakeCursor() const override;
+  bool HasAnswer() const override { return !results_.empty(); }
+
+ protected:
+  UpdateStats Refresh() override;
 
  private:
-  void Recompute();
-
-  UnrankedTree tree_;
   UnrankedTva query_;
   std::vector<Assignment> results_;
 };

@@ -1,0 +1,70 @@
+// Shared scaffolding for the recompute-from-scratch baseline engines:
+// both Table-1 baselines apply every Definition 7.1 edit directly to an
+// owned tree and then rebuild their derived state wholesale (the
+// materialized result set for NaiveEngine, the full enumeration
+// structure for StaticEngine). This base implements the Engine edit and
+// batching surface over a single virtual Refresh(); batches skip the
+// per-edit refresh and rebuild once at commit.
+#ifndef TREENUM_BASELINE_RECOMPUTE_ENGINE_H_
+#define TREENUM_BASELINE_RECOMPUTE_ENGINE_H_
+
+#include "core/engine.h"
+#include "trees/unranked_tree.h"
+
+namespace treenum {
+
+class RecomputeEngineBase : public Engine {
+ public:
+  const UnrankedTree& tree() const { return tree_; }
+  size_t size() const override { return tree_.size(); }
+
+  UpdateStats Relabel(NodeId n, Label l) override {
+    tree_.Relabel(n, l);
+    return EditApplied();
+  }
+  UpdateStats InsertFirstChild(NodeId n, Label l,
+                               NodeId* new_node = nullptr) override {
+    NodeId u = tree_.InsertFirstChild(n, l);
+    if (new_node) *new_node = u;
+    return EditApplied();
+  }
+  UpdateStats InsertRightSibling(NodeId n, Label l,
+                                 NodeId* new_node = nullptr) override {
+    NodeId u = tree_.InsertRightSibling(n, l);
+    if (new_node) *new_node = u;
+    return EditApplied();
+  }
+  UpdateStats DeleteLeaf(NodeId n) override {
+    tree_.DeleteLeaf(n);
+    return EditApplied();
+  }
+
+  void BeginBatch() override { in_batch_ = true; }
+  UpdateStats CommitBatch() override {
+    in_batch_ = false;
+    return Refresh();
+  }
+  bool in_batch() const override { return in_batch_; }
+
+ protected:
+  explicit RecomputeEngineBase(UnrankedTree tree) : tree_(std::move(tree)) {}
+
+  /// Rebuilds all derived state from tree_. Derived constructors must call
+  /// this (or equivalent) themselves — the base constructor cannot.
+  virtual UpdateStats Refresh() = 0;
+
+  UnrankedTree tree_;
+
+ private:
+  UpdateStats EditApplied() {
+    UpdateStats s = in_batch_ ? UpdateStats{} : Refresh();
+    s.edits_applied = 1;
+    return s;
+  }
+
+  bool in_batch_ = false;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_BASELINE_RECOMPUTE_ENGINE_H_

@@ -3,34 +3,15 @@
 namespace treenum {
 
 StaticEngine::StaticEngine(UnrankedTree tree, UnrankedTva query)
-    : tree_(std::move(tree)), query_(std::move(query)) {
-  Rebuild();
+    : RecomputeEngineBase(std::move(tree)), query_(std::move(query)) {
+  Refresh();
 }
 
-void StaticEngine::Rebuild() {
+UpdateStats StaticEngine::Refresh() {
   inner_ = std::make_unique<TreeEnumerator>(tree_, query_);
-}
-
-void StaticEngine::Relabel(NodeId n, Label l) {
-  tree_.Relabel(n, l);
-  Rebuild();
-}
-
-NodeId StaticEngine::InsertFirstChild(NodeId n, Label l) {
-  NodeId u = tree_.InsertFirstChild(n, l);
-  Rebuild();
-  return u;
-}
-
-NodeId StaticEngine::InsertRightSibling(NodeId n, Label l) {
-  NodeId u = tree_.InsertRightSibling(n, l);
-  Rebuild();
-  return u;
-}
-
-void StaticEngine::DeleteLeaf(NodeId n) {
-  tree_.DeleteLeaf(n);
-  Rebuild();
+  UpdateStats stats;
+  stats.rebuilt_size = tree_.size();
+  return stats;
 }
 
 }  // namespace treenum

@@ -1,37 +1,39 @@
 // Static-engine baseline (the Bagan'06 / Kazana-Segoufin row of Table 1):
 // linear-time preprocessing and constant-delay enumeration, but no update
-// support — every edit triggers a full preprocessing run.
+// support — every edit triggers a full preprocessing run. Batched updates
+// (BeginBatch/CommitBatch) re-preprocess once at commit.
 #ifndef TREENUM_BASELINE_STATIC_ENGINE_H_
 #define TREENUM_BASELINE_STATIC_ENGINE_H_
 
 #include <memory>
 
+#include "baseline/recompute_engine.h"
 #include "core/tree_enumerator.h"
 
 namespace treenum {
 
-class StaticEngine {
+class StaticEngine : public RecomputeEngineBase {
  public:
-  /// Preprocesses `tree` for `query` (both copied; edits re-preprocess).
+  /// Preprocesses `tree` for `query` (both copied; edits re-preprocess —
+  /// O(|T|) each, the update cost Table 1 attributes to the static state
+  /// of the art).
   StaticEngine(UnrankedTree tree, UnrankedTva query);
 
-  const UnrankedTree& tree() const { return tree_; }
   /// All satisfying assignments (sorted, duplicate-free).
-  std::vector<Assignment> EnumerateAll() const { return inner_->EnumerateAll(); }
+  std::vector<Assignment> EnumerateAll() const override {
+    return inner_->EnumerateAll();
+  }
   /// Constant-delay cursor over the satisfying assignments.
   TreeEnumerator::Cursor Enumerate() const { return inner_->Enumerate(); }
+  std::unique_ptr<Engine::Cursor> MakeCursor() const override {
+    return inner_->MakeCursor();
+  }
+  bool HasAnswer() const override { return inner_->HasAnswer(); }
 
-  /// Edits rebuild the entire enumeration structure — O(|T|) each; this is
-  /// the update cost Table 1 attributes to the static state of the art.
-  void Relabel(NodeId n, Label l);
-  NodeId InsertFirstChild(NodeId n, Label l);
-  NodeId InsertRightSibling(NodeId n, Label l);
-  void DeleteLeaf(NodeId n);
+ protected:
+  UpdateStats Refresh() override;
 
  private:
-  void Rebuild();
-
-  UnrankedTree tree_;
   UnrankedTva query_;
   std::unique_ptr<TreeEnumerator> inner_;
 };

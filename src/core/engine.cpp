@@ -1,0 +1,29 @@
+#include "core/engine.h"
+
+namespace treenum {
+
+UpdateStats Engine::ApplyEdit(const Edit& e, NodeId* new_node) {
+  switch (e.kind) {
+    case Edit::Kind::kRelabel:
+      return Relabel(e.node, e.label);
+    case Edit::Kind::kInsertFirstChild:
+      return InsertFirstChild(e.node, e.label, new_node);
+    case Edit::Kind::kInsertRightSibling:
+      return InsertRightSibling(e.node, e.label, new_node);
+    case Edit::Kind::kDeleteLeaf:
+      return DeleteLeaf(e.node);
+  }
+  return UpdateStats{};
+}
+
+UpdateStats Engine::ApplyEdits(const std::vector<Edit>& edits) {
+  const bool own_batch = !in_batch();
+  if (own_batch) BeginBatch();
+  UpdateStats total;
+  for (const Edit& e : edits) total += ApplyEdit(e);
+  if (own_batch) total += CommitBatch();
+  total.edits_applied = edits.size();
+  return total;
+}
+
+}  // namespace treenum

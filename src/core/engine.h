@@ -1,0 +1,126 @@
+// The shared engine surface: every enumeration backend (the paper's
+// dynamic tree engine, the AVL word engine of Corollary 8.4, and the two
+// Table-1 baselines) implements this interface, so tests and benchmarks
+// drive all of them through one API.
+//
+// The update vocabulary is the edit set of Definition 7.1. For word
+// engines, nodes are *stable position ids* (a word is a forest of
+// single-node trees): Relabel replaces the letter, InsertRightSibling
+// inserts immediately after, InsertFirstChild inserts immediately before
+// (positions have no children, so the slot is reused for the only
+// remaining adjacency), and DeleteLeaf erases the position.
+//
+// Batched updates: BeginBatch()/CommitBatch() bracket a transaction in
+// which edits mutate the input immediately but derived structures
+// (circuit boxes, jump index, run counts — or, for the baselines, the
+// materialized result set) are refreshed once at commit instead of once
+// per edit. ApplyEdits() is the convenience wrapper: one transaction
+// around a whole edit script.
+#ifndef TREENUM_CORE_ENGINE_H_
+#define TREENUM_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "trees/assignment.h"
+#include "trees/unranked_tree.h"
+
+namespace treenum {
+
+/// Per-update cost report (for benchmarks). For a batched transaction,
+/// boxes_recomputed counts the *unique* boxes refreshed at commit.
+struct UpdateStats {
+  size_t boxes_recomputed = 0;
+  size_t rebuilt_size = 0;  ///< Term nodes rebuilt by rebalancing (0 = none).
+  size_t edits_applied = 0;  ///< Edits covered by this report (1 per edit op).
+
+  UpdateStats& operator+=(const UpdateStats& o) {
+    boxes_recomputed += o.boxes_recomputed;
+    rebuilt_size += o.rebuilt_size;
+    edits_applied += o.edits_applied;
+    return *this;
+  }
+};
+
+/// One edit of Definition 7.1, as a value (for edit scripts / batches).
+struct Edit {
+  enum class Kind : uint8_t {
+    kRelabel,
+    kInsertFirstChild,
+    kInsertRightSibling,
+    kDeleteLeaf,
+  };
+
+  Kind kind = Kind::kRelabel;
+  NodeId node = kNoNode;
+  Label label = 0;  ///< Unused by kDeleteLeaf.
+
+  static Edit Relabel(NodeId n, Label l) { return {Kind::kRelabel, n, l}; }
+  static Edit InsertFirstChild(NodeId n, Label l) {
+    return {Kind::kInsertFirstChild, n, l};
+  }
+  static Edit InsertRightSibling(NodeId n, Label l) {
+    return {Kind::kInsertRightSibling, n, l};
+  }
+  static Edit DeleteLeaf(NodeId n) { return {Kind::kDeleteLeaf, n, 0}; }
+};
+
+class Engine {
+ public:
+  /// Type-erased pull cursor over satisfying assignments. Invalidated by
+  /// updates to the engine it came from.
+  class Cursor {
+   public:
+    virtual ~Cursor() = default;
+    virtual bool Next(Assignment* out) = 0;
+  };
+
+  virtual ~Engine() = default;
+
+  // ---- Enumeration ----
+
+  /// All satisfying assignments (sorted, duplicate-free).
+  virtual std::vector<Assignment> EnumerateAll() const = 0;
+  /// Pull cursor (no duplicates; ordering is engine-specific).
+  virtual std::unique_ptr<Cursor> MakeCursor() const = 0;
+  /// Boolean answer: is there at least one satisfying assignment?
+  virtual bool HasAnswer() const = 0;
+  /// Current input size (tree nodes / word letters).
+  virtual size_t size() const = 0;
+
+  // ---- Updates ----
+
+  virtual UpdateStats Relabel(NodeId n, Label l) = 0;
+  virtual UpdateStats InsertFirstChild(NodeId n, Label l,
+                                       NodeId* new_node = nullptr) = 0;
+  virtual UpdateStats InsertRightSibling(NodeId n, Label l,
+                                         NodeId* new_node = nullptr) = 0;
+  virtual UpdateStats DeleteLeaf(NodeId n) = 0;
+
+  // ---- Batched updates ----
+
+  /// Opens a transaction: subsequent edits defer derived-structure
+  /// maintenance until CommitBatch(). Querying between BeginBatch and
+  /// CommitBatch is unsupported — the dynamic engines assert in debug
+  /// builds and report no answers in release builds; the recompute
+  /// baselines return pre-batch results. No-op default for engines with
+  /// nothing to defer.
+  virtual void BeginBatch() {}
+  /// Closes the transaction, refreshing every derived structure once.
+  virtual UpdateStats CommitBatch() { return UpdateStats{}; }
+  /// True while a transaction is open. Engines with deferred maintenance
+  /// override this; nesting BeginBatch is not supported.
+  virtual bool in_batch() const { return false; }
+
+  /// Applies one Edit by dispatching to the virtual ops above.
+  UpdateStats ApplyEdit(const Edit& e, NodeId* new_node = nullptr);
+  /// Applies a whole edit script in one transaction (BeginBatch, the
+  /// edits, CommitBatch); returns the combined stats. When the caller
+  /// already holds an open batch, the edits join that batch instead and
+  /// the commit stays with the caller.
+  virtual UpdateStats ApplyEdits(const std::vector<Edit>& edits);
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_CORE_ENGINE_H_

@@ -1,0 +1,182 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treenum {
+
+EnumerationPipeline::EnumerationPipeline(const Term* term, HomogenizedTva homog,
+                                         BoxEnumMode mode)
+    : term_(term),
+      homog_(std::move(homog)),
+      circuit_(term, &homog_.tva, &homog_.kind),
+      index_(&circuit_),
+      mode_(mode) {
+  circuit_.BuildAll();
+  if (mode_ == BoxEnumMode::kIndexed) index_.BuildAll();
+}
+
+void EnumerationPipeline::EnableCounting() {
+  if (counter_) return;
+  counter_ = std::make_unique<RunCounter>(&circuit_);
+  counter_->BuildAll();
+}
+
+uint64_t EnumerationPipeline::AcceptingRuns() const {
+  assert(!in_batch_ && "querying during an open batch is unsupported");
+  if (in_batch_) return 0;
+  return counter_ ? counter_->TotalAcceptingRuns() : 0;
+}
+
+void EnumerationPipeline::RefreshBox(TermNodeId id) {
+  circuit_.RebuildBox(id);
+  if (mode_ == BoxEnumMode::kIndexed) index_.RebuildBoxIndex(id);
+  if (counter_) counter_->RebuildBoxCounts(id);
+}
+
+void EnumerationPipeline::ReleaseBox(TermNodeId id) {
+  circuit_.FreeBox(id);
+  if (mode_ == BoxEnumMode::kIndexed) index_.FreeBoxIndex(id);
+  if (counter_) counter_->FreeBoxCounts(id);
+}
+
+UpdateStats EnumerationPipeline::Apply(const UpdateResult& result) {
+  UpdateStats stats;
+  stats.edits_applied = 1;
+  stats.rebuilt_size = result.rebuilt_size;
+  if (in_batch_) {
+    batch_freed_.insert(batch_freed_.end(), result.freed.begin(),
+                        result.freed.end());
+    batch_changed_.insert(batch_changed_.end(),
+                          result.changed_bottom_up.begin(),
+                          result.changed_bottom_up.end());
+    return stats;  // boxes refreshed at CommitBatch
+  }
+  for (TermNodeId id : result.freed) ReleaseBox(id);
+  for (TermNodeId id : result.changed_bottom_up) RefreshBox(id);
+  stats.boxes_recomputed = result.changed_bottom_up.size();
+  return stats;
+}
+
+void EnumerationPipeline::BeginBatch() {
+  assert(!in_batch_ && "nested batches are not supported");
+  in_batch_ = true;
+}
+
+UpdateStats EnumerationPipeline::CommitBatch() {
+  assert(in_batch_);
+  in_batch_ = false;
+
+  UpdateStats stats;
+
+  // Free each slot that is dead *now*; a slot freed mid-batch and then
+  // re-allocated by a later edit is alive and will be rebuilt below.
+  std::sort(batch_freed_.begin(), batch_freed_.end());
+  batch_freed_.erase(std::unique(batch_freed_.begin(), batch_freed_.end()),
+                     batch_freed_.end());
+  for (TermNodeId id : batch_freed_) {
+    if (!term_->IsAlive(id)) ReleaseBox(id);
+  }
+
+  // Coalesce: every alive changed node once, deepest first. Each edit's
+  // changed_bottom_up conservatively includes the full path to the root,
+  // so the union covers every node whose box inputs may have changed;
+  // depth order guarantees children are rebuilt before their parents.
+  std::sort(batch_changed_.begin(), batch_changed_.end());
+  batch_changed_.erase(
+      std::unique(batch_changed_.begin(), batch_changed_.end()),
+      batch_changed_.end());
+  std::vector<std::pair<uint32_t, TermNodeId>> order;
+  order.reserve(batch_changed_.size());
+  for (TermNodeId id : batch_changed_) {
+    if (!term_->IsAlive(id)) continue;
+    uint32_t depth = 0;
+    for (TermNodeId p = term_->node(id).parent; p != kNoTerm;
+         p = term_->node(p).parent) {
+      ++depth;
+    }
+    order.emplace_back(depth, id);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [depth, id] : order) RefreshBox(id);
+  stats.boxes_recomputed = order.size();
+
+  batch_freed_.clear();
+  batch_changed_.clear();
+  return stats;
+}
+
+bool EnumerationPipeline::EmptyAssignmentSatisfies() const {
+  assert(!in_batch_ && "querying during an open batch is unsupported");
+  // Release-mode safety: boxes of term nodes created mid-batch do not
+  // exist until commit, so reading the root box would be out of bounds.
+  if (in_batch_) return false;
+  const Box& box = circuit_.box(term_->root());
+  for (State q : homog_.tva.final_states()) {
+    if (homog_.kind[q] == 0 && box.gamma[q] == GateKind::kTop) return true;
+  }
+  return false;
+}
+
+std::vector<uint32_t> EnumerationPipeline::FinalGamma() const {
+  assert(!in_batch_ && "querying during an open batch is unsupported");
+  std::vector<uint32_t> gamma;
+  if (in_batch_) return gamma;
+  const Box& box = circuit_.box(term_->root());
+  for (State q : homog_.tva.final_states()) {
+    if (homog_.kind[q] == 1 && box.gamma[q] == GateKind::kUnion) {
+      gamma.push_back(static_cast<uint32_t>(box.union_idx[q]));
+    }
+  }
+  return gamma;
+}
+
+bool EnumerationPipeline::HasAnswer() const {
+  if (EmptyAssignmentSatisfies()) return true;
+  return !FinalGamma().empty();
+}
+
+std::unique_ptr<AssignmentCursor> EnumerationPipeline::MakeRootCursor() const {
+  std::vector<uint32_t> gamma = FinalGamma();
+  if (gamma.empty()) return nullptr;
+  return std::make_unique<AssignmentCursor>(&circuit_, &index_, mode_,
+                                            term_->root(), std::move(gamma));
+}
+
+std::unique_ptr<Engine::Cursor> EnumerationPipeline::MakeEngineCursor() const {
+  class Cursor : public Engine::Cursor {
+   public:
+    Cursor(bool emit_empty, std::unique_ptr<AssignmentCursor> inner)
+        : emit_empty_(emit_empty), inner_(std::move(inner)) {}
+    bool Next(Assignment* out) override {
+      if (emit_empty_) {
+        emit_empty_ = false;
+        *out = Assignment{};
+        return true;
+      }
+      if (!inner_) return false;
+      EnumOutput o;
+      if (!inner_->Next(&o)) return false;
+      *out = o.ToAssignment();
+      return true;
+    }
+
+   private:
+    bool emit_empty_;
+    std::unique_ptr<AssignmentCursor> inner_;
+  };
+  return std::make_unique<Cursor>(EmptyAssignmentSatisfies(),
+                                  MakeRootCursor());
+}
+
+std::vector<Assignment> EnumerationPipeline::EnumerateAll() const {
+  std::vector<Assignment> out;
+  std::unique_ptr<Engine::Cursor> cursor = MakeEngineCursor();
+  Assignment a;
+  while (cursor->Next(&a)) out.push_back(std::move(a));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace treenum

@@ -1,0 +1,116 @@
+// EnumerationPipeline — the single owner of all derived enumeration state.
+//
+// The paper's machinery (Theorem 8.1 / Corollary 8.4) is one pipeline
+// instantiated over different encodings: a balanced forest-algebra term
+// (tree `DynamicEncoding` or word AVL `WordEncoding`) feeds an assignment
+// circuit (Lemma 3.7), a jump index (Lemma 6.3), and optionally dynamic
+// run counts. This class concentrates the maintenance logic that
+// TreeEnumerator and WordEnumerator previously duplicated: consuming the
+// `UpdateResult` of any encoding backend and refreshing circuit boxes,
+// index entries, and count vectors along the changed path (Lemma 7.3).
+//
+// Batched updates: between BeginBatch() and CommitBatch(), Apply() only
+// *records* the freed / changed term nodes; the encoding keeps mutating
+// the term immediately. CommitBatch() then coalesces the recorded sets —
+// a node touched by many edits in the batch is refreshed once, a node
+// created and deleted within the batch is never rebuilt at all — and
+// rebuilds the surviving boxes children-before-parents. For k clustered
+// edits on a tree of n nodes this does O(k + log n) box rebuilds instead
+// of O(k log n).
+#ifndef TREENUM_CORE_PIPELINE_H_
+#define TREENUM_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "automata/homogenize.h"
+#include "circuit/circuit.h"
+#include "counting/run_count.h"
+#include "core/engine.h"
+#include "enumeration/enumerate.h"
+#include "enumeration/index.h"
+#include "falgebra/update.h"
+
+namespace treenum {
+
+class EnumerationPipeline {
+ public:
+  /// Builds the circuit (and, in kIndexed mode, the jump index) over
+  /// `term`, which must outlive the pipeline and is mutated externally by
+  /// the encoding backend that produces the UpdateResults fed to Apply().
+  EnumerationPipeline(const Term* term, HomogenizedTva homog,
+                      BoxEnumMode mode);
+
+  EnumerationPipeline(const EnumerationPipeline&) = delete;
+  EnumerationPipeline& operator=(const EnumerationPipeline&) = delete;
+
+  // ---- Introspection ----
+
+  const Term& term() const { return *term_; }
+  const BinaryTva& tva() const { return homog_.tva; }
+  const std::vector<uint8_t>& state_kinds() const { return homog_.kind; }
+  /// Width of the circuit (= trimmed, homogenized |Q'|).
+  size_t width() const { return homog_.tva.num_states(); }
+  const AssignmentCircuit& circuit() const { return circuit_; }
+  const EnumIndex& index() const { return index_; }
+  BoxEnumMode mode() const { return mode_; }
+
+  // ---- Dynamic counting (optional; see counting/run_count.h) ----
+
+  void EnableCounting();
+  bool counting_enabled() const { return counter_ != nullptr; }
+  /// Accepting (valuation, run) pairs mod 2^64; requires EnableCounting().
+  uint64_t AcceptingRuns() const;
+
+  // ---- Incremental maintenance ----
+
+  /// Consumes one encoding UpdateResult. Outside a batch, refreshes the
+  /// changed boxes immediately; inside a batch, records them for
+  /// CommitBatch().
+  UpdateStats Apply(const UpdateResult& result);
+
+  void BeginBatch();
+  bool in_batch() const { return in_batch_; }
+  /// Coalesces everything recorded since BeginBatch() and refreshes each
+  /// surviving box exactly once, children before parents.
+  UpdateStats CommitBatch();
+
+  // ---- Query surface. Querying during an open batch is unsupported:
+  // these assert in debug builds and report no answers in release builds
+  // (boxes of term nodes created mid-batch do not exist until commit). ----
+
+  /// True iff some final 0-state's root gate is ⊤ (the empty assignment
+  /// satisfies the query).
+  bool EmptyAssignmentSatisfies() const;
+  /// Dense ∪-gate indices of the final 1-states at the root box.
+  std::vector<uint32_t> FinalGamma() const;
+  /// O(w) Boolean answer.
+  bool HasAnswer() const;
+  /// Cursor over the non-empty satisfying assignments, or null when the
+  /// root boxed set is empty. (Callers handle EmptyAssignmentSatisfies.)
+  std::unique_ptr<AssignmentCursor> MakeRootCursor() const;
+  /// Type-erased cursor over *all* satisfying assignments (including the
+  /// empty one) — the shared implementation behind Engine::MakeCursor.
+  std::unique_ptr<Engine::Cursor> MakeEngineCursor() const;
+  /// All satisfying assignments (sorted), including the empty one.
+  std::vector<Assignment> EnumerateAll() const;
+
+ private:
+  void RefreshBox(TermNodeId id);
+  void ReleaseBox(TermNodeId id);
+
+  const Term* term_;
+  HomogenizedTva homog_;
+  AssignmentCircuit circuit_;
+  EnumIndex index_;
+  BoxEnumMode mode_;
+  std::unique_ptr<RunCounter> counter_;
+
+  bool in_batch_ = false;
+  std::vector<TermNodeId> batch_freed_;
+  std::vector<TermNodeId> batch_changed_;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_CORE_PIPELINE_H_

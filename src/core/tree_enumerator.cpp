@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "automata/homogenize.h"
+#include "automata/translate.h"
+
 namespace treenum {
 
 namespace {
@@ -15,44 +18,13 @@ HomogenizedTva Prepare(const UnrankedTva& query) {
 
 TreeEnumerator::TreeEnumerator(UnrankedTree tree, const UnrankedTva& query,
                                BoxEnumMode mode)
-    : homog_(Prepare(query)),
-      enc_(std::move(tree), query.num_labels()),
-      circuit_(&enc_.term(), &homog_.tva, &homog_.kind),
-      index_(&circuit_),
-      mode_(mode) {
-  circuit_.BuildAll();
-  if (mode_ == BoxEnumMode::kIndexed) index_.BuildAll();
-}
-
-std::vector<uint32_t> TreeEnumerator::FinalGamma() const {
-  std::vector<uint32_t> gamma;
-  TermNodeId root = enc_.term().root();
-  const Box& box = circuit_.box(root);
-  for (State q : homog_.tva.final_states()) {
-    if (homog_.kind[q] == 1 && box.gamma[q] == GateKind::kUnion) {
-      gamma.push_back(static_cast<uint32_t>(box.union_idx[q]));
-    }
-  }
-  return gamma;
-}
-
-bool TreeEnumerator::EmptyAssignmentSatisfies() const {
-  TermNodeId root = enc_.term().root();
-  const Box& box = circuit_.box(root);
-  for (State q : homog_.tva.final_states()) {
-    if (homog_.kind[q] == 0 && box.gamma[q] == GateKind::kTop) return true;
-  }
-  return false;
-}
+    : enc_(std::move(tree), query.num_labels()),
+      pipeline_(&enc_.term(), Prepare(query), mode) {}
 
 TreeEnumerator::Cursor TreeEnumerator::Enumerate() const {
   Cursor c;
-  c.emit_empty_ = EmptyAssignmentSatisfies();
-  std::vector<uint32_t> gamma = FinalGamma();
-  if (!gamma.empty()) {
-    c.inner_ = std::make_unique<AssignmentCursor>(
-        &circuit_, &index_, mode_, enc_.term().root(), std::move(gamma));
-  }
+  c.emit_empty_ = pipeline_.EmptyAssignmentSatisfies();
+  c.inner_ = pipeline_.MakeRootCursor();
   return c;
 }
 
@@ -74,62 +46,29 @@ size_t TreeEnumerator::Cursor::steps() const {
 }
 
 std::vector<Assignment> TreeEnumerator::EnumerateAll() const {
-  std::vector<Assignment> out;
-  Cursor c = Enumerate();
-  Assignment a;
-  while (c.Next(&a)) out.push_back(a);
-  std::sort(out.begin(), out.end());
-  return out;
+  return pipeline_.EnumerateAll();
 }
 
-bool TreeEnumerator::HasAnswer() const {
-  if (EmptyAssignmentSatisfies()) return true;
-  return !FinalGamma().empty();
-}
-
-void TreeEnumerator::EnableCounting() {
-  if (counter_) return;
-  counter_ = std::make_unique<RunCounter>(&circuit_);
-  counter_->BuildAll();
-}
-
-uint64_t TreeEnumerator::AcceptingRuns() const {
-  return counter_ ? counter_->TotalAcceptingRuns() : 0;
-}
-
-UpdateStats TreeEnumerator::ApplyUpdate(const UpdateResult& result) {
-  for (TermNodeId id : result.freed) {
-    circuit_.FreeBox(id);
-    if (mode_ == BoxEnumMode::kIndexed) index_.FreeBoxIndex(id);
-    if (counter_) counter_->FreeBoxCounts(id);
-  }
-  for (TermNodeId id : result.changed_bottom_up) {
-    circuit_.RebuildBox(id);
-    if (mode_ == BoxEnumMode::kIndexed) index_.RebuildBoxIndex(id);
-    if (counter_) counter_->RebuildBoxCounts(id);
-  }
-  UpdateStats stats;
-  stats.boxes_recomputed = result.changed_bottom_up.size();
-  stats.rebuilt_size = result.rebuilt_size;
-  return stats;
+std::unique_ptr<Engine::Cursor> TreeEnumerator::MakeCursor() const {
+  return pipeline_.MakeEngineCursor();
 }
 
 UpdateStats TreeEnumerator::Relabel(NodeId n, Label l) {
-  return ApplyUpdate(enc_.Relabel(n, l));
+  return pipeline_.Apply(enc_.Relabel(n, l));
 }
 
 UpdateStats TreeEnumerator::InsertFirstChild(NodeId n, Label l,
                                              NodeId* new_node) {
-  return ApplyUpdate(enc_.InsertFirstChild(n, l, new_node));
+  return pipeline_.Apply(enc_.InsertFirstChild(n, l, new_node));
 }
 
 UpdateStats TreeEnumerator::InsertRightSibling(NodeId n, Label l,
                                                NodeId* new_node) {
-  return ApplyUpdate(enc_.InsertRightSibling(n, l, new_node));
+  return pipeline_.Apply(enc_.InsertRightSibling(n, l, new_node));
 }
 
 UpdateStats TreeEnumerator::DeleteLeaf(NodeId n) {
-  return ApplyUpdate(enc_.DeleteLeaf(n));
+  return pipeline_.Apply(enc_.DeleteLeaf(n));
 }
 
 std::vector<std::vector<NodeId>> AssignmentsToTuples(

@@ -12,32 +12,26 @@
 // independent of |T| (Theorem 6.5), and the edit operations of
 // Definition 7.1 are supported in logarithmic time (Lemma 7.3), after which
 // enumeration can simply be restarted.
+//
+// All derived state (circuit, index, counts) lives in the shared
+// EnumerationPipeline; this class contributes only the tree encoding and
+// the Engine facade.
 #ifndef TREENUM_CORE_TREE_ENUMERATOR_H_
 #define TREENUM_CORE_TREE_ENUMERATOR_H_
 
 #include <memory>
 #include <vector>
 
-#include "automata/homogenize.h"
-#include "automata/translate.h"
 #include "automata/unranked_tva.h"
-#include "circuit/circuit.h"
-#include "counting/run_count.h"
-#include "enumeration/enumerate.h"
-#include "enumeration/index.h"
+#include "core/engine.h"
+#include "core/pipeline.h"
 #include "falgebra/update.h"
 #include "trees/assignment.h"
 #include "trees/unranked_tree.h"
 
 namespace treenum {
 
-/// Per-update cost report (for benchmarks).
-struct UpdateStats {
-  size_t boxes_recomputed = 0;
-  size_t rebuilt_size = 0;  ///< Term nodes rebuilt by rebalancing (0 = none).
-};
-
-class TreeEnumerator {
+class TreeEnumerator : public Engine {
  public:
   /// Preprocessing. `mode` selects the indexed (paper) or naive
   /// (depth-dependent-delay baseline) box enumeration.
@@ -47,7 +41,8 @@ class TreeEnumerator {
   const UnrankedTree& tree() const { return enc_.tree(); }
   const Term& term() const { return enc_.term(); }
   /// Width of the circuit (= trimmed, homogenized |Q'|).
-  size_t width() const { return homog_.tva.num_states(); }
+  size_t width() const { return pipeline_.width(); }
+  size_t size() const override { return enc_.tree().size(); }
 
   // ---- Enumeration ----
 
@@ -66,48 +61,51 @@ class TreeEnumerator {
   };
 
   Cursor Enumerate() const;
-  std::vector<Assignment> EnumerateAll() const;
+  std::vector<Assignment> EnumerateAll() const override;
+  std::unique_ptr<Engine::Cursor> MakeCursor() const override;
 
   /// O(w) Boolean answer: does the query have at least one satisfying
   /// assignment on the current tree?
-  bool HasAnswer() const;
+  bool HasAnswer() const override { return pipeline_.HasAnswer(); }
 
   // ---- Dynamic counting (optional; see counting/run_count.h) ----
 
   /// Enables maintenance of accepting-run counts (O(|T| * poly(w)) once;
   /// afterwards each update also refreshes the counts on the changed path).
-  void EnableCounting();
-  bool counting_enabled() const { return counter_ != nullptr; }
+  void EnableCounting() { pipeline_.EnableCounting(); }
+  bool counting_enabled() const { return pipeline_.counting_enabled(); }
   /// Number of accepting (valuation, run) pairs mod 2^64. Equals the number
   /// of satisfying assignments when the automaton is unambiguous (all
   /// query_library queries are). Requires EnableCounting().
-  uint64_t AcceptingRuns() const;
+  uint64_t AcceptingRuns() const { return pipeline_.AcceptingRuns(); }
 
   // ---- Updates (Definition 7.1), O(log |T| * poly(|Q|)) each ----
 
-  UpdateStats Relabel(NodeId n, Label l);
-  UpdateStats InsertFirstChild(NodeId n, Label l, NodeId* new_node = nullptr);
+  UpdateStats Relabel(NodeId n, Label l) override;
+  UpdateStats InsertFirstChild(NodeId n, Label l,
+                               NodeId* new_node = nullptr) override;
   UpdateStats InsertRightSibling(NodeId n, Label l,
-                                 NodeId* new_node = nullptr);
-  UpdateStats DeleteLeaf(NodeId n);
+                                 NodeId* new_node = nullptr) override;
+  UpdateStats DeleteLeaf(NodeId n) override;
+
+  /// Batched updates: circuit/index/count maintenance is coalesced and the
+  /// changed boxes are refreshed once at CommitBatch (see pipeline.h).
+  void BeginBatch() override { pipeline_.BeginBatch(); }
+  UpdateStats CommitBatch() override { return pipeline_.CommitBatch(); }
+  bool in_batch() const override { return pipeline_.in_batch(); }
 
   // ---- Introspection (tests / benches) ----
-  const AssignmentCircuit& circuit() const { return circuit_; }
-  const EnumIndex& index() const { return index_; }
-  const BinaryTva& binary_tva() const { return homog_.tva; }
-  const std::vector<uint8_t>& state_kinds() const { return homog_.kind; }
+  const EnumerationPipeline& pipeline() const { return pipeline_; }
+  const AssignmentCircuit& circuit() const { return pipeline_.circuit(); }
+  const EnumIndex& index() const { return pipeline_.index(); }
+  const BinaryTva& binary_tva() const { return pipeline_.tva(); }
+  const std::vector<uint8_t>& state_kinds() const {
+    return pipeline_.state_kinds();
+  }
 
  private:
-  UpdateStats ApplyUpdate(const UpdateResult& result);
-  std::vector<uint32_t> FinalGamma() const;
-  bool EmptyAssignmentSatisfies() const;
-
-  HomogenizedTva homog_;
   DynamicEncoding enc_;
-  AssignmentCircuit circuit_;
-  EnumIndex index_;
-  BoxEnumMode mode_;
-  std::unique_ptr<RunCounter> counter_;
+  EnumerationPipeline pipeline_;
 };
 
 /// Corollary 8.3 convenience: converts assignments of a first-order query

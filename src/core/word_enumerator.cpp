@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "automata/homogenize.h"
+#include "automata/translate.h"
+
 namespace treenum {
 
 namespace {
@@ -15,45 +18,15 @@ HomogenizedTva PrepareWva(const Wva& query) {
 
 WordEnumerator::WordEnumerator(const Word& w, const Wva& query,
                                BoxEnumMode mode)
-    : homog_(PrepareWva(query)),
-      enc_(w, query.num_labels()),
-      circuit_(&enc_.term(), &homog_.tva, &homog_.kind),
-      index_(&circuit_),
-      mode_(mode) {
-  circuit_.BuildAll();
-  if (mode_ == BoxEnumMode::kIndexed) index_.BuildAll();
-}
-
-std::vector<uint32_t> WordEnumerator::FinalGamma() const {
-  std::vector<uint32_t> gamma;
-  TermNodeId root = enc_.term().root();
-  const Box& box = circuit_.box(root);
-  for (State q : homog_.tva.final_states()) {
-    if (homog_.kind[q] == 1 && box.gamma[q] == GateKind::kUnion) {
-      gamma.push_back(static_cast<uint32_t>(box.union_idx[q]));
-    }
-  }
-  return gamma;
-}
+    : enc_(w, query.num_labels()),
+      pipeline_(&enc_.term(), PrepareWva(query), mode) {}
 
 std::vector<Assignment> WordEnumerator::EnumerateAll() const {
-  std::vector<Assignment> out;
-  TermNodeId root = enc_.term().root();
-  const Box& box = circuit_.box(root);
-  for (State q : homog_.tva.final_states()) {
-    if (homog_.kind[q] == 0 && box.gamma[q] == GateKind::kTop) {
-      out.push_back(Assignment{});
-      break;
-    }
-  }
-  std::vector<uint32_t> gamma = FinalGamma();
-  if (!gamma.empty()) {
-    AssignmentCursor cursor(&circuit_, &index_, mode_, root, gamma);
-    EnumOutput o;
-    while (cursor.Next(&o)) out.push_back(o.ToAssignment());
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return pipeline_.EnumerateAll();
+}
+
+std::unique_ptr<Engine::Cursor> WordEnumerator::MakeCursor() const {
+  return pipeline_.MakeEngineCursor();
 }
 
 std::vector<Assignment> WordEnumerator::EnumerateAllByPosition() const {
@@ -70,29 +43,44 @@ std::vector<Assignment> WordEnumerator::EnumerateAllByPosition() const {
   return out;
 }
 
-void WordEnumerator::ApplyUpdate(const UpdateResult& result) {
-  for (TermNodeId id : result.freed) {
-    circuit_.FreeBox(id);
-    if (mode_ == BoxEnumMode::kIndexed) index_.FreeBoxIndex(id);
-  }
-  for (TermNodeId id : result.changed_bottom_up) {
-    circuit_.RebuildBox(id);
-    if (mode_ == BoxEnumMode::kIndexed) index_.RebuildBoxIndex(id);
-  }
+UpdateStats WordEnumerator::Replace(size_t pos, Label l) {
+  return pipeline_.Apply(enc_.Replace(pos, l));
 }
 
-void WordEnumerator::Replace(size_t pos, Label l) {
-  ApplyUpdate(enc_.Replace(pos, l));
+UpdateStats WordEnumerator::Insert(size_t pos, Label l) {
+  return pipeline_.Apply(enc_.Insert(pos, l));
 }
 
-void WordEnumerator::Insert(size_t pos, Label l) {
-  ApplyUpdate(enc_.Insert(pos, l));
+UpdateStats WordEnumerator::Erase(size_t pos) {
+  return pipeline_.Apply(enc_.Erase(pos));
 }
 
-void WordEnumerator::Erase(size_t pos) { ApplyUpdate(enc_.Erase(pos)); }
+UpdateStats WordEnumerator::MoveRange(size_t begin, size_t end, size_t dst) {
+  return pipeline_.Apply(enc_.MoveRange(begin, end, dst));
+}
 
-void WordEnumerator::MoveRange(size_t begin, size_t end, size_t dst) {
-  ApplyUpdate(enc_.MoveRange(begin, end, dst));
+UpdateStats WordEnumerator::InsertAt(size_t pos, Label l, NodeId* new_node) {
+  UpdateStats stats = pipeline_.Apply(enc_.Insert(pos, l));
+  if (new_node) *new_node = enc_.PositionId(pos);
+  return stats;
+}
+
+UpdateStats WordEnumerator::Relabel(NodeId n, Label l) {
+  return Replace(enc_.PositionOf(n), l);
+}
+
+UpdateStats WordEnumerator::InsertFirstChild(NodeId n, Label l,
+                                             NodeId* new_node) {
+  return InsertAt(enc_.PositionOf(n), l, new_node);
+}
+
+UpdateStats WordEnumerator::InsertRightSibling(NodeId n, Label l,
+                                               NodeId* new_node) {
+  return InsertAt(enc_.PositionOf(n) + 1, l, new_node);
+}
+
+UpdateStats WordEnumerator::DeleteLeaf(NodeId n) {
+  return Erase(enc_.PositionOf(n));
 }
 
 }  // namespace treenum

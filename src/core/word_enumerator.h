@@ -2,60 +2,76 @@
 // of a nondeterministic WVA (document spanner) on a word, with character
 // edits in worst-case O(log |w| * poly(|Q|)) via AVL-balanced ⊕HH terms
 // (Corollary 8.4).
+//
+// Shares all derived-state maintenance (circuit, jump index, batching)
+// with the tree engine through EnumerationPipeline. As an Engine, its
+// NodeIds are the stable position ids: Relabel = replace the letter,
+// InsertRightSibling = insert after, InsertFirstChild = insert before,
+// DeleteLeaf = erase.
 #ifndef TREENUM_CORE_WORD_ENUMERATOR_H_
 #define TREENUM_CORE_WORD_ENUMERATOR_H_
 
 #include <memory>
 #include <vector>
 
-#include "automata/homogenize.h"
-#include "automata/translate.h"
 #include "automata/wva.h"
-#include "circuit/circuit.h"
-#include "enumeration/enumerate.h"
-#include "enumeration/index.h"
+#include "core/engine.h"
+#include "core/pipeline.h"
 #include "falgebra/word_avl.h"
 #include "trees/assignment.h"
 
 namespace treenum {
 
-class WordEnumerator {
+class WordEnumerator : public Engine {
  public:
   WordEnumerator(const Word& w, const Wva& query,
                  BoxEnumMode mode = BoxEnumMode::kIndexed);
 
   size_t word_size() const { return enc_.size(); }
-  size_t width() const { return homog_.tva.num_states(); }
+  size_t size() const override { return enc_.size(); }
+  size_t width() const { return pipeline_.width(); }
   const WordEncoding& encoding() const { return enc_; }
 
   /// Satisfying assignments; singleton NodeIds are *stable position ids* —
   /// translate to current positions with PositionOf.
-  std::vector<Assignment> EnumerateAll() const;
+  std::vector<Assignment> EnumerateAll() const override;
+  std::unique_ptr<Engine::Cursor> MakeCursor() const override;
+  bool HasAnswer() const override { return pipeline_.HasAnswer(); }
   /// Current logical position of a stable position id.
   size_t PositionOf(NodeId id) const { return enc_.PositionOf(id); }
 
   /// Like EnumerateAll but with singletons rewritten to current positions.
   std::vector<Assignment> EnumerateAllByPosition() const;
 
-  // ---- Word edits, worst-case O(log |w|) ----
-  void Replace(size_t pos, Label l);
-  void Insert(size_t pos, Label l);
-  void Erase(size_t pos);
+  // ---- Word edits by logical position, worst-case O(log |w|) ----
+  UpdateStats Replace(size_t pos, Label l);
+  UpdateStats Insert(size_t pos, Label l);
+  UpdateStats Erase(size_t pos);
   /// Bulk edit: move the factor [begin, end) so it starts at `dst` of the
   /// remaining word. Also O(log |w|) (AVL split/join).
-  void MoveRange(size_t begin, size_t end, size_t dst);
+  UpdateStats MoveRange(size_t begin, size_t end, size_t dst);
 
-  const AssignmentCircuit& circuit() const { return circuit_; }
+  // ---- Engine edit surface, by stable position id ----
+  UpdateStats Relabel(NodeId n, Label l) override;
+  UpdateStats InsertFirstChild(NodeId n, Label l,
+                               NodeId* new_node = nullptr) override;
+  UpdateStats InsertRightSibling(NodeId n, Label l,
+                                 NodeId* new_node = nullptr) override;
+  UpdateStats DeleteLeaf(NodeId n) override;
+
+  void BeginBatch() override { pipeline_.BeginBatch(); }
+  UpdateStats CommitBatch() override { return pipeline_.CommitBatch(); }
+  bool in_batch() const override { return pipeline_.in_batch(); }
+
+  const EnumerationPipeline& pipeline() const { return pipeline_; }
+  const AssignmentCircuit& circuit() const { return pipeline_.circuit(); }
 
  private:
-  void ApplyUpdate(const UpdateResult& result);
-  std::vector<uint32_t> FinalGamma() const;
+  /// Inserts at logical position `pos`, reporting the new stable id.
+  UpdateStats InsertAt(size_t pos, Label l, NodeId* new_node);
 
-  HomogenizedTva homog_;
   WordEncoding enc_;
-  AssignmentCircuit circuit_;
-  EnumIndex index_;
-  BoxEnumMode mode_;
+  EnumerationPipeline pipeline_;
 };
 
 }  // namespace treenum

@@ -25,7 +25,21 @@ struct Singleton {
   friend bool operator==(const Singleton& a, const Singleton& b) {
     return a.var == b.var && a.node == b.node;
   }
-  friend auto operator<=>(const Singleton& a, const Singleton& b) = default;
+  friend bool operator!=(const Singleton& a, const Singleton& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Singleton& a, const Singleton& b) {
+    return a.var != b.var ? a.var < b.var : a.node < b.node;
+  }
+  friend bool operator>(const Singleton& a, const Singleton& b) {
+    return b < a;
+  }
+  friend bool operator<=(const Singleton& a, const Singleton& b) {
+    return !(b < a);
+  }
+  friend bool operator>=(const Singleton& a, const Singleton& b) {
+    return !(a < b);
+  }
 };
 
 /// An assignment: a set of singletons, kept sorted for canonical form.
@@ -54,8 +68,21 @@ class Assignment {
   friend bool operator==(const Assignment& a, const Assignment& b) {
     return a.singletons_ == b.singletons_;
   }
-  friend auto operator<=>(const Assignment& a,
-                          const Assignment& b) = default;
+  friend bool operator!=(const Assignment& a, const Assignment& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Assignment& a, const Assignment& b) {
+    return a.singletons_ < b.singletons_;
+  }
+  friend bool operator>(const Assignment& a, const Assignment& b) {
+    return b < a;
+  }
+  friend bool operator<=(const Assignment& a, const Assignment& b) {
+    return !(b < a);
+  }
+  friend bool operator>=(const Assignment& a, const Assignment& b) {
+    return !(a < b);
+  }
 
  private:
   std::vector<Singleton> singletons_;

@@ -8,11 +8,17 @@
 // result sets exceed the cap still check structural invariants.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
 
-#include "baseline/naive_engine.h"
 #include "automata/query_library.h"
+#include "automata/regex_spanner.h"
+#include "automata/wva.h"
+#include "baseline/naive_engine.h"
+#include "baseline/static_engine.h"
+#include "core/engine.h"
 #include "core/tree_enumerator.h"
+#include "core/word_enumerator.h"
 #include "test_util.h"
 
 namespace treenum {
@@ -136,7 +142,8 @@ TEST(PipelineProperty, PathGrowShrinkAgainstOracle) {
     Label l = static_cast<Label>(rng.Index(2));
     NodeId u;
     e.InsertFirstChild(path.back(), l, &u);
-    NodeId v = oracle.InsertFirstChild(path.back(), l);
+    NodeId v;
+    oracle.InsertFirstChild(path.back(), l, &v);
     ASSERT_EQ(u, v);
     path.push_back(u);
     ASSERT_EQ(e.EnumerateAll(), oracle.results()) << "grow " << i;
@@ -149,6 +156,267 @@ TEST(PipelineProperty, PathGrowShrinkAgainstOracle) {
     ASSERT_EQ(e.EnumerateAll(), oracle.results())
         << "shrink at " << path.size();
   }
+}
+
+// ---- Batched updates --------------------------------------------------------
+//
+// Property: ApplyEdits(batch) ≡ the same edits applied one-by-one ≡ the
+// NaiveEngine oracle, on randomized edit scripts. All engines are driven
+// through the shared Engine interface.
+
+// Generates a batch of `k` edits that is valid when applied sequentially,
+// advancing `mirror` as the ground truth. Edits may target nodes created
+// earlier in the same batch (node ids are deterministic across engines).
+std::vector<Edit> RandomTreeBatch(UnrankedTree& mirror, Rng& rng, size_t k,
+                                  size_t labels, size_t max_size) {
+  std::vector<Edit> edits;
+  while (edits.size() < k) {
+    std::vector<NodeId> nodes = mirror.PreorderNodes();
+    NodeId n = nodes[rng.Index(nodes.size())];
+    size_t op = rng.Index(4);
+    if (mirror.size() >= max_size && (op == 1 || op == 2)) op = 0;
+    Label l = static_cast<Label>(rng.Index(labels));
+    switch (op) {
+      case 0:
+        mirror.Relabel(n, l);
+        edits.push_back(Edit::Relabel(n, l));
+        break;
+      case 1:
+        mirror.InsertFirstChild(n, l);
+        edits.push_back(Edit::InsertFirstChild(n, l));
+        break;
+      case 2:
+        if (n == mirror.root()) break;
+        mirror.InsertRightSibling(n, l);
+        edits.push_back(Edit::InsertRightSibling(n, l));
+        break;
+      default:
+        if (n == mirror.root() || !mirror.IsLeaf(n)) break;
+        mirror.DeleteLeaf(n);
+        edits.push_back(Edit::DeleteLeaf(n));
+        break;
+    }
+  }
+  return edits;
+}
+
+TEST(BatchedUpdates, BatchEqualsSequentialEqualsOracleOnTrees) {
+  Rng rng(401);
+  UnrankedTva queries[] = {QueryMarkedAncestor(3, 1, 2),
+                           QueryDescendantPairs(3, 0, 1)};
+  for (const UnrankedTva& q : queries) {
+    UnrankedTree t = RandomTree(20, 3, rng);
+    TreeEnumerator sequential(t, q);
+    TreeEnumerator batched(t, q);
+    batched.EnableCounting();  // cover counter maintenance at commit
+    NaiveEngine oracle(t, q);
+    StaticEngine rebuilt(t, q);
+    UnrankedTree mirror = t;
+    for (int round = 0; round < 12; ++round) {
+      size_t k = 1 + rng.Index(12);
+      std::vector<Edit> batch = RandomTreeBatch(mirror, rng, k, 3, 60);
+      UpdateStats seq_stats;
+      for (const Edit& e : batch) seq_stats += sequential.ApplyEdit(e);
+      UpdateStats batch_stats = batched.ApplyEdits(batch);
+      oracle.ApplyEdits(batch);
+      rebuilt.ApplyEdits(batch);
+      ASSERT_TRUE(sequential.tree() == mirror) << "round " << round;
+      ASSERT_TRUE(batched.tree() == mirror) << "round " << round;
+      EXPECT_EQ(batch_stats.edits_applied, batch.size());
+      // Coalescing must never refresh more boxes than the per-edit path.
+      EXPECT_LE(batch_stats.boxes_recomputed, seq_stats.boxes_recomputed)
+          << "round " << round;
+      std::vector<Assignment> expected = oracle.EnumerateAll();
+      ASSERT_EQ(sequential.EnumerateAll(), expected) << "round " << round;
+      ASSERT_EQ(batched.EnumerateAll(), expected) << "round " << round;
+      ASSERT_EQ(rebuilt.EnumerateAll(), expected) << "round " << round;
+      ASSERT_EQ(batched.AcceptingRuns(), expected.size())
+          << "round " << round;
+    }
+  }
+}
+
+TEST(BatchedUpdates, RandomAutomatonBatchesAgainstMaterialization) {
+  for (uint64_t seed : {421u, 431u, 433u}) {
+    Rng rng(seed);
+    UnrankedTva q = RandomUnrankedTva(rng, 3, 2, 1, 4, 9);
+    UnrankedTree t = RandomTree(10, 2, rng);
+    TreeEnumerator sequential(t, q);
+    TreeEnumerator batched(t, q);
+    UnrankedTree mirror = t;
+    for (int round = 0; round < 10; ++round) {
+      std::vector<Edit> batch =
+          RandomTreeBatch(mirror, rng, 1 + rng.Index(8), 2, 14);
+      for (const Edit& e : batch) sequential.ApplyEdit(e);
+      batched.ApplyEdits(batch);
+      std::optional<std::vector<Assignment>> got = CollectCapped(batched);
+      if (!got.has_value()) continue;
+      ASSERT_EQ(*got, MaterializeAssignments(mirror, q))
+          << "seed " << seed << " round " << round;
+      std::optional<std::vector<Assignment>> seq = CollectCapped(sequential);
+      ASSERT_TRUE(seq.has_value());
+      ASSERT_EQ(*got, *seq) << "seed " << seed << " round " << round;
+    }
+  }
+}
+
+TEST(BatchedUpdates, DeleteOfNodeInsertedWithinBatch) {
+  // A node created and deleted inside one batch must leave no trace: its
+  // boxes are freed (or never built) at commit.
+  UnrankedTree t = UnrankedTree::Parse("(a (b) (b))");
+  UnrankedTva q = QuerySelectLabel(2, 1);
+  TreeEnumerator e(t, q);
+  NodeId root = e.tree().root();
+  e.BeginBatch();
+  NodeId u;
+  e.InsertFirstChild(root, 1, &u);
+  NodeId v;
+  e.InsertRightSibling(u, 1, &v);
+  e.DeleteLeaf(u);
+  UpdateStats stats = e.CommitBatch();
+  EXPECT_GT(stats.boxes_recomputed, 0u);
+  EXPECT_EQ(e.EnumerateAll().size(), 3u);  // two old b-nodes + v
+}
+
+// a*<x:b>(a|b)* — select every b position (same query as the word tests).
+Wva SelectBWva() {
+  Wva q(2, 2, 1);
+  q.AddInitial(0);
+  q.AddTransition(0, 0, 0, 0);
+  q.AddTransition(0, 1, 0, 0);
+  q.AddTransition(0, 1, 1, 1);
+  q.AddTransition(1, 0, 0, 1);
+  q.AddTransition(1, 1, 0, 1);
+  q.AddFinal(1);
+  return q;
+}
+
+TEST(BatchedUpdates, ApplyEditsJoinsAnOpenBatch) {
+  // ApplyEdits inside an explicit BeginBatch/CommitBatch must not commit
+  // the caller's transaction early.
+  UnrankedTree t = UnrankedTree::Parse("(a (b) (b))");
+  UnrankedTva q = QuerySelectLabel(2, 1);
+  TreeEnumerator e(t, q);
+  NodeId root = e.tree().root();
+  e.BeginBatch();
+  e.InsertFirstChild(root, 1);
+  UpdateStats inner = e.ApplyEdits({Edit::InsertFirstChild(root, 1)});
+  EXPECT_TRUE(e.in_batch());  // still our transaction
+  EXPECT_EQ(inner.boxes_recomputed, 0u);  // nothing refreshed yet
+  e.InsertFirstChild(root, 1);
+  UpdateStats commit = e.CommitBatch();
+  EXPECT_FALSE(e.in_batch());
+  EXPECT_GT(commit.boxes_recomputed, 0u);
+  EXPECT_EQ(e.EnumerateAll().size(), 5u);  // 2 old + 3 new b-nodes
+}
+
+TEST(BatchedUpdates, WordBatchEqualsSequentialEqualsFreshRebuild) {
+  Wva q = SelectBWva();
+  Rng rng(443);
+  Word ref;
+  for (int i = 0; i < 12; ++i) ref.push_back(static_cast<Label>(rng.Index(2)));
+  WordEnumerator sequential(ref, q);
+  WordEnumerator batched(ref, q);
+  for (int round = 0; round < 15; ++round) {
+    size_t k = 1 + rng.Index(8);
+    batched.BeginBatch();
+    for (size_t i = 0; i < k; ++i) {
+      switch (rng.Index(4)) {
+        case 0: {
+          size_t pos = rng.Index(ref.size() + 1);
+          Label l = static_cast<Label>(rng.Index(2));
+          ref.insert(ref.begin() + pos, l);
+          sequential.Insert(pos, l);
+          batched.Insert(pos, l);
+          break;
+        }
+        case 1: {
+          size_t pos = rng.Index(ref.size());
+          Label l = static_cast<Label>(rng.Index(2));
+          ref[pos] = l;
+          sequential.Replace(pos, l);
+          batched.Replace(pos, l);
+          break;
+        }
+        case 2: {
+          if (ref.size() <= 1) break;
+          size_t pos = rng.Index(ref.size());
+          ref.erase(ref.begin() + pos);
+          sequential.Erase(pos);
+          batched.Erase(pos);
+          break;
+        }
+        default: {
+          size_t begin = rng.Index(ref.size());
+          size_t end = begin + 1 + rng.Index(ref.size() - begin);
+          size_t dst = rng.Index(ref.size() - (end - begin) + 1);
+          Word factor(ref.begin() + begin, ref.begin() + end);
+          ref.erase(ref.begin() + begin, ref.begin() + end);
+          ref.insert(ref.begin() + dst, factor.begin(), factor.end());
+          sequential.MoveRange(begin, end, dst);
+          batched.MoveRange(begin, end, dst);
+          break;
+        }
+      }
+    }
+    batched.CommitBatch();
+    WordEnumerator fresh(ref, q);  // independent static-preprocessing oracle
+    std::vector<Assignment> expected = fresh.EnumerateAllByPosition();
+    ASSERT_EQ(sequential.EnumerateAllByPosition(), expected)
+        << "round " << round;
+    ASSERT_EQ(batched.EnumerateAllByPosition(), expected)
+        << "round " << round;
+    ASSERT_EQ(expected, q.BruteForceAssignments(ref)) << "round " << round;
+  }
+}
+
+TEST(BatchedUpdates, EngineInterfaceDrivesAllFourBackends) {
+  // The same polymorphic loop exercises every backend, including the word
+  // engine via stable position ids.
+  Rng rng(449);
+  UnrankedTva q = QueryMarkedAncestor(3, 1, 2);
+  UnrankedTree t = RandomTree(15, 3, rng);
+  std::vector<std::unique_ptr<Engine>> tree_engines;
+  tree_engines.push_back(std::make_unique<TreeEnumerator>(t, q));
+  tree_engines.push_back(
+      std::make_unique<TreeEnumerator>(t, q, BoxEnumMode::kNaive));
+  tree_engines.push_back(std::make_unique<NaiveEngine>(t, q));
+  tree_engines.push_back(std::make_unique<StaticEngine>(t, q));
+  UnrankedTree mirror = t;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<Edit> batch = RandomTreeBatch(mirror, rng, 5, 3, 40);
+    std::vector<std::vector<Assignment>> all;
+    for (auto& engine : tree_engines) {
+      engine->ApplyEdits(batch);
+      EXPECT_EQ(engine->size(), mirror.size());
+      std::vector<Assignment> via_cursor;
+      std::unique_ptr<Engine::Cursor> c = engine->MakeCursor();
+      Assignment a;
+      while (c->Next(&a)) via_cursor.push_back(a);
+      std::sort(via_cursor.begin(), via_cursor.end());
+      EXPECT_EQ(via_cursor, engine->EnumerateAll());
+      EXPECT_EQ(engine->HasAnswer(), !via_cursor.empty());
+      all.push_back(std::move(via_cursor));
+    }
+    for (size_t i = 1; i < all.size(); ++i) {
+      ASSERT_EQ(all[i], all[0]) << "engine " << i << " round " << round;
+    }
+  }
+
+  // Word engine through the same interface: edits by stable position id.
+  Wva wq = SelectBWva();
+  Word w = ToWord("abba");
+  WordEnumerator we(w, wq);
+  Engine& engine = we;
+  // Positions 0..3 have stable ids 0..3 at construction.
+  engine.Relabel(0, 1);  // "bbba"
+  NodeId fresh = kNoNode;
+  engine.InsertRightSibling(3, 1, &fresh);  // "bbbab"
+  ASSERT_NE(fresh, kNoNode);
+  engine.DeleteLeaf(1);  // "bbab"
+  EXPECT_EQ(engine.size(), 4u);
+  EXPECT_EQ(we.EnumerateAllByPosition(),
+            wq.BruteForceAssignments(ToWord("bbab")));
 }
 
 }  // namespace
