@@ -131,6 +131,69 @@ BENCHMARK(BM_Update_BatchedEdits)
     ->Args({131072, 256})
     ->Unit(benchmark::kMicrosecond);
 
+// ---- Relabel-heavy scripts: relabels are the paper's cheapest update
+// (pure O(log n) path recomputation, no rebalancing) and the steady-state
+// showcase for the arena/CSR circuit storage — after warmup, a relabel's
+// circuit refresh reuses its spans in place. allocs_per_edit reports the
+// remaining whole-engine heap traffic via the allocation gauge (in indexed
+// mode that is the jump-index rebuild; the kNaive series decays to ~0).
+template <bool kBatched>
+void RelabelScriptBench(benchmark::State& state, BoxEnumMode mode) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  UnrankedTree tree = bench::MakeTree(n);
+  TreeEnumerator e(tree, bench::StandardQuery(), mode);
+  bench::EngineEditDriver driver(e, tree, kSeed);
+  // Untimed warmup pass: sizes the arena spans touched by the script.
+  for (size_t i = 0; i < k; ++i) driver.RelabelStep();
+  size_t boxes = 0;
+  bench::AllocGauge gauge;
+  for (auto _ : state) {
+    if (kBatched) e.BeginBatch();
+    for (size_t i = 0; i < k; ++i) {
+      boxes += driver.RelabelStep().boxes_recomputed;
+    }
+    if (kBatched) boxes += e.CommitBatch().boxes_recomputed;
+  }
+  size_t edits = state.iterations() * k;
+  double per_edit_boxes =
+      static_cast<double>(boxes) / static_cast<double>(edits);
+  state.counters["boxes_per_edit"] = per_edit_boxes;
+  state.counters["allocs_per_edit"] = gauge.per(edits);
+  state.SetItemsProcessed(static_cast<int64_t>(edits));
+  const char* name = kBatched ? "relabel_batched"
+                              : (mode == BoxEnumMode::kIndexed
+                                     ? "relabel_sequential"
+                                     : "relabel_sequential_noindex");
+  bench::EmitJson(name,
+                  {{"n", static_cast<double>(n)},
+                   {"k", static_cast<double>(k)},
+                   {"boxes_per_edit", per_edit_boxes},
+                   {"allocs_per_edit", gauge.per(edits)},
+                   {"iterations", static_cast<double>(state.iterations())}});
+}
+
+void BM_Update_SequentialRelabels(benchmark::State& state) {
+  RelabelScriptBench<false>(state, BoxEnumMode::kIndexed);
+}
+BENCHMARK(BM_Update_SequentialRelabels)
+    ->Args({131072, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Update_BatchedRelabels(benchmark::State& state) {
+  RelabelScriptBench<true>(state, BoxEnumMode::kIndexed);
+}
+BENCHMARK(BM_Update_BatchedRelabels)
+    ->Args({131072, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Update_SequentialRelabels_NoIndex(benchmark::State& state) {
+  RelabelScriptBench<false>(state, BoxEnumMode::kNaive);
+}
+BENCHMARK(BM_Update_SequentialRelabels_NoIndex)
+    ->Args({131072, 256})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Update_AdversarialPathGrowth(benchmark::State& state) {
   // Always extend the deepest node: maximal rebalancing pressure.
   TreeEnumerator e(UnrankedTree(0), bench::StandardQuery());

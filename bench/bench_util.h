@@ -13,10 +13,30 @@
 #include "core/engine.h"
 #include "core/tree_enumerator.h"
 #include "trees/unranked_tree.h"
+#include "util/alloc_gauge.h"
 #include "util/random.h"
 
 namespace treenum {
 namespace bench {
+
+/// Allocation-count gauge (util/alloc_gauge.h) for proving hot paths are
+/// allocation-free: wrap a timed region in an AllocGauge and report
+/// `per(items)` as a counter (e.g. allocs_per_edit). Counts are nonzero
+/// only in binaries linked against treenum_alloc_gauge (bench_updates is);
+/// elsewhere the gauge reads 0 and `active()` says so.
+class AllocGauge {
+ public:
+  bool active() const { return AllocGaugeActive(); }
+  uint64_t allocs() const { return scope_.allocs(); }
+  double per(size_t items) const {
+    return items == 0 ? 0.0
+                      : static_cast<double>(scope_.allocs()) /
+                            static_cast<double>(items);
+  }
+
+ private:
+  AllocGaugeScope scope_;
+};
 
 inline constexpr uint64_t kSeed = 0xBADC0FFEE;
 
@@ -134,6 +154,16 @@ class EngineEditDriver {
       default:
         break;
     }
+    mirror_.Relabel(n, l);
+    return e_.ApplyEdit(Edit::Relabel(n, l));
+  }
+
+  /// Relabel-only variant: the paper's cheapest update (pure path
+  /// recomputation, never a rebalance) — the steady-state workload for the
+  /// arena storage's allocation-free refresh path.
+  UpdateStats RelabelStep() {
+    NodeId n = Pick();
+    Label l = static_cast<Label>(rng_.Index(3));
     mirror_.Relabel(n, l);
     return e_.ApplyEdit(Edit::Relabel(n, l));
   }

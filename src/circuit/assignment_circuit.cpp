@@ -20,17 +20,17 @@ class Materializer {
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
     AssignmentSet out;
-    const Box& box = circuit_.box(id);
-    GateKind k = box.gamma[q];
+    const Box box = circuit_.box(id);
+    GateKind k = box.gamma(q);
     if (k == GateKind::kTop) {
       out.insert(Assignment{});
     } else if (k == GateKind::kUnion) {
-      size_t u = static_cast<size_t>(box.union_idx[q]);
+      size_t u = static_cast<size_t>(box.union_idx(q));
       const Term& term = circuit_.term();
       NodeId leaf_node = term.node(id).tree_node;
       // Var-gate inputs (leaf boxes).
-      for (uint16_t vi : box.var_inputs[u]) {
-        VarMask mask = box.var_masks[vi];
+      for (uint32_t vi : box.var_inputs(u)) {
+        VarMask mask = box.var_mask(vi);
         Assignment a;
         for (VarId v = 0; mask >> v; ++v) {
           if (mask & (VarMask{1} << v)) a.Add(Singleton{v, leaf_node});
@@ -41,8 +41,8 @@ class Materializer {
       // ×-gate inputs.
       TermNodeId lc = term.node(id).left;
       TermNodeId rc = term.node(id).right;
-      for (uint16_t ci : box.cross_inputs[u]) {
-        const CrossGate& cg = box.cross_gates[ci];
+      for (uint32_t ci : box.cross_inputs(u)) {
+        const CrossGate& cg = box.cross_gate(ci);
         const AssignmentSet& sl = Gamma(lc, cg.left_state);
         const AssignmentSet& sr = Gamma(rc, cg.right_state);
         for (const Assignment& a : sl) {
@@ -52,7 +52,7 @@ class Materializer {
         }
       }
       // Child ∪-gate inputs (⊤-collapse).
-      for (const auto& [side, state] : box.child_union_inputs[u]) {
+      for (const auto& [side, state] : box.child_union_inputs(u)) {
         const AssignmentSet& s = Gamma(side == 0 ? lc : rc, state);
         out.insert(s.begin(), s.end());
       }

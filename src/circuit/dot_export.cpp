@@ -38,51 +38,51 @@ std::string CircuitToDot(const AssignmentCircuit& circuit) {
   };
 
   auto walk = [&](auto&& self, TermNodeId id) -> void {
-    const Box& b = circuit.box(id);
+    const Box b = circuit.box(id);
     out << "  subgraph cluster_" << id << " {\n    label=\"box " << id
         << " (" << term.alphabet().LabelName(term.node(id).label)
         << ")\";\n";
-    for (size_t q = 0; q < b.gamma.size(); ++q) {
-      if (b.gamma[q] == GateKind::kTop) {
+    for (State q = 0; q < circuit.width(); ++q) {
+      if (b.gamma(q) == GateKind::kTop) {
         out << "    " << gate_name(id, "g", q) << " [label=\"T q" << q
             << "\" shape=triangle];\n";
-      } else if (b.gamma[q] == GateKind::kUnion) {
+      } else if (b.gamma(q) == GateKind::kUnion) {
         out << "    " << gate_name(id, "g", q) << " [label=\"U q" << q
             << "\" shape=ellipse];\n";
       }
     }
-    for (size_t c = 0; c < b.cross_gates.size(); ++c) {
+    for (size_t c = 0; c < b.num_cross_gates(); ++c) {
       out << "    " << gate_name(id, "x", c) << " [label=\"x("
-          << b.cross_gates[c].left_state << ","
-          << b.cross_gates[c].right_state << ")\" shape=box];\n";
+          << b.cross_gate(c).left_state << ","
+          << b.cross_gate(c).right_state << ")\" shape=box];\n";
     }
-    for (size_t v = 0; v < b.var_masks.size(); ++v) {
+    for (size_t v = 0; v < b.num_var_masks(); ++v) {
       out << "    " << gate_name(id, "v", v) << " [label=\"vars mask="
-          << b.var_masks[v] << "\" shape=plaintext];\n";
+          << b.var_mask(v) << "\" shape=plaintext];\n";
     }
     out << "  }\n";
     // Wires.
     const TermNode& t = term.node(id);
     for (size_t u = 0; u < b.num_unions(); ++u) {
-      State q = b.union_states[u];
-      for (uint16_t ci : b.cross_inputs[u]) {
+      State q = b.union_state(u);
+      for (uint32_t ci : b.cross_inputs(u)) {
         out << "  " << gate_name(id, "x", ci) << " -> "
             << gate_name(id, "g", q) << ";\n";
       }
-      for (uint16_t vi : b.var_inputs[u]) {
+      for (uint32_t vi : b.var_inputs(u)) {
         out << "  " << gate_name(id, "v", vi) << " -> "
             << gate_name(id, "g", q) << ";\n";
       }
-      for (const auto& [side, state] : b.child_union_inputs[u]) {
+      for (const auto& [side, state] : b.child_union_inputs(u)) {
         TermNodeId child = side == 0 ? t.left : t.right;
         out << "  " << gate_name(child, "g", state) << " -> "
             << gate_name(id, "g", q) << " [style=dashed];\n";
       }
     }
-    for (size_t c = 0; c < b.cross_gates.size(); ++c) {
-      out << "  " << gate_name(t.left, "g", b.cross_gates[c].left_state)
+    for (size_t c = 0; c < b.num_cross_gates(); ++c) {
+      out << "  " << gate_name(t.left, "g", b.cross_gate(c).left_state)
           << " -> " << gate_name(id, "x", c) << ";\n";
-      out << "  " << gate_name(t.right, "g", b.cross_gates[c].right_state)
+      out << "  " << gate_name(t.right, "g", b.cross_gate(c).right_state)
           << " -> " << gate_name(id, "x", c) << ";\n";
     }
     if (t.left != kNoTerm) {

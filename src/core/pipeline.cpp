@@ -99,6 +99,9 @@ UpdateStats EnumerationPipeline::CommitBatch() {
   }
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
+  // Pre-grow the circuit arena for the whole transaction so the refresh
+  // loop below never re-grows a pool tail mid-batch.
+  circuit_.ReserveForRebuild(order.size());
   for (const auto& [depth, id] : order) RefreshBox(id);
   stats.boxes_recomputed = order.size();
 
@@ -112,9 +115,9 @@ bool EnumerationPipeline::EmptyAssignmentSatisfies() const {
   // Release-mode safety: boxes of term nodes created mid-batch do not
   // exist until commit, so reading the root box would be out of bounds.
   if (in_batch_) return false;
-  const Box& box = circuit_.box(term_->root());
+  const Box box = circuit_.box(term_->root());
   for (State q : homog_.tva.final_states()) {
-    if (homog_.kind[q] == 0 && box.gamma[q] == GateKind::kTop) return true;
+    if (homog_.kind[q] == 0 && box.gamma(q) == GateKind::kTop) return true;
   }
   return false;
 }
@@ -123,10 +126,10 @@ std::vector<uint32_t> EnumerationPipeline::FinalGamma() const {
   assert(!in_batch_ && "querying during an open batch is unsupported");
   std::vector<uint32_t> gamma;
   if (in_batch_) return gamma;
-  const Box& box = circuit_.box(term_->root());
+  const Box box = circuit_.box(term_->root());
   for (State q : homog_.tva.final_states()) {
-    if (homog_.kind[q] == 1 && box.gamma[q] == GateKind::kUnion) {
-      gamma.push_back(static_cast<uint32_t>(box.union_idx[q]));
+    if (homog_.kind[q] == 1 && box.gamma(q) == GateKind::kUnion) {
+      gamma.push_back(static_cast<uint32_t>(box.union_idx(q)));
     }
   }
   return gamma;

@@ -1,9 +1,12 @@
 #include "counting/run_count.h"
 
+#include <algorithm>
+
 namespace treenum {
 
 void RunCounter::EnsureSlot(TermNodeId id) {
-  if (counts_.size() <= id) counts_.resize(id + 1);
+  size_t need = (static_cast<size_t>(id) + 1) * circuit_->width();
+  if (counts_.size() < need) counts_.resize(need, 0);
 }
 
 void RunCounter::BuildAll() {
@@ -32,7 +35,8 @@ void RunCounter::RebuildBoxCounts(TermNodeId id) {
   const Term& term = circuit_->term();
   const BinaryTva& tva = circuit_->tva();
   const size_t w = tva.num_states();
-  std::vector<uint64_t> counts(w, 0);
+  uint64_t* counts = counts_.data() + static_cast<size_t>(id) * w;
+  std::fill_n(counts, w, 0);
   const TermNode& t = term.node(id);
 
   if (t.left == kNoTerm) {
@@ -43,8 +47,8 @@ void RunCounter::RebuildBoxCounts(TermNodeId id) {
       counts[q] += 1;
     }
   } else {
-    const std::vector<uint64_t>& lc = counts_[t.left];
-    const std::vector<uint64_t>& rc = counts_[t.right];
+    const uint64_t* lc = counts_.data() + static_cast<size_t>(t.left) * w;
+    const uint64_t* rc = counts_.data() + static_cast<size_t>(t.right) * w;
     for (State q1 = 0; q1 < w; ++q1) {
       if (lc[q1] == 0) continue;
       for (State q2 = 0; q2 < w; ++q2) {
@@ -56,16 +60,21 @@ void RunCounter::RebuildBoxCounts(TermNodeId id) {
       }
     }
   }
-  counts_[id] = std::move(counts);
 }
 
 void RunCounter::FreeBoxCounts(TermNodeId id) {
-  if (id < counts_.size()) counts_[id].clear();
+  const size_t w = circuit_->width();
+  size_t base = static_cast<size_t>(id) * w;
+  if (base + w <= counts_.size()) {
+    std::fill_n(counts_.begin() + base, w, 0);
+  }
 }
 
 uint64_t RunCounter::Count(TermNodeId id, State q) const {
-  if (id >= counts_.size() || counts_[id].empty()) return 0;
-  return counts_[id][q];
+  const size_t w = circuit_->width();
+  size_t base = static_cast<size_t>(id) * w;
+  if (base + w > counts_.size()) return 0;
+  return counts_[base + q];
 }
 
 uint64_t RunCounter::TotalAcceptingRuns() const {

@@ -54,8 +54,10 @@ class RunCounter {
   void EnsureSlot(TermNodeId id);
 
   const AssignmentCircuit* circuit_;
-  // counts_[id][q].
-  std::vector<std::vector<uint64_t>> counts_;
+  // Flat stride-w rows (counts_[id * w + q]), matching the circuit's arena
+  // layout: a box-count refresh overwrites its row in place and never
+  // touches the heap.
+  std::vector<uint64_t> counts_;
 };
 
 }  // namespace treenum

@@ -14,15 +14,15 @@ BitMatrix InitialRelation(size_t num_unions,
 BitMatrix WireRelation(const AssignmentCircuit& circuit, TermNodeId box,
                        int side) {
   const Term& term = circuit.term();
-  const Box& b = circuit.box(box);
+  const Box b = circuit.box(box);
   TermNodeId child =
       side == 0 ? term.node(box).left : term.node(box).right;
-  const Box& cb = circuit.box(child);
+  const Box cb = circuit.box(child);
   BitMatrix r(cb.num_unions(), b.num_unions());
   for (size_t u = 0; u < b.num_unions(); ++u) {
-    for (const auto& [s, state] : b.child_union_inputs[u]) {
+    for (const auto& [s, state] : b.child_union_inputs(u)) {
       if (s != side) continue;
-      int16_t d = cb.union_idx[state];
+      int32_t d = cb.union_idx(state);
       assert(d != kNoGate);
       r.Set(static_cast<size_t>(d), u);
     }
@@ -45,12 +45,12 @@ IndexedBoxEnum::IndexedBoxEnum(const EnumIndex* index, TermNodeId box,
 // bidirectional box (lca of the gates' spans) is a strict ancestor of the
 // first interesting box. Outputs the span candidate index.
 static bool WalkViable(const EnumIndex& index, TermNodeId box,
-                       const BitMatrix& rel, int16_t* span_cand) {
+                       const BitMatrix& rel, int32_t* span_cand) {
   std::vector<uint32_t> gates = rel.NonEmptyRows();
   if (gates.empty()) return false;
   const BoxIndex& bi = index.at(box);
-  int16_t c1 = index.FibOfSet(box, gates);
-  int16_t j = bi.SpanLocal(gates);
+  int32_t c1 = index.FibOfSet(box, gates);
+  int32_t j = bi.SpanLocal(gates);
   if (j == c1) return false;
   if (bi.Lca(j, c1) != j) return false;  // j not a strict ancestor of c1
   *span_cand = j;
@@ -68,13 +68,13 @@ bool IndexedBoxEnum::Next(BoxRelation* out) {
       std::vector<uint32_t> gates = f.rel.NonEmptyRows();
       assert(!gates.empty());
       const BoxIndex& bi = index_->at(f.box);
-      int16_t c1 = index_->FibOfSet(f.box, gates);
+      int32_t c1 = index_->FibOfSet(f.box, gates);
       TermNodeId b1 = bi.cands[c1].box;
       BitMatrix r1 = bi.cands[c1].rel.Compose(f.rel);
 
       // The loop continuation for this frame (Line 11-17), pushed only when
       // it will do work — this is the tail-call elimination of Lemma 6.4.
-      int16_t span_cand;
+      int32_t span_cand;
       if (WalkViable(*index_, f.box, f.rel, &span_cand)) {
         stack_.push_back(Frame{Frame::kWalk, f.box, std::move(f.rel)});
       }
@@ -100,7 +100,7 @@ bool IndexedBoxEnum::Next(BoxRelation* out) {
 
     // kWalk: one iteration of the jump loop. Frames are only pushed when
     // viable, so this always performs a jump.
-    int16_t span_cand;
+    int32_t span_cand;
     bool viable = WalkViable(*index_, f.box, f.rel, &span_cand);
     assert(viable);
     (void)viable;
@@ -113,7 +113,7 @@ bool IndexedBoxEnum::Next(BoxRelation* out) {
     BitMatrix rr = ji.wire_right.Compose(rj);
     // Continue the loop at the left child (pushed first → popped after the
     // right subtree's Enter), if another iteration is viable there.
-    int16_t next_span;
+    int32_t next_span;
     if (rl.Any() &&
         WalkViable(*index_, term.node(j.box).left, rl, &next_span)) {
       stack_.push_back(
@@ -158,7 +158,7 @@ bool NaiveBoxEnum::Next(BoxRelation* out) {
       }
     }
 
-    const Box& b = circuit_->box(f.box);
+    const Box b = circuit_->box(f.box);
     bool interesting = false;
     for (uint32_t g : gates) {
       if (b.HasNonUnionInput(g)) {

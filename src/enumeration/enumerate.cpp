@@ -53,25 +53,25 @@ std::unique_ptr<BoxEnumCursor> AssignmentCursor::MakeBoxEnum(
 }
 
 void AssignmentCursor::PrepareBox() {
-  const Box& b = circuit_->box(cur_.box);
+  const Box b = circuit_->box(cur_.box);
   var_agenda_.clear();
   var_pos_ = 0;
   crosses_.clear();
   cross_prov_.clear();
 
-  std::vector<std::vector<uint64_t>> vacc(b.var_masks.size());
-  std::vector<std::vector<uint64_t>> cacc(b.cross_gates.size());
+  std::vector<std::vector<uint64_t>> vacc(b.num_var_masks());
+  std::vector<std::vector<uint64_t>> cacc(b.num_cross_gates());
   for (uint32_t g : cur_.rel.NonEmptyRows()) {
     const uint64_t* row = cur_.rel.Row(g);
     size_t words = cur_.rel.words_per_row();
-    for (uint16_t vi : b.var_inputs[g]) OrInto(vacc[vi], row, words);
-    for (uint16_t ci : b.cross_inputs[g]) OrInto(cacc[ci], row, words);
+    for (uint32_t vi : b.var_inputs(g)) OrInto(vacc[vi], row, words);
+    for (uint32_t ci : b.cross_inputs(g)) OrInto(cacc[ci], row, words);
     ++local_steps_;
   }
-  for (uint16_t vi = 0; vi < vacc.size(); ++vi) {
+  for (uint32_t vi = 0; vi < vacc.size(); ++vi) {
     if (!vacc[vi].empty()) var_agenda_.emplace_back(vi, std::move(vacc[vi]));
   }
-  for (uint16_t ci = 0; ci < cacc.size(); ++ci) {
+  for (uint32_t ci = 0; ci < cacc.size(); ++ci) {
     if (!cacc[ci].empty()) {
       crosses_.push_back(ci);
       cross_prov_.push_back(std::move(cacc[ci]));
@@ -84,16 +84,16 @@ void AssignmentCursor::SetupLeft() {
     stage_ = Stage::kNextBox;
     return;
   }
-  const Box& b = circuit_->box(cur_.box);
+  const Box b = circuit_->box(cur_.box);
   const Term& term = circuit_->term();
   TermNodeId lchild = term.node(cur_.box).left;
-  const Box& lb = circuit_->box(lchild);
+  const Box lb = circuit_->box(lchild);
 
   gamma_left_.clear();
   left_pos_.assign(lb.num_unions(), -1);
-  for (uint16_t p : crosses_) {
-    const CrossGate& cg = b.cross_gates[p];
-    int16_t d = lb.union_idx[cg.left_state];
+  for (uint32_t p : crosses_) {
+    const CrossGate& cg = b.cross_gate(p);
+    int32_t d = lb.union_idx(cg.left_state);
     assert(d != kNoGate);
     if (left_pos_[d] < 0) {
       left_pos_[d] = static_cast<int32_t>(gamma_left_.size());
@@ -107,18 +107,18 @@ void AssignmentCursor::SetupLeft() {
 }
 
 bool AssignmentCursor::SetupRight() {
-  const Box& b = circuit_->box(cur_.box);
+  const Box b = circuit_->box(cur_.box);
   const Term& term = circuit_->term();
   TermNodeId lchild = term.node(cur_.box).left;
   TermNodeId rchild = term.node(cur_.box).right;
-  const Box& lb = circuit_->box(lchild);
-  const Box& rb = circuit_->box(rchild);
+  const Box lb = circuit_->box(lchild);
+  const Box rb = circuit_->box(rchild);
 
   // G×': crosses whose left input captures the current left assignment.
   crosses_left_.clear();
-  for (uint16_t i = 0; i < crosses_.size(); ++i) {
-    const CrossGate& cg = b.cross_gates[crosses_[i]];
-    int32_t pos = left_pos_[lb.union_idx[cg.left_state]];
+  for (uint32_t i = 0; i < crosses_.size(); ++i) {
+    const CrossGate& cg = b.cross_gate(crosses_[i]);
+    int32_t pos = left_pos_[lb.union_idx(cg.left_state)];
     if (BitAt(left_out_.provenance, static_cast<size_t>(pos))) {
       crosses_left_.push_back(i);
     }
@@ -127,9 +127,9 @@ bool AssignmentCursor::SetupRight() {
 
   gamma_right_.clear();
   right_pos_.assign(rb.num_unions(), -1);
-  for (uint16_t i : crosses_left_) {
-    const CrossGate& cg = b.cross_gates[crosses_[i]];
-    int16_t d = rb.union_idx[cg.right_state];
+  for (uint32_t i : crosses_left_) {
+    const CrossGate& cg = b.cross_gate(crosses_[i]);
+    int32_t d = rb.union_idx(cg.right_state);
     assert(d != kNoGate);
     if (right_pos_[d] < 0) {
       right_pos_[d] = static_cast<int32_t>(gamma_right_.size());
@@ -163,9 +163,9 @@ bool AssignmentCursor::Next(EnumOutput* out) {
         if (var_pos_ < var_agenda_.size()) {
           const auto& [vi, prov] = var_agenda_[var_pos_];
           ++var_pos_;
-          const Box& b = circuit_->box(cur_.box);
+          const Box b = circuit_->box(cur_.box);
           out->contributions.clear();
-          out->contributions.emplace_back(b.var_masks[vi],
+          out->contributions.emplace_back(b.var_mask(vi),
                                           term.node(cur_.box).tree_node);
           out->provenance = prov;
           ++local_steps_;
@@ -191,8 +191,8 @@ bool AssignmentCursor::Next(EnumOutput* out) {
           stage_ = Stage::kPullLeft;
           break;
         }
-        const Box& b = circuit_->box(cur_.box);
-        const Box& rb =
+        const Box b = circuit_->box(cur_.box);
+        const Box rb =
             circuit_->box(term.node(cur_.box).right);
         out->contributions = left_out_.contributions;
         out->contributions.insert(out->contributions.end(),
@@ -200,9 +200,9 @@ bool AssignmentCursor::Next(EnumOutput* out) {
                                   rout.contributions.end());
         out->provenance.assign(prov_words_, 0);
         bool any = false;
-        for (uint16_t i : crosses_left_) {
-          const CrossGate& cg = b.cross_gates[crosses_[i]];
-          int32_t pos = right_pos_[rb.union_idx[cg.right_state]];
+        for (uint32_t i : crosses_left_) {
+          const CrossGate& cg = b.cross_gate(crosses_[i]);
+          int32_t pos = right_pos_[rb.union_idx(cg.right_state)];
           if (BitAt(rout.provenance, static_cast<size_t>(pos))) {
             OrInto(out->provenance, cross_prov_[i].data(),
                    cross_prov_[i].size());

@@ -67,10 +67,10 @@ class AssignmentCursor {
   // Current interesting box.
   BoxRelation cur_;
   // Var agenda: (mask index, provenance) in deterministic order.
-  std::vector<std::pair<uint16_t, std::vector<uint64_t>>> var_agenda_;
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> var_agenda_;
   size_t var_pos_ = 0;
   // Cross agenda: local ×-gate id → provenance base; involved gate list.
-  std::vector<uint16_t> crosses_;
+  std::vector<uint32_t> crosses_;
   std::vector<std::vector<uint64_t>> cross_prov_;
   // Left recursion.
   std::vector<uint32_t> gamma_left_;
@@ -78,7 +78,7 @@ class AssignmentCursor {
   std::unique_ptr<AssignmentCursor> left_cursor_;
   EnumOutput left_out_;
   // Right recursion (depends on the current left output).
-  std::vector<uint16_t> crosses_left_;  // G×': crosses compatible with SL
+  std::vector<uint32_t> crosses_left_;  // G×': crosses compatible with SL
   std::vector<uint32_t> gamma_right_;
   std::vector<int32_t> right_pos_;
   std::unique_ptr<AssignmentCursor> right_cursor_;

@@ -39,7 +39,7 @@ namespace {
 // Closes `items` (candidate indices of a child box) under the child's
 // pairwise lca table. Candidate sets stay O(w), so the quadratic loop is
 // within the per-box poly(w) budget of Lemma 6.3.
-void LcaClose(const BoxIndex& child, std::vector<int16_t>& items) {
+void LcaClose(const BoxIndex& child, std::vector<int32_t>& items) {
   std::sort(items.begin(), items.end());
   items.erase(std::unique(items.begin(), items.end()), items.end());
   bool grew = true;
@@ -48,7 +48,7 @@ void LcaClose(const BoxIndex& child, std::vector<int16_t>& items) {
     size_t n = items.size();
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
-        int16_t l = child.Lca(items[i], items[j]);
+        int32_t l = child.Lca(items[i], items[j]);
         if (!std::binary_search(items.begin(), items.end(), l)) {
           items.insert(std::lower_bound(items.begin(), items.end(), l), l);
           grew = true;
@@ -63,7 +63,7 @@ void LcaClose(const BoxIndex& child, std::vector<int16_t>& items) {
 void EnumIndex::RebuildBoxIndex(TermNodeId id) {
   EnsureSlot(id);
   const Term& term = circuit_->term();
-  const Box& box = circuit_->box(id);
+  const Box box = circuit_->box(id);
   size_t nu = box.num_unions();
   BoxIndex bi;
 
@@ -85,25 +85,35 @@ void EnumIndex::RebuildBoxIndex(TermNodeId id) {
 
   TermNodeId lid = term.node(id).left;
   TermNodeId rid = term.node(id).right;
-  const Box& lbox = circuit_->box(lid);
-  const Box& rbox = circuit_->box(rid);
+  const Box lbox = circuit_->box(lid);
+  const Box rbox = circuit_->box(rid);
   const BoxIndex& lidx = indexes_[lid];
   const BoxIndex& ridx = indexes_[rid];
 
   // Wire relations R(child, B) over the ∪→∪ (⊤-collapse) wires.
   bi.wire_left = BitMatrix(lbox.num_unions(), nu);
   bi.wire_right = BitMatrix(rbox.num_unions(), nu);
-  // Per-gate child input lists as dense child ∪-gate indices.
-  std::vector<std::vector<uint32_t>> in_left(nu), in_right(nu);
+  // Per-gate child input lists as dense child ∪-gate indices (scratch,
+  // reused across rebuilds).
+  if (in_left_scratch_.size() < nu) {
+    in_left_scratch_.resize(nu);
+    in_right_scratch_.resize(nu);
+  }
   for (size_t u = 0; u < nu; ++u) {
-    for (const auto& [side, state] : box.child_union_inputs[u]) {
+    in_left_scratch_[u].clear();
+    in_right_scratch_[u].clear();
+  }
+  std::vector<std::vector<uint32_t>>& in_left = in_left_scratch_;
+  std::vector<std::vector<uint32_t>>& in_right = in_right_scratch_;
+  for (size_t u = 0; u < nu; ++u) {
+    for (const auto& [side, state] : box.child_union_inputs(u)) {
       if (side == 0) {
-        int16_t d = lbox.union_idx[state];
+        int32_t d = lbox.union_idx(state);
         assert(d != kNoGate);
         bi.wire_left.Set(static_cast<size_t>(d), u);
         in_left[u].push_back(static_cast<uint32_t>(d));
       } else {
-        int16_t d = rbox.union_idx[state];
+        int32_t d = rbox.union_idx(state);
         assert(d != kNoGate);
         bi.wire_right.Set(static_cast<size_t>(d), u);
         in_right[u].push_back(static_cast<uint32_t>(d));
@@ -112,11 +122,10 @@ void EnumIndex::RebuildBoxIndex(TermNodeId id) {
   }
 
   // Raw fib/span per gate: (source, child candidate index).
-  struct Pre {
-    uint8_t source;  // 0 self, 1 left, 2 right
-    int16_t cc;      // child candidate index (source 1/2)
-  };
-  std::vector<Pre> fib_pre(nu), span_pre(nu);
+  fib_pre_scratch_.assign(nu, Pre{0, kNoCand});
+  span_pre_scratch_.assign(nu, Pre{0, kNoCand});
+  std::vector<Pre>& fib_pre = fib_pre_scratch_;
+  std::vector<Pre>& span_pre = span_pre_scratch_;
   for (size_t u = 0; u < nu; ++u) {
     bool local = box.HasNonUnionInput(u);
     bool has_l = !in_left[u].empty();
@@ -126,11 +135,11 @@ void EnumIndex::RebuildBoxIndex(TermNodeId id) {
     if (local) {
       fib_pre[u] = {0, kNoCand};
     } else if (has_l) {
-      int16_t best = lidx.fib[in_left[u][0]];
+      int32_t best = lidx.fib[in_left[u][0]];
       for (uint32_t g : in_left[u]) best = std::min(best, lidx.fib[g]);
       fib_pre[u] = {1, best};
     } else {
-      int16_t best = ridx.fib[in_right[u][0]];
+      int32_t best = ridx.fib[in_right[u][0]];
       for (uint32_t g : in_right[u]) best = std::min(best, ridx.fib[g]);
       fib_pre[u] = {2, best};
     }
@@ -145,7 +154,10 @@ void EnumIndex::RebuildBoxIndex(TermNodeId id) {
   }
 
   // Candidate collection + lca closure per side.
-  std::vector<int16_t> used_l, used_r;
+  used_l_scratch_.clear();
+  used_r_scratch_.clear();
+  std::vector<int32_t>& used_l = used_l_scratch_;
+  std::vector<int32_t>& used_r = used_r_scratch_;
   bool use_self = false;
   for (size_t u = 0; u < nu; ++u) {
     for (const Pre& p : {fib_pre[u], span_pre[u]}) {
@@ -164,28 +176,30 @@ void EnumIndex::RebuildBoxIndex(TermNodeId id) {
 
   // Assemble candidates in preorder: self, left child's (in its order),
   // right child's.
-  std::vector<int16_t> map_l(lidx.cands.size(), kNoCand);
-  std::vector<int16_t> map_r(ridx.cands.size(), kNoCand);
-  int16_t self_idx = kNoCand;
+  map_l_scratch_.assign(lidx.cands.size(), kNoCand);
+  map_r_scratch_.assign(ridx.cands.size(), kNoCand);
+  std::vector<int32_t>& map_l = map_l_scratch_;
+  std::vector<int32_t>& map_r = map_r_scratch_;
+  int32_t self_idx = kNoCand;
   if (use_self) {
-    self_idx = static_cast<int16_t>(bi.cands.size());
+    self_idx = static_cast<int32_t>(bi.cands.size());
     bi.cands.push_back(
         BoxIndex::Cand{id, 0, kNoCand, BitMatrix::Identity(nu)});
   }
-  for (int16_t cc : used_l) {
-    map_l[cc] = static_cast<int16_t>(bi.cands.size());
+  for (int32_t cc : used_l) {
+    map_l[cc] = static_cast<int32_t>(bi.cands.size());
     bi.cands.push_back(BoxIndex::Cand{lidx.cands[cc].box, 1, cc,
                                       lidx.cands[cc].rel.Compose(
                                           bi.wire_left)});
   }
-  for (int16_t cc : used_r) {
-    map_r[cc] = static_cast<int16_t>(bi.cands.size());
+  for (int32_t cc : used_r) {
+    map_r[cc] = static_cast<int32_t>(bi.cands.size());
     bi.cands.push_back(BoxIndex::Cand{ridx.cands[cc].box, 2, cc,
                                       ridx.cands[cc].rel.Compose(
                                           bi.wire_right)});
   }
 
-  auto resolve = [&](const Pre& p) -> int16_t {
+  auto resolve = [&](const Pre& p) -> int32_t {
     if (p.source == 0) return self_idx;
     if (p.source == 1) return map_l[p.cc];
     return map_r[p.cc];
@@ -203,9 +217,9 @@ void EnumIndex::RebuildBoxIndex(TermNodeId id) {
   bi.cand_lca.assign(nc * nc, kNoCand);
   for (size_t a = 0; a < nc; ++a) {
     for (size_t b = 0; b < nc; ++b) {
-      int16_t v;
+      int32_t v;
       if (a == b) {
-        v = static_cast<int16_t>(a);
+        v = static_cast<int32_t>(a);
       } else if (bi.cands[a].source == 0 || bi.cands[b].source == 0 ||
                  bi.cands[a].source != bi.cands[b].source) {
         assert(self_idx != kNoCand);
@@ -223,16 +237,16 @@ void EnumIndex::RebuildBoxIndex(TermNodeId id) {
   indexes_[id] = std::move(bi);
 }
 
-int16_t EnumIndex::FibOfSet(TermNodeId box,
+int32_t EnumIndex::FibOfSet(TermNodeId box,
                             const std::vector<uint32_t>& gates) const {
   const BoxIndex& bi = indexes_[box];
   assert(!gates.empty());
-  int16_t best = bi.fib[gates[0]];
+  int32_t best = bi.fib[gates[0]];
   for (uint32_t g : gates) best = std::min(best, bi.fib[g]);
   return best;
 }
 
-int16_t EnumIndex::SpanOfSet(TermNodeId box,
+int32_t EnumIndex::SpanOfSet(TermNodeId box,
                              const std::vector<uint32_t>& gates) const {
   return indexes_[box].SpanLocal(gates);
 }

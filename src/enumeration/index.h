@@ -29,7 +29,7 @@
 
 namespace treenum {
 
-inline constexpr int16_t kNoCand = -1;
+inline constexpr int32_t kNoCand = -1;
 
 /// Index data of one box.
 struct BoxIndex {
@@ -38,29 +38,29 @@ struct BoxIndex {
     /// 0 = the box itself, 1 = inherited from left child, 2 = from right.
     uint8_t source;
     /// For source 1/2: index in the child's candidate list.
-    int16_t child_cand;
+    int32_t child_cand;
     /// R(cand box, B): rows = candidate box's ∪-gates, cols = B's ∪-gates.
     BitMatrix rel;
   };
 
   std::vector<Cand> cands;  ///< Sorted by preorder (B itself first if used).
-  std::vector<int16_t> fib;   ///< Per ∪-gate: candidate index (always set).
-  std::vector<int16_t> span;  ///< Per ∪-gate: candidate index (always set).
+  std::vector<int32_t> fib;   ///< Per ∪-gate: candidate index (always set).
+  std::vector<int32_t> span;  ///< Per ∪-gate: candidate index (always set).
   /// Pairwise lca over candidates: cand_lca[a * cands.size() + b].
-  std::vector<int16_t> cand_lca;
+  std::vector<int32_t> cand_lca;
   /// Wire relations to the children: R(child box, B) over the ∪→∪ wires
   /// (⊤-collapse inputs). Empty matrices for leaf boxes.
   BitMatrix wire_left;
   BitMatrix wire_right;
 
-  int16_t Lca(int16_t a, int16_t b) const {
+  int32_t Lca(int32_t a, int32_t b) const {
     return cand_lca[static_cast<size_t>(a) * cands.size() + b];
   }
 
   /// lca{span(g) | g ∈ gates} as a candidate index (Observation 6.2: the
   /// preorder-minimal pairwise lca). `gates` must be non-empty.
-  int16_t SpanLocal(const std::vector<uint32_t>& gates) const {
-    int16_t best = span[gates[0]];
+  int32_t SpanLocal(const std::vector<uint32_t>& gates) const {
+    int32_t best = span[gates[0]];
     for (size_t i = 0; i < gates.size(); ++i) {
       for (size_t j = i; j < gates.size(); ++j) {
         best = std::min(best, Lca(span[gates[i]], span[gates[j]]));
@@ -90,17 +90,34 @@ class EnumIndex {
   /// fib(Γ) as a candidate index at `box`: min over the gates' fib values
   /// (minimum candidate index = first in preorder). `gates` are dense
   /// ∪-gate indices; must be non-empty.
-  int16_t FibOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const;
+  int32_t FibOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const;
 
   /// lca{span(g)} as a candidate index (Observation 6.2: min over pairwise
   /// candidate lcas).
-  int16_t SpanOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const;
+  int32_t SpanOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const;
 
  private:
+  /// Raw fib/span of one gate before candidate assembly.
+  struct Pre {
+    uint8_t source;  // 0 self, 1 left, 2 right
+    int32_t cc;      // child candidate index (source 1/2)
+  };
+
   void EnsureSlot(TermNodeId id);
 
   const AssignmentCircuit* circuit_;
   std::vector<BoxIndex> indexes_;
+
+  // Rebuild scratch reused across RebuildBoxIndex calls (clear() keeps
+  // capacity — the update path's counterpart of the circuit arena scratch).
+  std::vector<std::vector<uint32_t>> in_left_scratch_;
+  std::vector<std::vector<uint32_t>> in_right_scratch_;
+  std::vector<Pre> fib_pre_scratch_;
+  std::vector<Pre> span_pre_scratch_;
+  std::vector<int32_t> used_l_scratch_;
+  std::vector<int32_t> used_r_scratch_;
+  std::vector<int32_t> map_l_scratch_;
+  std::vector<int32_t> map_r_scratch_;
 };
 
 }  // namespace treenum

@@ -17,30 +17,30 @@ bool SimpleEnumCursor::Next(EnumOutput* out) {
   const Term& term = circuit_->term();
   while (!stack_.empty()) {
     Frame& f = *stack_.back();
-    const Box& b = circuit_->box(f.box);
+    const Box b = circuit_->box(f.box);
     uint32_t u = f.gate;
 
-    if (f.var_pos < b.var_inputs[u].size()) {
-      uint16_t vi = b.var_inputs[u][f.var_pos++];
+    if (f.var_pos < b.var_inputs(u).size()) {
+      uint32_t vi = b.var_inputs(u)[f.var_pos++];
       out->contributions.clear();
-      out->contributions.emplace_back(b.var_masks[vi],
+      out->contributions.emplace_back(b.var_mask(vi),
                                       term.node(f.box).tree_node);
       out->provenance.clear();
       return true;
     }
 
-    if (f.cross_pos < b.cross_inputs[u].size()) {
-      uint16_t ci = b.cross_inputs[u][f.cross_pos];
-      const CrossGate& cg = b.cross_gates[ci];
+    if (f.cross_pos < b.cross_inputs(u).size()) {
+      uint32_t ci = b.cross_inputs(u)[f.cross_pos];
+      const CrossGate& cg = b.cross_gate(ci);
       TermNodeId lchild = term.node(f.box).left;
       TermNodeId rchild = term.node(f.box).right;
-      const Box& lb = circuit_->box(lchild);
-      const Box& rb = circuit_->box(rchild);
+      const Box lb = circuit_->box(lchild);
+      const Box rb = circuit_->box(rchild);
 
       if (!f.left && !f.have_left) {
         f.left = std::make_unique<SimpleEnumCursor>(
             circuit_, lchild,
-            static_cast<uint32_t>(lb.union_idx[cg.left_state]));
+            static_cast<uint32_t>(lb.union_idx(cg.left_state)));
       }
       if (!f.have_left) {
         if (!f.left->Next(&f.left_out)) {
@@ -52,7 +52,7 @@ bool SimpleEnumCursor::Next(EnumOutput* out) {
         f.have_left = true;
         f.right = std::make_unique<SimpleEnumCursor>(
             circuit_, rchild,
-            static_cast<uint32_t>(rb.union_idx[cg.right_state]));
+            static_cast<uint32_t>(rb.union_idx(cg.right_state)));
       }
       EnumOutput r;
       if (f.right->Next(&r)) {
@@ -67,14 +67,14 @@ bool SimpleEnumCursor::Next(EnumOutput* out) {
       continue;
     }
 
-    if (f.child_pos < b.child_union_inputs[u].size()) {
-      const auto& [side, state] = b.child_union_inputs[u][f.child_pos++];
+    if (f.child_pos < b.child_union_inputs(u).size()) {
+      const auto& [side, state] = b.child_union_inputs(u)[f.child_pos++];
       TermNodeId child =
           side == 0 ? term.node(f.box).left : term.node(f.box).right;
-      const Box& cb = circuit_->box(child);
+      const Box cb = circuit_->box(child);
       auto nf = std::make_unique<Frame>();
       nf->box = child;
-      nf->gate = static_cast<uint32_t>(cb.union_idx[state]);
+      nf->gate = static_cast<uint32_t>(cb.union_idx(state));
       stack_.push_back(std::move(nf));
       continue;
     }

@@ -61,8 +61,15 @@ void DynamicEncoding::FinishStructural(TermNodeId from, UpdateResult& result) {
   FilterChanged(term, result.changed_bottom_up);
 }
 
-UpdateResult DynamicEncoding::Relabel(NodeId n, Label l) {
-  UpdateResult result;
+UpdateResult& DynamicEncoding::ResetResult() {
+  result_.freed.clear();
+  result_.changed_bottom_up.clear();
+  result_.rebuilt_size = 0;
+  return result_;
+}
+
+const UpdateResult& DynamicEncoding::Relabel(NodeId n, Label l) {
+  UpdateResult& result = ResetResult();
   enc_.tree.Relabel(n, l);
   Term& term = enc_.term;
   TermNodeId leaf = enc_.leaf_of[n];
@@ -77,9 +84,9 @@ UpdateResult DynamicEncoding::Relabel(NodeId n, Label l) {
   return result;
 }
 
-UpdateResult DynamicEncoding::InsertRightSibling(NodeId n, Label l,
-                                                 NodeId* new_node) {
-  UpdateResult result;
+const UpdateResult& DynamicEncoding::InsertRightSibling(NodeId n, Label l,
+                                                        NodeId* new_node) {
+  UpdateResult& result = ResetResult();
   NodeId u = enc_.tree.InsertRightSibling(n, l);
   if (new_node) *new_node = u;
   EnsureLeafSlot(u);
@@ -98,9 +105,9 @@ UpdateResult DynamicEncoding::InsertRightSibling(NodeId n, Label l,
   return result;
 }
 
-UpdateResult DynamicEncoding::InsertFirstChild(NodeId n, Label l,
-                                               NodeId* new_node) {
-  UpdateResult result;
+const UpdateResult& DynamicEncoding::InsertFirstChild(NodeId n, Label l,
+                                                      NodeId* new_node) {
+  UpdateResult& result = ResetResult();
   bool was_leaf = enc_.tree.IsLeaf(n);
   NodeId u = enc_.tree.InsertFirstChild(n, l);
   if (new_node) *new_node = u;
@@ -133,8 +140,8 @@ UpdateResult DynamicEncoding::InsertFirstChild(NodeId n, Label l,
   return result;
 }
 
-UpdateResult DynamicEncoding::DeleteLeaf(NodeId n) {
-  UpdateResult result;
+const UpdateResult& DynamicEncoding::DeleteLeaf(NodeId n) {
+  UpdateResult& result = ResetResult();
   Term& term = enc_.term;
   const TermAlphabet& alphabet = term.alphabet();
 

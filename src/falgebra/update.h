@@ -53,11 +53,16 @@ class DynamicEncoding {
   /// The leaf bijection φ: tree node → its leaf symbol's term id.
   TermNodeId LeafOf(NodeId n) const { return enc_.leaf_of[n]; }
 
-  UpdateResult Relabel(NodeId n, Label l);
-  UpdateResult InsertFirstChild(NodeId n, Label l, NodeId* new_node = nullptr);
-  UpdateResult InsertRightSibling(NodeId n, Label l,
-                                  NodeId* new_node = nullptr);
-  UpdateResult DeleteLeaf(NodeId n);
+  /// The returned reference aliases an internal scratch UpdateResult that
+  /// is overwritten by the next edit (its vectors keep their capacity, so
+  /// a steady-state relabel performs zero heap allocations). Copy it if it
+  /// must outlive the next call.
+  const UpdateResult& Relabel(NodeId n, Label l);
+  const UpdateResult& InsertFirstChild(NodeId n, Label l,
+                                       NodeId* new_node = nullptr);
+  const UpdateResult& InsertRightSibling(NodeId n, Label l,
+                                         NodeId* new_node = nullptr);
+  const UpdateResult& DeleteLeaf(NodeId n);
 
   /// Test hook: true iff every alive subterm respects the height envelope.
   bool CheckBalanced() const;
@@ -69,8 +74,11 @@ class DynamicEncoding {
   void FinishStructural(TermNodeId from, UpdateResult& result);
   /// Deduplicates / drops dead ids from result.changed_bottom_up.
   void FilterChangedPublic(UpdateResult& result) const;
+  /// Clears and returns the scratch result (capacity preserved).
+  UpdateResult& ResetResult();
 
   Encoding enc_;
+  UpdateResult result_;
 };
 
 }  // namespace treenum

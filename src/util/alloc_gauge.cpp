@@ -1,0 +1,36 @@
+#include "util/alloc_gauge.h"
+
+#include <atomic>
+
+namespace treenum {
+namespace {
+
+// Constant-initialized so counting is valid during static initialization.
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_bytes{0};
+std::atomic<bool> g_active{false};
+
+}  // namespace
+
+bool AllocGaugeActive() { return g_active.load(std::memory_order_relaxed); }
+uint64_t AllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+uint64_t FreeCount() { return g_frees.load(std::memory_order_relaxed); }
+uint64_t AllocBytes() { return g_bytes.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+void RecordAlloc(size_t bytes) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void RecordFree() { g_frees.fetch_add(1, std::memory_order_relaxed); }
+
+bool MarkGaugeActive() {
+  g_active.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace internal
+}  // namespace treenum

@@ -1,0 +1,85 @@
+// Counting global operator new/delete replacements — the measuring half of
+// util/alloc_gauge.h. Link this translation unit (the `treenum_alloc_gauge`
+// object library) ONLY into binaries that assert or report allocation
+// counts; it slows every allocation slightly, so latency-sensitive binaries
+// must not include it.
+//
+// All forms funnel into malloc/free, so new/delete stay a matched pair for
+// the sanitizers, which intercept the underlying malloc.
+#include <cstdlib>
+#include <new>
+
+#include "util/alloc_gauge.h"
+
+namespace {
+
+const bool g_registered = treenum::internal::MarkGaugeActive();
+
+void* CountedAlloc(size_t size, size_t align) {
+  treenum::internal::RecordAlloc(size);
+  if (align > alignof(std::max_align_t)) {
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    size_t rounded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, rounded);
+  }
+  return std::malloc(size);
+}
+
+void CountedFree(void* p) {
+  if (p == nullptr) return;
+  treenum::internal::RecordFree();
+  std::free(p);
+}
+
+void* ThrowingAlloc(size_t size, size_t align) {
+  void* p = CountedAlloc(size, align);
+  if (p == nullptr && size != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(size_t size) {
+  (void)g_registered;
+  return ThrowingAlloc(size ? size : 1, 0);
+}
+void* operator new[](size_t size) { return ThrowingAlloc(size ? size : 1, 0); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size ? size : 1, 0);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size ? size : 1, 0);
+}
+void* operator new(size_t size, std::align_val_t align) {
+  return ThrowingAlloc(size ? size : 1, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return ThrowingAlloc(size ? size : 1, static_cast<size_t>(align));
+}
+void* operator new(size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlloc(size ? size : 1, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlloc(size ? size : 1, static_cast<size_t>(align));
+}
+
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}

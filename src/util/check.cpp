@@ -1,0 +1,17 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace treenum {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const char* msg) {
+  std::fprintf(stderr, "TREENUM_CHECK failed at %s:%d: %s (%s)\n", file, line,
+               expr, msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace treenum

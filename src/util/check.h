@@ -1,0 +1,25 @@
+// TREENUM_CHECK — an always-on (release builds included) invariant check
+// for limits that silent narrowing used to hide (e.g. circuit width bounds
+// on large product automata). Unlike assert(), violating a TREENUM_CHECK
+// aborts with a diagnostic in every build type; it guards *capacity*
+// invariants whose violation would otherwise corrupt arena offsets.
+#ifndef TREENUM_UTIL_CHECK_H_
+#define TREENUM_UTIL_CHECK_H_
+
+namespace treenum {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* msg);
+
+}  // namespace internal
+}  // namespace treenum
+
+#define TREENUM_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::treenum::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                     \
+  } while (0)
+
+#endif  // TREENUM_UTIL_CHECK_H_

@@ -17,39 +17,41 @@ namespace {
 void CheckStructure(const AssignmentCircuit& c) {
   const Term& term = c.term();
   size_t w = c.width();
+  // The arena invariants (span bounds, CSR monotonicity, overlap-freedom)
+  // hold alongside the paper's structural ones.
+  EXPECT_EQ(c.ValidateStorage(), "");
   for (TermNodeId id = 0; id < term.id_bound(); ++id) {
     if (!term.IsAlive(id)) continue;
-    const Box& b = c.box(id);
-    ASSERT_EQ(b.gamma.size(), w);
+    const Box b = c.box(id);
     // Width bound: at most w ∪-gates, at most w² ×-gates.
     EXPECT_LE(b.num_unions(), w);
-    EXPECT_LE(b.cross_gates.size(), w * w);
+    EXPECT_LE(b.num_cross_gates(), w * w);
     for (size_t u = 0; u < b.num_unions(); ++u) {
       // Every ∪-gate has at least one input.
-      EXPECT_TRUE(!b.cross_inputs[u].empty() ||
-                  !b.child_union_inputs[u].empty() ||
-                  !b.var_inputs[u].empty());
+      EXPECT_TRUE(!b.cross_inputs(u).empty() ||
+                  !b.child_union_inputs(u).empty() ||
+                  !b.var_inputs(u).empty());
       // Dense index consistency.
-      State q = b.union_states[u];
-      EXPECT_EQ(b.union_idx[q], static_cast<int16_t>(u));
-      EXPECT_EQ(b.gamma[q], GateKind::kUnion);
+      State q = b.union_state(u);
+      EXPECT_EQ(b.union_idx(q), static_cast<int32_t>(u));
+      EXPECT_EQ(b.gamma(q), GateKind::kUnion);
     }
     if (term.IsLeaf(id)) {
-      EXPECT_TRUE(b.cross_gates.empty());
+      EXPECT_TRUE(b.cross_gates().empty());
     } else {
-      EXPECT_TRUE(b.var_masks.empty());
+      EXPECT_TRUE(b.var_masks().empty());
       // ×-gates and child-union inputs reference ∪-gates (never ⊤/⊥) in the
       // child boxes — the ⊤/⊥-collapse rule of the appendix construction.
-      const Box& lb = c.box(term.node(id).left);
-      const Box& rb = c.box(term.node(id).right);
-      for (const CrossGate& cg : b.cross_gates) {
-        EXPECT_EQ(lb.gamma[cg.left_state], GateKind::kUnion);
-        EXPECT_EQ(rb.gamma[cg.right_state], GateKind::kUnion);
+      const Box lb = c.box(term.node(id).left);
+      const Box rb = c.box(term.node(id).right);
+      for (const CrossGate& cg : b.cross_gates()) {
+        EXPECT_EQ(lb.gamma(cg.left_state), GateKind::kUnion);
+        EXPECT_EQ(rb.gamma(cg.right_state), GateKind::kUnion);
       }
       for (size_t u = 0; u < b.num_unions(); ++u) {
-        for (const auto& [side, state] : b.child_union_inputs[u]) {
+        for (const auto& [side, state] : b.child_union_inputs(u)) {
           const Box& cb = side == 0 ? lb : rb;
-          EXPECT_EQ(cb.gamma[state], GateKind::kUnion);
+          EXPECT_EQ(cb.gamma(state), GateKind::kUnion);
         }
       }
     }

@@ -33,7 +33,7 @@ struct HHPipeline {
     std::vector<uint32_t> g;
     const Box& b = circuit.box(term.root());
     for (size_t u = 0; u < b.num_unions(); ++u) {
-      if (h.kind[b.union_states[u]] == 1) {
+      if (h.kind[b.union_state(u)] == 1) {
         g.push_back(static_cast<uint32_t>(u));
       }
     }
@@ -48,7 +48,7 @@ std::vector<Assignment> ExpectedOfGamma(const HHPipeline& p,
   const Box& b = p.circuit.box(p.term.root());
   for (uint32_t u : gamma) {
     std::set<Assignment> s =
-        MaterializeGamma(p.circuit, p.term.root(), b.union_states[u]);
+        MaterializeGamma(p.circuit, p.term.root(), b.union_state(u));
     all.insert(s.begin(), s.end());
   }
   return {all.begin(), all.end()};
@@ -104,7 +104,7 @@ TEST(Enumerate, ProvenanceIsCorrect) {
     std::vector<std::set<Assignment>> per_gate;
     for (uint32_t u : gamma) {
       per_gate.push_back(
-          MaterializeGamma(p.circuit, p.term.root(), b.union_states[u]));
+          MaterializeGamma(p.circuit, p.term.root(), b.union_state(u)));
     }
     AssignmentCursor cursor(&p.circuit, &p.index, BoxEnumMode::kIndexed,
                             p.term.root(), gamma);
@@ -130,12 +130,12 @@ TEST(Enumerate, SingletonGammaSubsets) {
     HHPipeline p(raw, rng, 1 + rng.Index(6), 2);
     const Box& b = p.circuit.box(p.term.root());
     for (size_t u = 0; u < b.num_unions(); ++u) {
-      if (p.h.kind[b.union_states[u]] != 1) continue;
+      if (p.h.kind[b.union_state(u)] != 1) continue;
       AssignmentCursor cursor(&p.circuit, &p.index, BoxEnumMode::kIndexed,
                               p.term.root(),
                               {static_cast<uint32_t>(u)});
       std::set<Assignment> expected =
-          MaterializeGamma(p.circuit, p.term.root(), b.union_states[u]);
+          MaterializeGamma(p.circuit, p.term.root(), b.union_state(u));
       std::vector<Assignment> want(expected.begin(), expected.end());
       EXPECT_EQ(CollectAll(cursor), want);
     }
@@ -194,7 +194,7 @@ TEST(Enumerate, DelayStepsIndependentOfDepthOnPathChains) {
     const Box& b = circuit.box(term.root());
     std::vector<uint32_t> gamma;
     for (size_t u = 0; u < b.num_unions(); ++u) {
-      if (h.kind[b.union_states[u]] == 1) {
+      if (h.kind[b.union_state(u)] == 1) {
         gamma.push_back(static_cast<uint32_t>(u));
       }
     }

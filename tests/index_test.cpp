@@ -55,14 +55,14 @@ std::vector<TermNodeId> NaiveInteresting(const AssignmentCircuit& c,
     auto [b, g] = stack.back();
     stack.pop_back();
     if (!seen.emplace(b, g).second) continue;
-    const Box& bx = c.box(b);
+    const Box bx = c.box(b);
     if (bx.HasNonUnionInput(g)) out.push_back(b);
-    for (const auto& [side, state] : bx.child_union_inputs[g]) {
+    for (const auto& [side, state] : bx.child_union_inputs(g)) {
       TermNodeId child = side == 0 ? term.node(b).left : term.node(b).right;
       out.size();  // no-op
       stack.push_back(
           {child,
-           static_cast<uint32_t>(c.box(child).union_idx[state])});
+           static_cast<uint32_t>(c.box(child).union_idx(state))});
     }
   }
   std::sort(out.begin(), out.end());
@@ -92,7 +92,7 @@ void CheckIndexAgainstNaive(const AssignmentCircuit& circuit,
   std::map<TermNodeId, size_t> pre = PreorderNumbers(term);
   for (TermNodeId id = 0; id < term.id_bound(); ++id) {
     if (!term.IsAlive(id)) continue;
-    const Box& box = circuit.box(id);
+    const Box box = circuit.box(id);
     if (box.num_unions() == 0) continue;
     const BoxIndex& bi = index.at(id);
     ASSERT_EQ(bi.fib.size(), box.num_unions());
@@ -124,8 +124,8 @@ void CheckIndexAgainstNaive(const AssignmentCircuit& circuit,
       for (size_t b = 0; b < bi.cands.size(); ++b) {
         TermNodeId expected =
             NaiveLca(term, bi.cands[a].box, bi.cands[b].box);
-        EXPECT_EQ(bi.cands[bi.Lca(static_cast<int16_t>(a),
-                                  static_cast<int16_t>(b))]
+        EXPECT_EQ(bi.cands[bi.Lca(static_cast<int32_t>(a),
+                                  static_cast<int32_t>(b))]
                       .box,
                   expected);
       }
@@ -141,13 +141,13 @@ void CheckIndexAgainstNaive(const AssignmentCircuit& circuit,
         auto [b, g] = stack.back();
         stack.pop_back();
         if (!reach[b].insert(g).second) continue;
-        const Box& bx = circuit.box(b);
-        for (const auto& [side, state] : bx.child_union_inputs[g]) {
+        const Box bx = circuit.box(b);
+        for (const auto& [side, state] : bx.child_union_inputs(g)) {
           TermNodeId child =
               side == 0 ? term.node(b).left : term.node(b).right;
           stack.push_back(
               {child,
-               static_cast<uint32_t>(circuit.box(child).union_idx[state])});
+               static_cast<uint32_t>(circuit.box(child).union_idx(state))});
         }
       }
       for (const BoxIndex::Cand& cand : bi.cands) {
