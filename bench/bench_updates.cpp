@@ -133,10 +133,12 @@ BENCHMARK(BM_Update_BatchedEdits)
 
 // ---- Relabel-heavy scripts: relabels are the paper's cheapest update
 // (pure O(log n) path recomputation, no rebalancing) and the steady-state
-// showcase for the arena/CSR circuit storage — after warmup, a relabel's
-// circuit refresh reuses its spans in place. allocs_per_edit reports the
-// remaining whole-engine heap traffic via the allocation gauge (in indexed
-// mode that is the jump-index rebuild; the kNaive series decays to ~0).
+// showcase for the arena/CSR storage — after warmup, a relabel's circuit
+// *and* jump-index refresh reuse their pool spans in place, so the indexed
+// and _NoIndex series are both allocation-free in steady state.
+// allocs_per_edit reports the remaining whole-engine heap traffic via the
+// allocation gauge (first-touch pool growth only; decays towards 0 as the
+// script revisits configurations).
 template <bool kBatched>
 void RelabelScriptBench(benchmark::State& state, BoxEnumMode mode) {
   size_t n = static_cast<size_t>(state.range(0));
@@ -161,13 +163,15 @@ void RelabelScriptBench(benchmark::State& state, BoxEnumMode mode) {
   state.counters["boxes_per_edit"] = per_edit_boxes;
   state.counters["allocs_per_edit"] = gauge.per(edits);
   state.SetItemsProcessed(static_cast<int64_t>(edits));
-  const char* name = kBatched ? "relabel_batched"
-                              : (mode == BoxEnumMode::kIndexed
-                                     ? "relabel_sequential"
-                                     : "relabel_sequential_noindex");
+  bool indexed = mode == BoxEnumMode::kIndexed;
+  const char* name =
+      kBatched ? (indexed ? "relabel_batched" : "relabel_batched_noindex")
+               : (indexed ? "relabel_sequential"
+                          : "relabel_sequential_noindex");
   bench::EmitJson(name,
                   {{"n", static_cast<double>(n)},
                    {"k", static_cast<double>(k)},
+                   {"indexed", indexed ? 1.0 : 0.0},
                    {"boxes_per_edit", per_edit_boxes},
                    {"allocs_per_edit", gauge.per(edits)},
                    {"iterations", static_cast<double>(state.iterations())}});
@@ -178,6 +182,7 @@ void BM_Update_SequentialRelabels(benchmark::State& state) {
 }
 BENCHMARK(BM_Update_SequentialRelabels)
     ->Args({131072, 256})
+    ->Args({262144, 256})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_Update_BatchedRelabels(benchmark::State& state) {
@@ -185,6 +190,7 @@ void BM_Update_BatchedRelabels(benchmark::State& state) {
 }
 BENCHMARK(BM_Update_BatchedRelabels)
     ->Args({131072, 256})
+    ->Args({262144, 256})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_Update_SequentialRelabels_NoIndex(benchmark::State& state) {
@@ -192,6 +198,15 @@ void BM_Update_SequentialRelabels_NoIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_Update_SequentialRelabels_NoIndex)
     ->Args({131072, 256})
+    ->Args({262144, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Update_BatchedRelabels_NoIndex(benchmark::State& state) {
+  RelabelScriptBench<true>(state, BoxEnumMode::kNaive);
+}
+BENCHMARK(BM_Update_BatchedRelabels_NoIndex)
+    ->Args({131072, 256})
+    ->Args({262144, 256})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_Update_AdversarialPathGrowth(benchmark::State& state) {

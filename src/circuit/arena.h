@@ -16,7 +16,10 @@
 #ifndef TREENUM_CIRCUIT_ARENA_H_
 #define TREENUM_CIRCUIT_ARENA_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/check.h"
@@ -122,6 +125,35 @@ class SpanPool {
   std::vector<T> store_;
   std::vector<uint32_t> free_[32];
 };
+
+/// One live span of a pool, for validation (ValidateStorage test hooks).
+struct LiveSpan {
+  uint32_t off;
+  uint32_t cap;
+  uint32_t owner;  ///< Owning box id, for error messages.
+};
+
+/// Checks that the live spans of one pool stay within bounds and never
+/// overlap pairwise. Sorts `spans` in place. Returns an empty string when
+/// consistent, else a description of the first violation.
+inline std::string CheckPoolSpans(const char* name, size_t pool_size,
+                                  std::vector<LiveSpan>& spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const LiveSpan& a, const LiveSpan& b) { return a.off < b.off; });
+  std::ostringstream err;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (static_cast<size_t>(spans[i].off) + spans[i].cap > pool_size) {
+      err << name << " span of box " << spans[i].owner << " exceeds pool";
+      return err.str();
+    }
+    if (i > 0 && spans[i - 1].off + spans[i - 1].cap > spans[i].off) {
+      err << name << " spans of boxes " << spans[i - 1].owner << " and "
+          << spans[i].owner << " overlap";
+      return err.str();
+    }
+  }
+  return std::string();
+}
 
 }  // namespace treenum
 

@@ -273,35 +273,6 @@ size_t AssignmentCircuit::CountGates() const {
   return n;
 }
 
-namespace {
-
-struct LiveSpan {
-  uint32_t off;
-  uint32_t cap;
-  TermNodeId owner;
-};
-
-std::string CheckPool(const char* name, size_t pool_size,
-                      std::vector<LiveSpan>& spans) {
-  std::sort(spans.begin(), spans.end(),
-            [](const LiveSpan& a, const LiveSpan& b) { return a.off < b.off; });
-  std::ostringstream err;
-  for (size_t i = 0; i < spans.size(); ++i) {
-    if (static_cast<size_t>(spans[i].off) + spans[i].cap > pool_size) {
-      err << name << " span of box " << spans[i].owner << " exceeds pool";
-      return err.str();
-    }
-    if (i > 0 && spans[i - 1].off + spans[i - 1].cap > spans[i].off) {
-      err << name << " spans of boxes " << spans[i - 1].owner << " and "
-          << spans[i].owner << " overlap";
-      return err.str();
-    }
-  }
-  return std::string();
-}
-
-}  // namespace
-
 std::string AssignmentCircuit::ValidateStorage() const {
   std::ostringstream err;
   std::vector<LiveSpan> cg, ci, ch, vi, vm;
@@ -373,12 +344,16 @@ std::string AssignmentCircuit::ValidateStorage() const {
     }
   }
   std::string e;
-  if (!(e = CheckPool("cross_gate", cross_gate_pool_.size(), cg)).empty())
+  if (!(e = CheckPoolSpans("cross_gate", cross_gate_pool_.size(), cg)).empty())
     return e;
-  if (!(e = CheckPool("cross_in", cross_in_pool_.size(), ci)).empty()) return e;
-  if (!(e = CheckPool("child_in", child_in_pool_.size(), ch)).empty()) return e;
-  if (!(e = CheckPool("var_in", var_in_pool_.size(), vi)).empty()) return e;
-  if (!(e = CheckPool("var_mask", var_mask_pool_.size(), vm)).empty()) return e;
+  if (!(e = CheckPoolSpans("cross_in", cross_in_pool_.size(), ci)).empty())
+    return e;
+  if (!(e = CheckPoolSpans("child_in", child_in_pool_.size(), ch)).empty())
+    return e;
+  if (!(e = CheckPoolSpans("var_in", var_in_pool_.size(), vi)).empty())
+    return e;
+  if (!(e = CheckPoolSpans("var_mask", var_mask_pool_.size(), vm)).empty())
+    return e;
   return std::string();
 }
 

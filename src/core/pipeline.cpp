@@ -86,7 +86,8 @@ UpdateStats EnumerationPipeline::CommitBatch() {
   batch_changed_.erase(
       std::unique(batch_changed_.begin(), batch_changed_.end()),
       batch_changed_.end());
-  std::vector<std::pair<uint32_t, TermNodeId>> order;
+  std::vector<std::pair<uint32_t, TermNodeId>>& order = order_scratch_;
+  order.clear();
   order.reserve(batch_changed_.size());
   for (TermNodeId id : batch_changed_) {
     if (!term_->IsAlive(id)) continue;
@@ -99,9 +100,10 @@ UpdateStats EnumerationPipeline::CommitBatch() {
   }
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
-  // Pre-grow the circuit arena for the whole transaction so the refresh
-  // loop below never re-grows a pool tail mid-batch.
+  // Pre-grow the circuit and index arenas for the whole transaction so the
+  // refresh loop below never re-grows a pool tail mid-batch.
   circuit_.ReserveForRebuild(order.size());
+  if (mode_ == BoxEnumMode::kIndexed) index_.ReserveForRebuild(order.size());
   for (const auto& [depth, id] : order) RefreshBox(id);
   stats.boxes_recomputed = order.size();
 

@@ -21,6 +21,7 @@
 #define TREENUM_CORE_PIPELINE_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "automata/homogenize.h"
@@ -109,6 +110,9 @@ class EnumerationPipeline {
   bool in_batch_ = false;
   std::vector<TermNodeId> batch_freed_;
   std::vector<TermNodeId> batch_changed_;
+  // CommitBatch depth-ordering scratch (clear() keeps capacity, so
+  // steady-state batched relabels stay allocation-free).
+  std::vector<std::pair<uint32_t, TermNodeId>> order_scratch_;
 };
 
 }  // namespace treenum

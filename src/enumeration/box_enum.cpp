@@ -4,29 +4,41 @@
 
 namespace treenum {
 
+void InitialRelationInto(size_t num_unions, const std::vector<uint32_t>& gamma,
+                         BitMatrix* out) {
+  out->Assign(num_unions, gamma.size());
+  for (size_t i = 0; i < gamma.size(); ++i) out->Set(gamma[i], i);
+}
+
 BitMatrix InitialRelation(size_t num_unions,
                           const std::vector<uint32_t>& gamma) {
-  BitMatrix r(num_unions, gamma.size());
-  for (size_t i = 0; i < gamma.size(); ++i) r.Set(gamma[i], i);
+  BitMatrix r;
+  InitialRelationInto(num_unions, gamma, &r);
   return r;
 }
 
-BitMatrix WireRelation(const AssignmentCircuit& circuit, TermNodeId box,
-                       int side) {
+void WireRelationInto(const AssignmentCircuit& circuit, TermNodeId box,
+                      int side, BitMatrix* out) {
   const Term& term = circuit.term();
   const Box b = circuit.box(box);
   TermNodeId child =
       side == 0 ? term.node(box).left : term.node(box).right;
   const Box cb = circuit.box(child);
-  BitMatrix r(cb.num_unions(), b.num_unions());
+  out->Assign(cb.num_unions(), b.num_unions());
   for (size_t u = 0; u < b.num_unions(); ++u) {
     for (const auto& [s, state] : b.child_union_inputs(u)) {
       if (s != side) continue;
       int32_t d = cb.union_idx(state);
       assert(d != kNoGate);
-      r.Set(static_cast<size_t>(d), u);
+      out->Set(static_cast<size_t>(d), u);
     }
   }
+}
+
+BitMatrix WireRelation(const AssignmentCircuit& circuit, TermNodeId box,
+                       int side) {
+  BitMatrix r;
+  WireRelationInto(circuit, box, side, &r);
   return r;
 }
 
@@ -35,21 +47,33 @@ BitMatrix WireRelation(const AssignmentCircuit& circuit, TermNodeId box,
 IndexedBoxEnum::IndexedBoxEnum(const EnumIndex* index, TermNodeId box,
                                const std::vector<uint32_t>& gamma)
     : index_(index) {
+  Reset(box, gamma);
+}
+
+void IndexedBoxEnum::Reset(TermNodeId box,
+                           const std::vector<uint32_t>& gamma) {
   assert(!gamma.empty());
-  BitMatrix r = InitialRelation(index_->circuit().box(box).num_unions(),
-                                gamma);
-  stack_.push_back(Frame{Frame::kEnter, box, std::move(r)});
+  top_ = 0;
+  steps_ = 0;
+  Frame& f = PushSlot();
+  f.kind = Frame::kEnter;
+  f.box = box;
+  InitialRelationInto(index_->circuit().box(box).num_unions(), gamma, &f.rel);
+}
+
+IndexedBoxEnum::Frame& IndexedBoxEnum::PushSlot() {
+  if (top_ == stack_.size()) stack_.emplace_back();
+  return stack_[top_++];
 }
 
 // True iff the jump loop has another iteration at (box, rel): the first
 // bidirectional box (lca of the gates' spans) is a strict ancestor of the
-// first interesting box. Outputs the span candidate index.
-static bool WalkViable(const EnumIndex& index, TermNodeId box,
-                       const BitMatrix& rel, int32_t* span_cand) {
-  std::vector<uint32_t> gates = rel.NonEmptyRows();
+// first interesting box. `gates` are rel's non-empty rows. Outputs the span
+// candidate index.
+static bool WalkViable(const BoxIndex& bi, const std::vector<uint32_t>& gates,
+                       int32_t* span_cand) {
   if (gates.empty()) return false;
-  const BoxIndex& bi = index.at(box);
-  int32_t c1 = index.FibOfSet(box, gates);
+  int32_t c1 = bi.FibLocal(gates);
   int32_t j = bi.SpanLocal(gates);
   if (j == c1) return false;
   if (bi.Lca(j, c1) != j) return false;  // j not a strict ancestor of c1
@@ -59,69 +83,90 @@ static bool WalkViable(const EnumIndex& index, TermNodeId box,
 
 bool IndexedBoxEnum::Next(BoxRelation* out) {
   const Term& term = index_->circuit().term();
-  while (!stack_.empty()) {
-    Frame f = std::move(stack_.back());
-    stack_.pop_back();
+  while (top_ > 0) {
+    // Claim the top frame: its relation swaps into frel_ and the slot keeps
+    // frel_'s previous (warm) buffer for reuse by a later push.
+    Frame& claimed = stack_[top_ - 1];
+    const Frame::Kind kind = claimed.kind;
+    const TermNodeId fbox = claimed.box;
+    frel_.swap(claimed.rel);
+    --top_;
     ++steps_;
 
-    if (f.kind == Frame::kEnter) {
-      std::vector<uint32_t> gates = f.rel.NonEmptyRows();
-      assert(!gates.empty());
-      const BoxIndex& bi = index_->at(f.box);
-      int32_t c1 = index_->FibOfSet(f.box, gates);
-      TermNodeId b1 = bi.cands[c1].box;
-      BitMatrix r1 = bi.cands[c1].rel.Compose(f.rel);
+    if (kind == Frame::kEnter) {
+      frel_.NonEmptyRowsInto(&gates_);
+      assert(!gates_.empty());
+      const BoxIndex bi = index_->at(fbox);
+      int32_t c1 = bi.FibLocal(gates_);
+      TermNodeId b1 = bi.cand_box(c1);
+      // R(B1, Γ), composed straight into the caller's reused output.
+      bi.cand_rel(c1).ComposeInto(frel_, &out->rel);
 
       // The loop continuation for this frame (Line 11-17), pushed only when
       // it will do work — this is the tail-call elimination of Lemma 6.4.
       int32_t span_cand;
-      if (WalkViable(*index_, f.box, f.rel, &span_cand)) {
-        stack_.push_back(Frame{Frame::kWalk, f.box, std::move(f.rel)});
+      if (WalkViable(bi, gates_, &span_cand)) {
+        Frame& w = PushSlot();
+        w.kind = Frame::kWalk;
+        w.box = fbox;
+        w.rel.swap(frel_);
       }
       // Recurse below B1 (Lines 7-10); right pushed first so left pops
       // first.
       if (!term.IsLeaf(b1)) {
-        const BoxIndex& b1i = index_->at(b1);
-        BitMatrix rr = b1i.wire_right.Compose(r1);
-        BitMatrix rl = b1i.wire_left.Compose(r1);
-        if (rr.Any()) {
-          stack_.push_back(
-              Frame{Frame::kEnter, term.node(b1).right, std::move(rr)});
+        const BoxIndex b1i = index_->at(b1);
+        {
+          Frame& r = PushSlot();
+          r.kind = Frame::kEnter;
+          r.box = term.node(b1).right;
+          b1i.wire_right().ComposeInto(out->rel, &r.rel);
+          if (!r.rel.Any()) --top_;  // vacate; the slot keeps its buffer
         }
-        if (rl.Any()) {
-          stack_.push_back(
-              Frame{Frame::kEnter, term.node(b1).left, std::move(rl)});
+        {
+          Frame& l = PushSlot();
+          l.kind = Frame::kEnter;
+          l.box = term.node(b1).left;
+          b1i.wire_left().ComposeInto(out->rel, &l.rel);
+          if (!l.rel.Any()) --top_;
         }
       }
       out->box = b1;
-      out->rel = std::move(r1);
       return true;
     }
 
     // kWalk: one iteration of the jump loop. Frames are only pushed when
     // viable, so this always performs a jump.
+    frel_.NonEmptyRowsInto(&gates_);
+    const BoxIndex bi = index_->at(fbox);
     int32_t span_cand;
-    bool viable = WalkViable(*index_, f.box, f.rel, &span_cand);
+    bool viable = WalkViable(bi, gates_, &span_cand);
     assert(viable);
     (void)viable;
-    const BoxIndex& bi = index_->at(f.box);
-    const BoxIndex::Cand& j = bi.cands[span_cand];
-    BitMatrix rj = j.rel.Compose(f.rel);
-    const BoxIndex& ji = index_->at(j.box);
-    assert(!term.IsLeaf(j.box));
-    BitMatrix rl = ji.wire_left.Compose(rj);
-    BitMatrix rr = ji.wire_right.Compose(rj);
+    const TermNodeId jbox = bi.cand_box(span_cand);
+    bi.cand_rel(span_cand).ComposeInto(frel_, &rj_);
+    const BoxIndex ji = index_->at(jbox);
+    assert(!term.IsLeaf(jbox));
     // Continue the loop at the left child (pushed first → popped after the
     // right subtree's Enter), if another iteration is viable there.
-    int32_t next_span;
-    if (rl.Any() &&
-        WalkViable(*index_, term.node(j.box).left, rl, &next_span)) {
-      stack_.push_back(
-          Frame{Frame::kWalk, term.node(j.box).left, std::move(rl)});
+    {
+      Frame& l = PushSlot();
+      l.kind = Frame::kWalk;
+      l.box = term.node(jbox).left;
+      ji.wire_left().ComposeInto(rj_, &l.rel);
+      bool keep = false;
+      if (l.rel.Any()) {
+        l.rel.NonEmptyRowsInto(&walk_gates_);
+        int32_t next_span;
+        keep = WalkViable(index_->at(l.box), walk_gates_, &next_span);
+      }
+      if (!keep) --top_;
     }
-    if (rr.Any()) {
-      stack_.push_back(
-          Frame{Frame::kEnter, term.node(j.box).right, std::move(rr)});
+    {
+      Frame& r = PushSlot();
+      r.kind = Frame::kEnter;
+      r.box = term.node(jbox).right;
+      ji.wire_right().ComposeInto(rj_, &r.rel);
+      if (!r.rel.Any()) --top_;
     }
   }
   return false;
@@ -132,43 +177,65 @@ bool IndexedBoxEnum::Next(BoxRelation* out) {
 NaiveBoxEnum::NaiveBoxEnum(const AssignmentCircuit* circuit, TermNodeId box,
                            const std::vector<uint32_t>& gamma)
     : circuit_(circuit) {
+  Reset(box, gamma);
+}
+
+void NaiveBoxEnum::Reset(TermNodeId box, const std::vector<uint32_t>& gamma) {
   assert(!gamma.empty());
-  BitMatrix r = InitialRelation(circuit_->box(box).num_unions(), gamma);
-  stack_.push_back(Frame{box, std::move(r)});
+  top_ = 0;
+  steps_ = 0;
+  Frame& f = PushSlot();
+  f.box = box;
+  InitialRelationInto(circuit_->box(box).num_unions(), gamma, &f.rel);
+}
+
+NaiveBoxEnum::Frame& NaiveBoxEnum::PushSlot() {
+  if (top_ == stack_.size()) stack_.emplace_back();
+  return stack_[top_++];
 }
 
 bool NaiveBoxEnum::Next(BoxRelation* out) {
   const Term& term = circuit_->term();
-  while (!stack_.empty()) {
-    Frame f = std::move(stack_.back());
-    stack_.pop_back();
+  while (top_ > 0) {
+    Frame& claimed = stack_[top_ - 1];
+    const TermNodeId fbox = claimed.box;
+    frel_.swap(claimed.rel);
+    --top_;
     ++steps_;
 
-    std::vector<uint32_t> gates = f.rel.NonEmptyRows();
-    if (gates.empty()) continue;
+    frel_.NonEmptyRowsInto(&gates_);
+    if (gates_.empty()) continue;
 
-    if (!term.IsLeaf(f.box)) {
-      BitMatrix rl = WireRelation(*circuit_, f.box, 0).Compose(f.rel);
-      BitMatrix rr = WireRelation(*circuit_, f.box, 1).Compose(f.rel);
-      if (rr.Any()) {
-        stack_.push_back(Frame{term.node(f.box).right, std::move(rr)});
+    if (!term.IsLeaf(fbox)) {
+      {
+        Frame& r = PushSlot();
+        r.box = term.node(fbox).right;
+        WireRelationInto(*circuit_, fbox, 1, &wire_);
+        wire_.ComposeInto(frel_, &r.rel);
+        if (!r.rel.Any()) --top_;
       }
-      if (rl.Any()) {
-        stack_.push_back(Frame{term.node(f.box).left, std::move(rl)});
+      {
+        Frame& l = PushSlot();
+        l.box = term.node(fbox).left;
+        WireRelationInto(*circuit_, fbox, 0, &wire_);
+        wire_.ComposeInto(frel_, &l.rel);
+        if (!l.rel.Any()) --top_;
       }
     }
 
-    const Box b = circuit_->box(f.box);
+    const Box b = circuit_->box(fbox);
     bool interesting = false;
-    for (uint32_t g : gates) {
+    for (uint32_t g : gates_) {
       if (b.HasNonUnionInput(g)) {
         interesting = true;
         break;
       }
     }
     if (interesting) {
-      out->box = f.box;
-      out->rel = std::move(f.rel);
+      out->box = fbox;
+      // Swap instead of move: the caller's previous buffer becomes the next
+      // pop's swap target, keeping the cycle allocation-free.
+      out->rel.swap(frel_);
       return true;
     }
   }

@@ -8,10 +8,16 @@
 //  * NaiveBoxEnum — plain descent through the tree of boxes maintaining the
 //    relation, delay O(depth × poly(w)); the stand-in for the pre-index
 //    state of the art and the correctness oracle for the indexed version.
+//
+// Both cursors recycle their stack frames' relation matrices: a pop swaps
+// the relation into a scratch slot and a push composes into the retained
+// buffer of a previously vacated slot, so after a warm-up traversal the
+// per-result delay work performs no heap allocations (asserted with the
+// allocation gauge in tests/flat_storage_test.cpp). Reset() rewinds a
+// cursor for a fresh enumeration while keeping all warm storage.
 #ifndef TREENUM_ENUMERATION_BOX_ENUM_H_
 #define TREENUM_ENUMERATION_BOX_ENUM_H_
 
-#include <memory>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -33,6 +39,9 @@ class BoxEnumCursor {
   virtual ~BoxEnumCursor() = default;
   /// Produces the next interesting box; false when exhausted.
   virtual bool Next(BoxRelation* out) = 0;
+  /// Rewinds to a fresh enumeration of Γ (dense ∪-gate indices at `box`,
+  /// non-empty), reusing all warm storage.
+  virtual void Reset(TermNodeId box, const std::vector<uint32_t>& gamma) = 0;
   /// Number of elementary steps taken so far (delay accounting for tests
   /// and benchmarks; one step = one relation composition or box visit).
   size_t steps() const { return steps_; }
@@ -50,6 +59,7 @@ class IndexedBoxEnum : public BoxEnumCursor {
                  const std::vector<uint32_t>& gamma);
 
   bool Next(BoxRelation* out) override;
+  void Reset(TermNodeId box, const std::vector<uint32_t>& gamma) override;
 
  private:
   struct Frame {
@@ -58,12 +68,17 @@ class IndexedBoxEnum : public BoxEnumCursor {
     BitMatrix rel;  // R(box, Γ)
   };
 
-  void PushChildrenAndWalk(TermNodeId b1, const BitMatrix& r1,
-                           const Frame& entered);
-  bool StepWalk(Frame frame, BoxRelation* out);
+  /// Vacates-or-grows the next stack slot; the returned frame keeps the
+  /// warm relation buffer of whatever occupied the slot before.
+  Frame& PushSlot();
 
   const EnumIndex* index_;
-  std::vector<Frame> stack_;
+  std::vector<Frame> stack_;  ///< Slots [0, top_) are live.
+  size_t top_ = 0;
+  BitMatrix frel_;  ///< The popped frame's relation (swap target).
+  BitMatrix rj_;    ///< Walk-step scratch relation.
+  std::vector<uint32_t> gates_;
+  std::vector<uint32_t> walk_gates_;
 };
 
 /// Reference implementation without the index: preorder descent.
@@ -73,6 +88,7 @@ class NaiveBoxEnum : public BoxEnumCursor {
                const std::vector<uint32_t>& gamma);
 
   bool Next(BoxRelation* out) override;
+  void Reset(TermNodeId box, const std::vector<uint32_t>& gamma) override;
 
  private:
   struct Frame {
@@ -80,19 +96,31 @@ class NaiveBoxEnum : public BoxEnumCursor {
     BitMatrix rel;
   };
 
+  Frame& PushSlot();
+
   const AssignmentCircuit* circuit_;
-  std::vector<Frame> stack_;
+  std::vector<Frame> stack_;  ///< Slots [0, top_) are live.
+  size_t top_ = 0;
+  BitMatrix frel_;
+  BitMatrix wire_;  ///< WireRelationInto scratch.
+  std::vector<uint32_t> gates_;
 };
 
 /// Builds the initial relation {(g, g) | g ∈ Γ} (rows = box ∪-gates, cols =
 /// Γ positions).
 BitMatrix InitialRelation(size_t num_unions,
                           const std::vector<uint32_t>& gamma);
+/// Reuse variant of InitialRelation.
+void InitialRelationInto(size_t num_unions, const std::vector<uint32_t>& gamma,
+                         BitMatrix* out);
 
 /// Wire relation R(child, box) computed from the circuit (for NaiveBoxEnum
 /// and tests); side 0 = left.
 BitMatrix WireRelation(const AssignmentCircuit& circuit, TermNodeId box,
                        int side);
+/// Reuse variant of WireRelation.
+void WireRelationInto(const AssignmentCircuit& circuit, TermNodeId box,
+                      int side, BitMatrix* out);
 
 }  // namespace treenum
 

@@ -61,7 +61,8 @@ void AssignmentCursor::PrepareBox() {
 
   std::vector<std::vector<uint64_t>> vacc(b.num_var_masks());
   std::vector<std::vector<uint64_t>> cacc(b.num_cross_gates());
-  for (uint32_t g : cur_.rel.NonEmptyRows()) {
+  cur_.rel.NonEmptyRowsInto(&rows_scratch_);
+  for (uint32_t g : rows_scratch_) {
     const uint64_t* row = cur_.rel.Row(g);
     size_t words = cur_.rel.words_per_row();
     for (uint32_t vi : b.var_inputs(g)) OrInto(vacc[vi], row, words);

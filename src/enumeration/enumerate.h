@@ -66,6 +66,8 @@ class AssignmentCursor {
 
   // Current interesting box.
   BoxRelation cur_;
+  // Non-empty-row scratch for PrepareBox (reused across boxes).
+  std::vector<uint32_t> rows_scratch_;
   // Var agenda: (mask index, provenance) in deterministic order.
   std::vector<std::pair<uint32_t, std::vector<uint64_t>>> var_agenda_;
   size_t var_pos_ = 0;

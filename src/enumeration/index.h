@@ -17,60 +17,110 @@
 // when that box is not a strict ancestor of fib(Γ). This evaluates correctly
 // even for boxed sets that are only *jointly* bidirectional (each gate's own
 // closure is a chain, but the chains split at a common box).
+//
+// Storage layout (arena/CSR, mirroring circuit/arena.h): a box's index owns
+// no heap memory. Candidate records live in a CSR SpanPool, the fib/span
+// arrays and the pairwise-lca table in an int32 SpanPool, and every relation
+// matrix (per-candidate rel, wire_left, wire_right) is a word-aligned block
+// in a BitMatrixPool (enumeration/index_arena.h), all with power-of-two span
+// recycling across RebuildBoxIndex/FreeBoxIndex. `at(id)` returns a cheap
+// BoxIndex *view* — invalidated by the next rebuild.
 #ifndef TREENUM_ENUMERATION_INDEX_H_
 #define TREENUM_ENUMERATION_INDEX_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "enumeration/index_arena.h"
 #include "util/bit_matrix.h"
 
 namespace treenum {
 
 inline constexpr int32_t kNoCand = -1;
 
-/// Index data of one box.
-struct BoxIndex {
-  struct Cand {
-    TermNodeId box;
-    /// 0 = the box itself, 1 = inherited from left child, 2 = from right.
-    uint8_t source;
-    /// For source 1/2: index in the child's candidate list.
-    int32_t child_cand;
-    /// R(cand box, B): rows = candidate box's ∪-gates, cols = B's ∪-gates.
-    BitMatrix rel;
-  };
+/// One pooled candidate record.
+struct CandRec {
+  TermNodeId box;
+  /// 0 = the box itself, 1 = inherited from left child, 2 = from right.
+  uint8_t source;
+  /// For source 1/2: index in the child's candidate list.
+  int32_t child_cand;
+  /// R(cand box, B): rows = candidate box's ∪-gates, cols = B's ∪-gates.
+  BitsRef rel;
+};
 
-  std::vector<Cand> cands;  ///< Sorted by preorder (B itself first if used).
-  std::vector<int32_t> fib;   ///< Per ∪-gate: candidate index (always set).
-  std::vector<int32_t> span;  ///< Per ∪-gate: candidate index (always set).
-  /// Pairwise lca over candidates: cand_lca[a * cands.size() + b].
-  std::vector<int32_t> cand_lca;
-  /// Wire relations to the children: R(child box, B) over the ∪→∪ wires
-  /// (⊤-collapse inputs). Empty matrices for leaf boxes.
-  BitMatrix wire_left;
-  BitMatrix wire_right;
+/// Read-only view of one box's index, resolving the arena spans to raw
+/// pointers once. Invalidated by the next RebuildBoxIndex/FreeBoxIndex.
+class BoxIndex {
+ public:
+  size_t num_unions() const { return nu_; }
+  size_t num_cands() const { return num_cands_; }
 
-  int32_t Lca(int32_t a, int32_t b) const {
-    return cand_lca[static_cast<size_t>(a) * cands.size() + b];
+  TermNodeId cand_box(int32_t c) const { return cands_[c].box; }
+  uint8_t cand_source(int32_t c) const { return cands_[c].source; }
+  int32_t cand_child(int32_t c) const { return cands_[c].child_cand; }
+  /// R(cand box, B) of candidate c.
+  BitMatrixView cand_rel(int32_t c) const {
+    const BitsRef& r = cands_[c].rel;
+    return BitMatrixView(bits_ + r.words.off, r.rows, r.cols);
   }
 
-  /// lca{span(g) | g ∈ gates} as a candidate index (Observation 6.2: the
+  /// Per ∪-gate: candidate index (always set).
+  int32_t fib(size_t u) const { return fib_[u]; }
+  int32_t span(size_t u) const { return span_[u]; }
+
+  /// Wire relations to the children: R(child box, B) over the ∪→∪ wires
+  /// (⊤-collapse inputs). Empty views for leaf boxes.
+  BitMatrixView wire_left() const {
+    return BitMatrixView(bits_ + wl_.words.off, wl_.rows, wl_.cols);
+  }
+  BitMatrixView wire_right() const {
+    return BitMatrixView(bits_ + wr_.words.off, wr_.rows, wr_.cols);
+  }
+
+  int32_t Lca(int32_t a, int32_t b) const {
+    return cand_lca_[static_cast<size_t>(a) * num_cands_ + b];
+  }
+
+  /// fib(Γ) as a candidate index: min over the gates' fib values (minimum
+  /// candidate index = first in preorder). `gates` must be non-empty.
+  int32_t FibLocal(const std::vector<uint32_t>& gates) const {
+    int32_t best = fib_[gates[0]];
+    for (uint32_t g : gates) best = std::min(best, fib_[g]);
+    return best;
+  }
+
+  /// lca{span(g) | g ∈ gates} as a candidate index. lca over a set folds
+  /// associatively, so one linear pass over the gates suffices (this was a
+  /// quadratic pairwise loop; Observation 6.2 equates the fold with the
   /// preorder-minimal pairwise lca). `gates` must be non-empty.
   int32_t SpanLocal(const std::vector<uint32_t>& gates) const {
-    int32_t best = span[gates[0]];
-    for (size_t i = 0; i < gates.size(); ++i) {
-      for (size_t j = i; j < gates.size(); ++j) {
-        best = std::min(best, Lca(span[gates[i]], span[gates[j]]));
-      }
+    int32_t best = span_[gates[0]];
+    for (size_t i = 1; i < gates.size(); ++i) {
+      best = Lca(best, span_[gates[i]]);
     }
     return best;
   }
+
+ private:
+  friend class EnumIndex;
+
+  const CandRec* cands_ = nullptr;
+  const int32_t* fib_ = nullptr;
+  const int32_t* span_ = nullptr;
+  const int32_t* cand_lca_ = nullptr;
+  const uint64_t* bits_ = nullptr;
+  BitsRef wl_;
+  BitsRef wr_;
+  uint32_t num_cands_ = 0;
+  uint32_t nu_ = 0;
 };
 
-/// The full index, one BoxIndex per term node, rebuilt bottom-up.
+/// The full index, one BoxIndex per term node, rebuilt bottom-up into the
+/// pooled flat storage.
 class EnumIndex {
  public:
   explicit EnumIndex(const AssignmentCircuit* circuit) : circuit_(circuit) {}
@@ -81,32 +131,76 @@ class EnumIndex {
   void BuildAll();
 
   /// Recomputes one box's index from its children's (which must be current).
+  /// Steady-state refreshes reuse the box's arena spans.
   void RebuildBoxIndex(TermNodeId id);
 
+  /// Drops the index of a freed term node, recycling its spans.
   void FreeBoxIndex(TermNodeId id);
 
-  const BoxIndex& at(TermNodeId id) const { return indexes_[id]; }
+  /// Cheap view of a box's index; invalidated by the next rebuild.
+  BoxIndex at(TermNodeId id) const;
 
-  /// fib(Γ) as a candidate index at `box`: min over the gates' fib values
-  /// (minimum candidate index = first in preorder). `gates` are dense
-  /// ∪-gate indices; must be non-empty.
-  int32_t FibOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const;
+  /// Batch hint mirroring AssignmentCircuit::ReserveForRebuild: pre-grows
+  /// the index pools for ~`boxes` upcoming rebuilds (sized from the running
+  /// per-box averages), so one transaction's refresh loop does not re-grow
+  /// pool tails repeatedly.
+  void ReserveForRebuild(size_t boxes);
 
-  /// lca{span(g)} as a candidate index (Observation 6.2: min over pairwise
-  /// candidate lcas).
-  int32_t SpanOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const;
+  /// Validates the index-arena invariants: span bounds and overlap-freedom
+  /// per pool, shape consistency of the per-box spans, and that candidate
+  /// relations have the dimensions Definition 6.1 dictates. Returns an
+  /// empty string if consistent. (Test hook.)
+  std::string ValidateStorage() const;
+
+  /// fib(Γ) as a candidate index at `box`; see BoxIndex::FibLocal.
+  int32_t FibOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const {
+    return at(box).FibLocal(gates);
+  }
+
+  /// lca{span(g)} as a candidate index; see BoxIndex::SpanLocal.
+  int32_t SpanOfSet(TermNodeId box, const std::vector<uint32_t>& gates) const {
+    return at(box).SpanLocal(gates);
+  }
 
  private:
+  /// Per-box span directory into the pools.
+  struct BoxIndexSpans {
+    SpanRef cands;     ///< CandRec pool; len = candidate count.
+    SpanRef fib;       ///< int32 pool; len = num ∪-gates.
+    SpanRef span;      ///< int32 pool; len = num ∪-gates.
+    SpanRef cand_lca;  ///< int32 pool; len = candidate count squared.
+    BitsRef wire_left;
+    BitsRef wire_right;
+  };
+
   /// Raw fib/span of one gate before candidate assembly.
   struct Pre {
     uint8_t source;  // 0 self, 1 left, 2 right
     int32_t cc;      // child candidate index (source 1/2)
   };
 
+  /// Shape of one upcoming candidate, staged in scratch between the
+  /// child-reading and pool-writing phases of a rebuild.
+  struct CandMeta {
+    TermNodeId box;
+    uint8_t source;
+    int32_t cc;
+    uint32_t rows;  // = num ∪-gates of the candidate box
+  };
+
   void EnsureSlot(TermNodeId id);
+  /// Returns the bit blocks of s's candidate relations to the pool.
+  void ReleaseCandRels(BoxIndexSpans& s);
+  /// Releases every span of s (candidate rels included).
+  void FreeSpans(BoxIndexSpans& s);
 
   const AssignmentCircuit* circuit_;
-  std::vector<BoxIndex> indexes_;
+  std::vector<BoxIndexSpans> spans_;
+
+  // Flat pools (see file comment).
+  SpanPool<CandRec> cand_pool_;
+  SpanPool<int32_t> i32_pool_;
+  BitMatrixPool bits_pool_;
 
   // Rebuild scratch reused across RebuildBoxIndex calls (clear() keeps
   // capacity — the update path's counterpart of the circuit arena scratch).
@@ -118,6 +212,7 @@ class EnumIndex {
   std::vector<int32_t> used_r_scratch_;
   std::vector<int32_t> map_l_scratch_;
   std::vector<int32_t> map_r_scratch_;
+  std::vector<CandMeta> cand_meta_scratch_;
 };
 
 }  // namespace treenum

@@ -4,32 +4,100 @@
 
 namespace treenum {
 
+namespace {
+
+bool AnyWord(const uint64_t* words, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (words[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- View
+
+bool BitMatrixView::RowAny(size_t r) const {
+  return AnyWord(Row(r), words_per_row_);
+}
+
+bool BitMatrixView::Any() const {
+  return AnyWord(words_, rows_ * words_per_row_);
+}
+
+size_t BitMatrixView::Count() const {
+  size_t n = 0;
+  for (size_t i = 0; i < rows_ * words_per_row_; ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(words_[i]));
+  }
+  return n;
+}
+
+void BitMatrixView::NonEmptyRowsInto(std::vector<uint32_t>* out) const {
+  out->clear();
+  for (size_t r = 0; r < rows_; ++r) {
+    if (RowAny(r)) out->push_back(static_cast<uint32_t>(r));
+  }
+}
+
+void BitMatrixView::ComposeIntoWords(const BitMatrixView& a,
+                                     const BitMatrixView& b, uint64_t* out) {
+  assert(a.cols() == b.rows());
+  const size_t b_wpr = b.words_per_row();
+  for (size_t r = 0; r < a.rows_; ++r) {
+    const uint64_t* row = a.Row(r);
+    uint64_t* o = out + r * b_wpr;
+    for (size_t w = 0; w < a.words_per_row_; ++w) {
+      uint64_t bits = row[w];
+      while (bits) {
+        size_t m = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* mid = b.Row(m);
+        for (size_t ow = 0; ow < b_wpr; ++ow) o[ow] |= mid[ow];
+      }
+    }
+  }
+}
+
+void BitMatrixView::ComposeInto(const BitMatrixView& other,
+                                BitMatrix* result) const {
+  result->Assign(rows_, other.cols());
+  if (rows_ == 0) return;
+  ComposeIntoWords(*this, other, result->MutableRow(0));
+}
+
+// -------------------------------------------------------------- Matrix
+
 BitMatrix BitMatrix::Identity(size_t n) {
   BitMatrix m(n, n);
   for (size_t i = 0; i < n; ++i) m.Set(i, i);
   return m;
 }
 
+void BitMatrix::Assign(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  words_per_row_ = (cols + 63) / 64;
+  bits_.assign(rows * words_per_row_, 0);
+}
+
 bool BitMatrix::RowAny(size_t r) const {
-  const uint64_t* row = Row(r);
-  for (size_t w = 0; w < words_per_row_; ++w) {
-    if (row[w]) return true;
-  }
-  return false;
+  return AnyWord(Row(r), words_per_row_);
 }
 
 bool BitMatrix::ColAny(size_t c) const {
+  // Stride the column's word with a fixed mask — one word probe per row
+  // instead of a bit test through Get (the analog of RowAny's word scan).
+  const size_t cw = c / 64;
+  const uint64_t mask = uint64_t{1} << (c % 64);
   for (size_t r = 0; r < rows_; ++r) {
-    if (Get(r, c)) return true;
+    if (bits_[r * words_per_row_ + cw] & mask) return true;
   }
   return false;
 }
 
 bool BitMatrix::Any() const {
-  for (uint64_t w : bits_) {
-    if (w) return true;
-  }
-  return false;
+  return AnyWord(bits_.data(), bits_.size());
 }
 
 size_t BitMatrix::Count() const {
@@ -38,28 +106,23 @@ size_t BitMatrix::Count() const {
   return n;
 }
 
-BitMatrix BitMatrix::Compose(const BitMatrix& other) const {
-  assert(cols_ == other.rows_);
-  BitMatrix result(rows_, other.cols_);
-  for (size_t r = 0; r < rows_; ++r) {
-    const uint64_t* row = Row(r);
-    uint64_t* out = result.MutableRow(r);
-    for (size_t w = 0; w < words_per_row_; ++w) {
-      uint64_t bits = row[w];
-      while (bits) {
-        size_t b = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
-        bits &= bits - 1;
-        const uint64_t* mid = other.Row(b);
-        for (size_t ow = 0; ow < other.words_per_row_; ++ow) out[ow] |= mid[ow];
-      }
-    }
-  }
+BitMatrix BitMatrix::Compose(const BitMatrixView& other) const {
+  BitMatrix result;
+  BitMatrixView(*this).ComposeInto(other, &result);
   return result;
 }
 
-void BitMatrix::UnionWith(const BitMatrix& other) {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+void BitMatrix::ComposeInto(const BitMatrixView& other,
+                            BitMatrix* result) const {
+  assert(result != this);
+  BitMatrixView(*this).ComposeInto(other, result);
+}
+
+void BitMatrix::UnionWith(const BitMatrixView& other) {
+  assert(rows_ == other.rows() && cols_ == other.cols());
+  if (bits_.empty()) return;
+  const uint64_t* src = other.Row(0);
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= src[i];
 }
 
 void BitMatrix::ZeroRowsNotIn(const std::vector<uint64_t>& keep) {
@@ -78,6 +141,10 @@ std::vector<uint32_t> BitMatrix::NonEmptyRows() const {
     if (RowAny(r)) out.push_back(static_cast<uint32_t>(r));
   }
   return out;
+}
+
+void BitMatrix::NonEmptyRowsInto(std::vector<uint32_t>* out) const {
+  BitMatrixView(*this).NonEmptyRowsInto(out);
 }
 
 std::vector<uint32_t> BitMatrix::NonEmptyCols() const {

@@ -2,6 +2,13 @@
 // R(B', B) of Section 6 of the paper. Composition of relations (the
 // complexity kernel the paper bounds by O(w^ω)) is implemented word-parallel,
 // i.e. in O(rows * cols / 64) per row pair.
+//
+// Two representations share the kernels:
+//  * BitMatrix — owning (vector-backed), used for the relations that cursors
+//    thread through their stacks;
+//  * BitMatrixView — a borrowed (words, rows, cols) view over word-aligned
+//    storage, used for the pooled index relations (enumeration/index_arena.h)
+//    and to run the kernels without copying. A BitMatrix converts implicitly.
 #ifndef TREENUM_UTIL_BIT_MATRIX_H_
 #define TREENUM_UTIL_BIT_MATRIX_H_
 
@@ -11,6 +18,60 @@
 #include <vector>
 
 namespace treenum {
+
+class BitMatrix;
+
+/// A borrowed rows x cols view over 64-bit packed rows (each row occupies
+/// ceil(cols / 64) words; bits past `cols` are zero). Never owns memory;
+/// invalidated by whatever invalidates the underlying storage.
+class BitMatrixView {
+ public:
+  BitMatrixView() = default;
+  BitMatrixView(const uint64_t* words, size_t rows, size_t cols)
+      : words_(words),
+        rows_(rows),
+        cols_(cols),
+        words_per_row_((cols + 63) / 64) {}
+  BitMatrixView(const BitMatrix& m);  // NOLINT: implicit by design
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t words_per_row() const { return words_per_row_; }
+  const uint64_t* Row(size_t r) const { return words_ + r * words_per_row_; }
+
+  bool Get(size_t r, size_t c) const {
+    return (Row(r)[c / 64] >> (c % 64)) & 1u;
+  }
+  /// True iff some entry in row r is set.
+  bool RowAny(size_t r) const;
+  /// True iff any entry is set.
+  bool Any() const;
+  /// Number of set entries.
+  size_t Count() const;
+
+  /// Appends-free variant of NonEmptyRows: clears `out` and fills it with
+  /// the indices of rows having at least one set entry.
+  void NonEmptyRowsInto(std::vector<uint32_t>* out) const;
+
+  /// Relational composition into a reused owning matrix: reshapes `result`
+  /// to rows() x other.cols() (keeping its capacity) and writes
+  /// result(a, c) = ∃b this(a, b) && other(b, c). Requires cols() ==
+  /// other.rows() and `result` distinct from both operands' storage.
+  void ComposeInto(const BitMatrixView& other, BitMatrix* result) const;
+
+  /// Low-level composition kernel: `out` must point at
+  /// a.rows() * b.words_per_row() pre-zeroed words not aliasing either
+  /// operand. Used by the index arena to compose directly into pooled
+  /// storage.
+  static void ComposeIntoWords(const BitMatrixView& a, const BitMatrixView& b,
+                               uint64_t* out);
+
+ private:
+  const uint64_t* words_ = nullptr;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t words_per_row_ = 0;
+};
 
 /// A dense rows x cols Boolean matrix with 64-bit packed rows.
 ///
@@ -31,6 +92,18 @@ class BitMatrix {
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
+
+  /// Reshapes to rows x cols and zeroes every entry, reusing the existing
+  /// heap buffer whenever its capacity suffices (the cursors' steady-state
+  /// allocation-free path).
+  void Assign(size_t rows, size_t cols);
+
+  void swap(BitMatrix& other) {
+    std::swap(rows_, other.rows_);
+    std::swap(cols_, other.cols_);
+    std::swap(words_per_row_, other.words_per_row_);
+    bits_.swap(other.bits_);
+  }
 
   bool Get(size_t r, size_t c) const {
     return (bits_[r * words_per_row_ + c / 64] >> (c % 64)) & 1u;
@@ -55,10 +128,12 @@ class BitMatrix {
 
   /// Relational composition: result(a, c) = ∃b this(a, b) && other(b, c).
   /// Requires cols() == other.rows().
-  BitMatrix Compose(const BitMatrix& other) const;
+  BitMatrix Compose(const BitMatrixView& other) const;
+  /// Allocation-reusing variant; see BitMatrixView::ComposeInto.
+  void ComposeInto(const BitMatrixView& other, BitMatrix* result) const;
 
   /// Entrywise union. Requires identical dimensions.
-  void UnionWith(const BitMatrix& other);
+  void UnionWith(const BitMatrixView& other);
 
   /// Restrict rows: keep only rows whose index bit is set in `keep`
   /// (represented as a bitset over row indices packed into uint64 words);
@@ -68,6 +143,8 @@ class BitMatrix {
   /// The set of row indices with at least one set entry ("π1" of the
   /// relation, as used in Algorithms 2 and 3).
   std::vector<uint32_t> NonEmptyRows() const;
+  /// Reuse variant: clears `out` and fills it with the non-empty rows.
+  void NonEmptyRowsInto(std::vector<uint32_t>* out) const;
   /// The set of column indices with at least one set entry.
   std::vector<uint32_t> NonEmptyCols() const;
 
@@ -90,6 +167,12 @@ class BitMatrix {
   size_t words_per_row_;
   std::vector<uint64_t> bits_;
 };
+
+inline BitMatrixView::BitMatrixView(const BitMatrix& m)
+    : words_(m.rows() == 0 ? nullptr : m.Row(0)),
+      rows_(m.rows()),
+      cols_(m.cols()),
+      words_per_row_(m.words_per_row()) {}
 
 /// Naive cubic composition used as a test oracle for BitMatrix::Compose.
 BitMatrix ComposeNaive(const BitMatrix& a, const BitMatrix& b);

@@ -112,5 +112,98 @@ TEST(BitMatrix, ZeroRowsNotIn) {
   EXPECT_TRUE(a.Get(2, 1));
 }
 
+// The word-strided ColAny must agree with a per-entry scan, in particular
+// for columns past the first 64-bit word (the old implementation probed
+// bit-by-bit through Get; the regression risk of the word version is a
+// wrong word index / mask for c >= 64).
+TEST(BitMatrix, ColAnyWideMatrix) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t rows = 1 + rng.Index(20);
+    size_t cols = 65 + rng.Index(150);  // always spans >= 2 words
+    BitMatrix m(rows, cols);
+    for (size_t i = 0; i < rows * cols / 7 + 1; ++i) {
+      m.Set(rng.Index(rows), rng.Index(cols));
+    }
+    for (size_t c = 0; c < cols; ++c) {
+      bool expected = false;
+      for (size_t r = 0; r < rows; ++r) expected |= m.Get(r, c);
+      EXPECT_EQ(m.ColAny(c), expected) << "col " << c << " trial " << trial;
+    }
+  }
+  // Exact boundary columns of an empty-but-one matrix.
+  BitMatrix m(2, 130);
+  m.Set(1, 64);
+  EXPECT_FALSE(m.ColAny(63));
+  EXPECT_TRUE(m.ColAny(64));
+  EXPECT_FALSE(m.ColAny(65));
+  EXPECT_FALSE(m.ColAny(129));
+}
+
+TEST(BitMatrix, ComposeIntoMatchesComposeAndReusesBuffer) {
+  Rng rng(13);
+  BitMatrix result;  // one reused destination across all trials
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 1 + rng.Index(70);
+    size_t m = 1 + rng.Index(70);
+    size_t k = 1 + rng.Index(70);
+    BitMatrix a(n, m), b(m, k);
+    for (size_t i = 0; i < n * m / 3 + 1; ++i) {
+      a.Set(rng.Index(n), rng.Index(m));
+    }
+    for (size_t i = 0; i < m * k / 3 + 1; ++i) {
+      b.Set(rng.Index(m), rng.Index(k));
+    }
+    a.ComposeInto(b, &result);
+    EXPECT_EQ(result, a.Compose(b)) << "trial " << trial;
+  }
+}
+
+TEST(BitMatrix, NonEmptyRowsIntoMatchesNonEmptyRows) {
+  Rng rng(17);
+  std::vector<uint32_t> out;
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t rows = 1 + rng.Index(40);
+    size_t cols = 1 + rng.Index(140);
+    BitMatrix m(rows, cols);
+    for (size_t i = 0; i < rows * cols / 9 + 1; ++i) {
+      m.Set(rng.Index(rows), rng.Index(cols));
+    }
+    m.NonEmptyRowsInto(&out);
+    EXPECT_EQ(out, m.NonEmptyRows()) << "trial " << trial;
+  }
+}
+
+TEST(BitMatrix, ViewReadsMatchOwningMatrix) {
+  Rng rng(19);
+  BitMatrix m(7, 100);
+  for (int i = 0; i < 60; ++i) m.Set(rng.Index(7), rng.Index(100));
+  BitMatrixView v(m);
+  EXPECT_EQ(v.rows(), m.rows());
+  EXPECT_EQ(v.cols(), m.cols());
+  EXPECT_EQ(v.Count(), m.Count());
+  EXPECT_EQ(v.Any(), m.Any());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_EQ(v.RowAny(r), m.RowAny(r));
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(v.Get(r, c), m.Get(r, c));
+    }
+  }
+}
+
+TEST(BitMatrix, AssignReshapesAndZeroes) {
+  BitMatrix m(4, 4);
+  m.Set(3, 3);
+  m.Assign(2, 130);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 130u);
+  EXPECT_FALSE(m.Any());
+  m.Set(1, 129);
+  EXPECT_TRUE(m.Get(1, 129));
+  m.Assign(4, 4);
+  EXPECT_FALSE(m.Any());
+  EXPECT_EQ(m, BitMatrix(4, 4));
+}
+
 }  // namespace
 }  // namespace treenum

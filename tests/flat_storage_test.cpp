@@ -11,6 +11,7 @@
 #include "baseline/static_engine.h"
 #include "core/engine.h"
 #include "core/tree_enumerator.h"
+#include "enumeration/box_enum.h"
 #include "test_util.h"
 #include "util/alloc_gauge.h"
 
@@ -91,6 +92,7 @@ TEST(FlatStorage, LongMixedScriptMatchesRecomputeOracle) {
       naive.ApplyEdit(e);
       oracle.ApplyEdit(e);
       ASSERT_EQ(indexed.circuit().ValidateStorage(), "") << "step " << step;
+      ASSERT_EQ(indexed.index().ValidateStorage(), "") << "step " << step;
       if (step % 10 == 9) {
         std::vector<Assignment> expected = oracle.EnumerateAll();
         ASSERT_EQ(indexed.EnumerateAll(), expected) << "step " << step;
@@ -114,32 +116,42 @@ TEST(FlatStorage, BatchedScriptMatchesRecomputeOracle) {
     indexed.ApplyEdits(edits);
     oracle.ApplyEdits(edits);
     ASSERT_EQ(indexed.circuit().ValidateStorage(), "") << "round " << round;
+    ASSERT_EQ(indexed.index().ValidateStorage(), "") << "round " << round;
     ASSERT_EQ(indexed.EnumerateAll(), oracle.EnumerateAll())
         << "round " << round;
   }
 }
 
 // The tentpole guarantee: once every (node, label) configuration has been
-// seen, a relabel edit refreshes its whole root path — circuit boxes and
-// run counts — without a single heap allocation. Runs the exact same edit
-// sequence twice: pass one warms the arena spans and scratch capacities,
-// pass two must be allocation-free.
-TEST(FlatStorage, RelabelSteadyStateIsAllocationFree) {
+// seen, a relabel edit refreshes its whole root path — circuit boxes, the
+// jump index, and run counts — without a single heap allocation. Runs the
+// exact same edit sequence twice: pass one warms the arena spans and
+// scratch capacities, pass two must be allocation-free. Covers both modes:
+// kNaive maintains circuit + counts, kIndexed additionally the pooled
+// jump index.
+void CheckRelabelSteadyState(BoxEnumMode mode, bool batched) {
   ASSERT_TRUE(AllocGaugeActive())
       << "flat_storage_test must link treenum_alloc_gauge";
 
   Rng rng(139);
   UnrankedTree tree = RandomTree(200, 3, rng);
-  // kNaive mode: the maintained structures are the circuit and the run
-  // counts (the jump index keeps per-box heap vectors; pooling it is
-  // tracked in ROADMAP.md).
-  TreeEnumerator e(tree, QueryMarkedAncestor(3, 1, 2), BoxEnumMode::kNaive);
+  TreeEnumerator e(tree, QueryMarkedAncestor(3, 1, 2), mode);
   e.EnableCounting();
 
   std::vector<NodeId> targets = tree.PreorderNodes();
   auto run_pass = [&]() {
-    for (NodeId n : targets) {
-      for (Label l = 0; l < 3; ++l) e.Relabel(n, l);
+    if (batched) {
+      // One batch per target keeps batches root-path-shaped, like the
+      // batched relabel bench.
+      for (NodeId n : targets) {
+        e.BeginBatch();
+        for (Label l = 0; l < 3; ++l) e.Relabel(n, l);
+        e.CommitBatch();
+      }
+    } else {
+      for (NodeId n : targets) {
+        for (Label l = 0; l < 3; ++l) e.Relabel(n, l);
+      }
     }
   };
   // Two warm passes: the first still sees box configurations involving the
@@ -154,9 +166,76 @@ TEST(FlatStorage, RelabelSteadyStateIsAllocationFree) {
   EXPECT_EQ(gauge.allocs(), 0u)
       << "steady-state relabel edits must not touch the heap";
 
-  // The circuit still answers correctly after both passes.
+  ASSERT_EQ(e.circuit().ValidateStorage(), "");
+  if (mode == BoxEnumMode::kIndexed) {
+    ASSERT_EQ(e.index().ValidateStorage(), "");
+  }
+  // The circuit still answers correctly after all passes.
   StaticEngine oracle(e.tree(), QueryMarkedAncestor(3, 1, 2));
   EXPECT_EQ(e.EnumerateAll(), oracle.EnumerateAll());
+}
+
+TEST(FlatStorage, RelabelSteadyStateIsAllocationFree) {
+  CheckRelabelSteadyState(BoxEnumMode::kNaive, /*batched=*/false);
+}
+
+TEST(FlatStorage, IndexedRelabelSteadyStateIsAllocationFree) {
+  CheckRelabelSteadyState(BoxEnumMode::kIndexed, /*batched=*/false);
+}
+
+TEST(FlatStorage, IndexedBatchedRelabelSteadyStateIsAllocationFree) {
+  CheckRelabelSteadyState(BoxEnumMode::kIndexed, /*batched=*/true);
+}
+
+// Enumeration-delay counterpart: after one warm traversal, re-running a
+// box-enum cursor over the same circuit (Reset keeps the warm frame slots
+// and scratch) performs zero heap allocations per produced relation —
+// the cursors compose into recycled buffers instead of fresh matrices.
+TEST(FlatStorage, BoxEnumDelayIsAllocationFreeAfterWarmup) {
+  ASSERT_TRUE(AllocGaugeActive());
+
+  Rng rng(149);
+  UnrankedTree tree = RandomTree(300, 3, rng);
+  TreeEnumerator e(tree, QueryMarkedAncestor(3, 1, 2), BoxEnumMode::kIndexed);
+  TermNodeId root = e.term().root();
+  size_t nu = e.circuit().box(root).num_unions();
+  ASSERT_GT(nu, 0u);
+  std::vector<uint32_t> gamma;
+  for (uint32_t u = 0; u < nu; ++u) gamma.push_back(u);
+
+  IndexedBoxEnum indexed(&e.index(), root, gamma);
+  NaiveBoxEnum naive(&e.circuit(), root, gamma);
+  for (BoxEnumCursor* cursor :
+       {static_cast<BoxEnumCursor*>(&indexed),
+        static_cast<BoxEnumCursor*>(&naive)}) {
+    BoxRelation out;
+    std::vector<TermNodeId> warm_boxes;
+    while (cursor->Next(&out)) warm_boxes.push_back(out.box);
+    ASSERT_FALSE(warm_boxes.empty());
+
+    // The relation buffers circulate between the stack slots and the output,
+    // so a buffer may land in a spot that needs more capacity than it saw
+    // last pass; each such event grows one buffer monotonically, so the
+    // capacities reach a fixed point after a few passes.
+    int pass = 0;
+    for (; pass < 10; ++pass) {
+      cursor->Reset(root, gamma);
+      AllocGaugeScope warm;
+      while (cursor->Next(&out)) {
+      }
+      if (warm.allocs() == 0) break;
+    }
+    ASSERT_LT(pass, 10) << "cursor buffers failed to reach a steady state";
+
+    cursor->Reset(root, gamma);
+    std::vector<TermNodeId> measured_boxes;
+    measured_boxes.reserve(warm_boxes.size());  // keep the gauge on the cursor
+    AllocGaugeScope gauge;
+    while (cursor->Next(&out)) measured_boxes.push_back(out.box);
+    EXPECT_EQ(gauge.allocs(), 0u)
+        << "warm box-enum traversal must not touch the heap";
+    EXPECT_EQ(measured_boxes, warm_boxes);
+  }
 }
 
 TEST(FlatStorage, WidthLimitIsChecked) {

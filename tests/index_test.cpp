@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "automata/homogenize.h"
@@ -89,17 +90,19 @@ struct Pipeline {
 void CheckIndexAgainstNaive(const AssignmentCircuit& circuit,
                             const EnumIndex& index) {
   const Term& term = circuit.term();
+  ASSERT_EQ(index.ValidateStorage(), "");
   std::map<TermNodeId, size_t> pre = PreorderNumbers(term);
   for (TermNodeId id = 0; id < term.id_bound(); ++id) {
     if (!term.IsAlive(id)) continue;
     const Box box = circuit.box(id);
     if (box.num_unions() == 0) continue;
-    const BoxIndex& bi = index.at(id);
-    ASSERT_EQ(bi.fib.size(), box.num_unions());
+    const BoxIndex bi = index.at(id);
+    ASSERT_EQ(bi.num_unions(), box.num_unions());
 
     // Candidates sorted strictly by preorder.
-    for (size_t i = 0; i + 1 < bi.cands.size(); ++i) {
-      EXPECT_LT(pre.at(bi.cands[i].box), pre.at(bi.cands[i + 1].box));
+    for (size_t i = 0; i + 1 < bi.num_cands(); ++i) {
+      EXPECT_LT(pre.at(bi.cand_box(static_cast<int32_t>(i))),
+                pre.at(bi.cand_box(static_cast<int32_t>(i + 1))));
     }
 
     for (uint32_t u = 0; u < box.num_unions(); ++u) {
@@ -110,23 +113,22 @@ void CheckIndexAgainstNaive(const AssignmentCircuit& circuit,
       for (TermNodeId b : interesting) {
         if (pre.at(b) < pre.at(first)) first = b;
       }
-      EXPECT_EQ(bi.cands[bi.fib[u]].box, first) << "box " << id << " gate "
-                                                << u;
+      EXPECT_EQ(bi.cand_box(bi.fib(u)), first) << "box " << id << " gate "
+                                               << u;
       // span = lca of all interesting boxes.
       TermNodeId lca = interesting[0];
       for (TermNodeId b : interesting) lca = NaiveLca(term, lca, b);
-      EXPECT_EQ(bi.cands[bi.span[u]].box, lca) << "box " << id << " gate "
-                                               << u;
+      EXPECT_EQ(bi.cand_box(bi.span(u)), lca) << "box " << id << " gate "
+                                              << u;
     }
 
     // Candidate lca table agrees with the naive lca.
-    for (size_t a = 0; a < bi.cands.size(); ++a) {
-      for (size_t b = 0; b < bi.cands.size(); ++b) {
-        TermNodeId expected =
-            NaiveLca(term, bi.cands[a].box, bi.cands[b].box);
-        EXPECT_EQ(bi.cands[bi.Lca(static_cast<int32_t>(a),
-                                  static_cast<int32_t>(b))]
-                      .box,
+    for (size_t a = 0; a < bi.num_cands(); ++a) {
+      for (size_t b = 0; b < bi.num_cands(); ++b) {
+        TermNodeId expected = NaiveLca(term, bi.cand_box(static_cast<int32_t>(a)),
+                                       bi.cand_box(static_cast<int32_t>(b)));
+        EXPECT_EQ(bi.cand_box(bi.Lca(static_cast<int32_t>(a),
+                                     static_cast<int32_t>(b))),
                   expected);
       }
     }
@@ -150,14 +152,16 @@ void CheckIndexAgainstNaive(const AssignmentCircuit& circuit,
                static_cast<uint32_t>(circuit.box(child).union_idx(state))});
         }
       }
-      for (const BoxIndex::Cand& cand : bi.cands) {
-        const auto it = reach.find(cand.box);
-        for (size_t g = 0; g < circuit.box(cand.box).num_unions(); ++g) {
+      for (int32_t c = 0; c < static_cast<int32_t>(bi.num_cands()); ++c) {
+        TermNodeId cbox = bi.cand_box(c);
+        const BitMatrixView rel = bi.cand_rel(c);
+        const auto it = reach.find(cbox);
+        for (size_t g = 0; g < circuit.box(cbox).num_unions(); ++g) {
           bool expected =
               it != reach.end() && it->second.count(static_cast<uint32_t>(g));
-          EXPECT_EQ(cand.rel.Get(g, u), expected)
-              << "box " << id << " cand box " << cand.box << " g " << g
-              << " u " << u;
+          EXPECT_EQ(rel.Get(g, u), expected)
+              << "box " << id << " cand box " << cbox << " g " << g << " u "
+              << u;
         }
       }
     }
@@ -189,6 +193,48 @@ TEST(Index, MatchesNaiveReferenceOnRandomAutomata) {
     UnrankedTva q = RandomUnrankedTva(rng, 3, 2, 1, 3, 8);
     Pipeline p(q, RandomTree(1 + rng.Index(25), 2, rng));
     CheckIndexAgainstNaive(p.circuit, p.index);
+  }
+}
+
+// Oracle for the satellite bugfix: SpanLocal's linear Lca fold must equal
+// the old quadratic implementation — the minimum candidate index over all
+// pairwise lcas Lca(span[g_i], span[g_j]), i <= j (self-pairs included, as
+// the old loop had them) — on randomized indexes and random gate subsets.
+int32_t SpanLocalPairwiseOracle(const BoxIndex& bi,
+                                const std::vector<uint32_t>& gates) {
+  int32_t best = bi.span(gates[0]);
+  for (size_t i = 0; i < gates.size(); ++i) {
+    for (size_t j = i; j < gates.size(); ++j) {
+      best = std::min(best, bi.Lca(bi.span(gates[i]), bi.span(gates[j])));
+    }
+  }
+  return best;
+}
+
+TEST(Index, SpanLocalFoldMatchesPairwiseOracle) {
+  Rng rng(211);
+  for (int trial = 0; trial < 8; ++trial) {
+    UnrankedTva q = trial % 2 ? RandomUnrankedTva(rng, 3, 2, 1, 3, 8)
+                              : QueryMarkedAncestor(3, 1, 2);
+    Pipeline p(q, RandomTree(5 + rng.Index(40), q.num_labels(), rng));
+    const Term& term = p.circuit.term();
+    for (TermNodeId id = 0; id < term.id_bound(); ++id) {
+      if (!term.IsAlive(id)) continue;
+      size_t nu = p.circuit.box(id).num_unions();
+      if (nu == 0) continue;
+      const BoxIndex bi = p.index.at(id);
+      for (int subset = 0; subset < 10; ++subset) {
+        std::vector<uint32_t> gates;
+        for (uint32_t u = 0; u < nu; ++u) {
+          if (rng.Index(2)) gates.push_back(u);
+        }
+        if (gates.empty()) gates.push_back(static_cast<uint32_t>(rng.Index(nu)));
+        EXPECT_EQ(bi.SpanLocal(gates), SpanLocalPairwiseOracle(bi, gates))
+            << "box " << id;
+        EXPECT_EQ(p.index.SpanOfSet(id, gates),
+                  SpanLocalPairwiseOracle(bi, gates));
+      }
+    }
   }
 }
 
