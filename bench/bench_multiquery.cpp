@@ -1,0 +1,167 @@
+// Shared-document multi-query serving (core/document.h): two costs as a
+// function of the number of registered queries Q.
+//
+//   1. Per-edit maintenance: one DynamicDocument with Q registered queries
+//      pays the O(log n) balanced-term encoding maintenance once per edit
+//      and only fans the changed path out per query, vs. Q independent
+//      TreeEnumerators that each re-do the encoding half (and, on
+//      rebalances, the full subterm rebuild) — the `multiquery_shared` /
+//      `multiquery_independent` series.
+//   2. Batched-commit wall time with parallel refresh fan-out: the merged
+//      changed-box set is computed once and each query's pipeline is
+//      refreshed on a ThreadPool lane; pool sizes 1/4/8 give the
+//      `multiquery_commit` series (pool=1 is the deterministic inline
+//      fallback, i.e. the serial baseline).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/document.h"
+#include "util/thread_pool.h"
+
+namespace treenum {
+namespace {
+
+using bench::kSeed;
+
+// A rotating mix of library queries over the shared 3-label alphabet, so
+// registered pipelines have different widths (uneven per-lane work, the
+// realistic case for the dynamic index hand-out of ThreadPool).
+UnrankedTva QueryAt(size_t i) {
+  switch (i % 4) {
+    case 0:
+      return QueryMarkedAncestor(3, 1, 2);
+    case 1:
+      return QuerySelectLabel(3, 1);
+    case 2:
+      return QueryChildOfLabel(3, 0, 2);
+    default:
+      return QueryDescendantPairs(3, 0, 1);
+  }
+}
+
+using bench::EditScript;
+
+// ---- 1. Per-edit maintenance vs. Q ----
+
+void BM_MultiQuery_IndependentEngines(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t q = static_cast<size_t>(state.range(1));
+  UnrankedTree tree = bench::MakeTree(n);
+  std::vector<std::unique_ptr<TreeEnumerator>> engines;
+  for (size_t i = 0; i < q; ++i) {
+    engines.push_back(std::make_unique<TreeEnumerator>(tree, QueryAt(i)));
+  }
+  EditScript script(tree, kSeed);
+  double total_us = 0;
+  size_t edits = 0;
+  for (auto _ : state) {
+    Edit e = script.Next();
+    auto t0 = std::chrono::steady_clock::now();
+    for (auto& engine : engines) engine->ApplyEdit(e);
+    total_us += std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ++edits;
+  }
+  state.counters["queries"] = static_cast<double>(q);
+  bench::EmitJson("multiquery_independent",
+                  {{"n", static_cast<double>(n)},
+                   {"q", static_cast<double>(q)},
+                   {"us_per_edit", edits ? total_us / edits : 0.0},
+                   {"iterations", static_cast<double>(state.iterations())}});
+}
+BENCHMARK(BM_MultiQuery_IndependentEngines)
+    ->Args({131072, 1})
+    ->Args({131072, 2})
+    ->Args({131072, 4})
+    ->Args({131072, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MultiQuery_SharedDocument(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t q = static_cast<size_t>(state.range(1));
+  UnrankedTree tree = bench::MakeTree(n);
+  DynamicDocument doc(tree, 3);
+  for (size_t i = 0; i < q; ++i) doc.Register(QueryAt(i));
+  EditScript script(tree, kSeed);
+  double total_us = 0;
+  size_t edits = 0;
+  for (auto _ : state) {
+    Edit e = script.Next();
+    auto t0 = std::chrono::steady_clock::now();
+    doc.ApplyEdit(e);
+    total_us += std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ++edits;
+  }
+  state.counters["queries"] = static_cast<double>(q);
+  bench::EmitJson("multiquery_shared",
+                  {{"n", static_cast<double>(n)},
+                   {"q", static_cast<double>(q)},
+                   {"us_per_edit", edits ? total_us / edits : 0.0},
+                   {"iterations", static_cast<double>(state.iterations())}});
+}
+BENCHMARK(BM_MultiQuery_SharedDocument)
+    ->Args({131072, 1})
+    ->Args({131072, 2})
+    ->Args({131072, 4})
+    ->Args({131072, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+// ---- 2. Batched commits with parallel refresh fan-out ----
+
+void BM_MultiQuery_BatchedCommit(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t q = static_cast<size_t>(state.range(1));
+  size_t lanes = static_cast<size_t>(state.range(2));
+  constexpr size_t kBatch = 256;
+
+  UnrankedTree tree = bench::MakeTree(n);
+  ThreadPool pool(lanes);
+  DynamicDocument doc(tree, 3);
+  doc.set_pool(&pool);
+  for (size_t i = 0; i < q; ++i) doc.Register(QueryAt(i));
+  EditScript script(tree, kSeed);
+  // Warm the arena spans so the measured commits are refresh-dominated.
+  doc.BeginBatch();
+  for (size_t i = 0; i < kBatch; ++i) doc.ApplyEdit(script.NextRelabel());
+  doc.CommitBatch();
+
+  double commit_us = 0;
+  size_t commits = 0;
+  for (auto _ : state) {
+    doc.BeginBatch();
+    for (size_t i = 0; i < kBatch; ++i) doc.ApplyEdit(script.NextRelabel());
+    auto t0 = std::chrono::steady_clock::now();
+    doc.CommitBatch();
+    commit_us += std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    ++commits;
+  }
+  state.counters["queries"] = static_cast<double>(q);
+  state.counters["pool"] = static_cast<double>(lanes);
+  state.counters["us_per_commit"] = commits ? commit_us / commits : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+  bench::EmitJson("multiquery_commit",
+                  {{"n", static_cast<double>(n)},
+                   {"q", static_cast<double>(q)},
+                   {"k", static_cast<double>(kBatch)},
+                   {"pool", static_cast<double>(lanes)},
+                   {"us_per_commit", commits ? commit_us / commits : 0.0},
+                   {"iterations", static_cast<double>(state.iterations())}});
+}
+BENCHMARK(BM_MultiQuery_BatchedCommit)
+    ->Args({131072, 8, 1})
+    ->Args({131072, 8, 4})
+    ->Args({131072, 8, 8})
+    ->Args({131072, 4, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace treenum

@@ -185,6 +185,67 @@ class EngineEditDriver {
   std::vector<NodeId> pool_;
 };
 
+/// Mirror-driven edit scripter emitting Edit values (instead of applying
+/// them like EngineEditDriver), so one script can drive a DynamicDocument
+/// and a fleet of independent engines identically.
+class EditScript {
+ public:
+  EditScript(UnrankedTree mirror, uint64_t seed, size_t num_labels = 3)
+      : mirror_(std::move(mirror)), rng_(seed), num_labels_(num_labels) {
+    pool_ = mirror_.PreorderNodes();
+  }
+
+  Edit Next() {
+    NodeId n = Pick();
+    Label l = static_cast<Label>(rng_.Index(num_labels_));
+    switch (rng_.Index(4)) {
+      case 1: {
+        pool_.push_back(mirror_.InsertFirstChild(n, l));
+        return Edit::InsertFirstChild(n, l);
+      }
+      case 2:
+        if (n != mirror_.root()) {
+          pool_.push_back(mirror_.InsertRightSibling(n, l));
+          return Edit::InsertRightSibling(n, l);
+        }
+        break;
+      case 3:
+        if (n != mirror_.root() && mirror_.IsLeaf(n)) {
+          mirror_.DeleteLeaf(n);
+          return Edit::DeleteLeaf(n);
+        }
+        break;
+      default:
+        break;
+    }
+    mirror_.Relabel(n, l);
+    return Edit::Relabel(n, l);
+  }
+
+  Edit NextRelabel() {
+    NodeId n = Pick();
+    Label l = static_cast<Label>(rng_.Index(num_labels_));
+    mirror_.Relabel(n, l);
+    return Edit::Relabel(n, l);
+  }
+
+ private:
+  NodeId Pick() {
+    while (true) {
+      size_t i = rng_.Index(pool_.size());
+      NodeId n = pool_[i];
+      if (mirror_.IsAlive(n)) return n;
+      pool_[i] = pool_.back();  // drop stale (deleted) entries lazily
+      pool_.pop_back();
+    }
+  }
+
+  UnrankedTree mirror_;
+  Rng rng_;
+  size_t num_labels_;
+  std::vector<NodeId> pool_;
+};
+
 /// Machine-readable benchmark output: appends one JSON object per call to
 /// the file named by $TREENUM_BENCH_JSON (no-op when unset), so CI can
 /// collect a BENCH_*.json trajectory across PRs without parsing console

@@ -1,0 +1,277 @@
+#include "core/document.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "automata/translate.h"
+#include "util/check.h"
+
+namespace treenum {
+
+DynamicDocument::DynamicDocument(UnrankedTree tree, size_t num_labels)
+    : tree_enc_(std::make_unique<DynamicEncoding>(std::move(tree), num_labels)),
+      term_(&tree_enc_->term()) {}
+
+DynamicDocument::DynamicDocument(const Word& w, size_t num_labels)
+    : word_enc_(std::make_unique<WordEncoding>(w, num_labels)),
+      term_(&word_enc_->term()) {}
+
+const UnrankedTree& DynamicDocument::tree() const {
+  TREENUM_CHECK(tree_enc_ != nullptr, "tree() requires a tree document");
+  return tree_enc_->tree();
+}
+
+const DynamicEncoding& DynamicDocument::tree_encoding() const {
+  TREENUM_CHECK(tree_enc_ != nullptr,
+                "tree_encoding() requires a tree document");
+  return *tree_enc_;
+}
+
+const WordEncoding& DynamicDocument::word_encoding() const {
+  TREENUM_CHECK(word_enc_ != nullptr,
+                "word_encoding() requires a word document");
+  return *word_enc_;
+}
+
+size_t DynamicDocument::size() const {
+  return tree_enc_ ? tree_enc_->tree().size() : word_enc_->size();
+}
+
+DynamicDocument::QueryId DynamicDocument::Register(const UnrankedTva& query,
+                                                   BoxEnumMode mode) {
+  TREENUM_CHECK(tree_enc_ != nullptr,
+                "tree queries require a tree document");
+  TranslatedTva translated = TranslateUnrankedTva(query);
+  TREENUM_CHECK(
+      translated.alphabet.num_base_labels() == term_->alphabet().num_base_labels(),
+      "query alphabet must match the document alphabet");
+  return RegisterPrepared(HomogenizeBinaryTva(translated.tva), mode);
+}
+
+DynamicDocument::QueryId DynamicDocument::Register(const Wva& query,
+                                                   BoxEnumMode mode) {
+  TREENUM_CHECK(word_enc_ != nullptr,
+                "word queries require a word document");
+  TranslatedTva translated = TranslateWva(query);
+  TREENUM_CHECK(
+      translated.alphabet.num_base_labels() == term_->alphabet().num_base_labels(),
+      "query alphabet must match the document alphabet");
+  return RegisterPrepared(HomogenizeBinaryTva(translated.tva), mode);
+}
+
+DynamicDocument::QueryId DynamicDocument::RegisterPrepared(HomogenizedTva homog,
+                                                           BoxEnumMode mode) {
+  TREENUM_CHECK(!in_batch_, "cannot register a query mid-batch");
+  pipelines_.push_back(
+      std::make_unique<EnumerationPipeline>(term_, std::move(homog), mode));
+  ++num_live_;
+  return pipelines_.size() - 1;
+}
+
+void DynamicDocument::Unregister(QueryId id) {
+  TREENUM_CHECK(!in_batch_, "cannot unregister a query mid-batch");
+  TREENUM_CHECK(IsRegistered(id), "unknown or already-unregistered query");
+  pipelines_[id].reset();
+  --num_live_;
+}
+
+bool DynamicDocument::IsRegistered(QueryId id) const {
+  return id < pipelines_.size() && pipelines_[id] != nullptr;
+}
+
+EnumerationPipeline& DynamicDocument::pipeline(QueryId id) {
+  TREENUM_CHECK(IsRegistered(id), "unknown or already-unregistered query");
+  return *pipelines_[id];
+}
+
+const EnumerationPipeline& DynamicDocument::pipeline(QueryId id) const {
+  TREENUM_CHECK(IsRegistered(id), "unknown or already-unregistered query");
+  return *pipelines_[id];
+}
+
+template <typename Fn>
+void DynamicDocument::FanOut(const Fn& fn) {
+  if (pool_ != nullptr && pool_->size() > 1 && num_live_ > 1) {
+    fan_scratch_.clear();
+    for (const std::unique_ptr<EnumerationPipeline>& p : pipelines_) {
+      if (p) fan_scratch_.push_back(p.get());
+    }
+    pool_->ParallelFor(fan_scratch_.size(),
+                       [&](size_t i) { fn(*fan_scratch_[i]); });
+  } else {
+    for (const std::unique_ptr<EnumerationPipeline>& p : pipelines_) {
+      if (p) fn(*p);
+    }
+  }
+}
+
+void DynamicDocument::SetPipelinesPending(bool pending) {
+  for (const std::unique_ptr<EnumerationPipeline>& p : pipelines_) {
+    if (p) p->set_update_pending(pending);
+  }
+}
+
+UpdateStats DynamicDocument::Dispatch(const UpdateResult& result) {
+  UpdateStats stats;
+  stats.edits_applied = 1;
+  stats.rebuilt_size = result.rebuilt_size;
+  if (in_batch_) {
+    batch_freed_.insert(batch_freed_.end(), result.freed.begin(),
+                        result.freed.end());
+    batch_changed_.insert(batch_changed_.end(),
+                          result.changed_bottom_up.begin(),
+                          result.changed_bottom_up.end());
+    return stats;  // every pipeline refreshed at CommitBatch
+  }
+  FanOut([&result](EnumerationPipeline& p) { p.Apply(result); });
+  stats.boxes_recomputed = result.changed_bottom_up.size() * num_live_;
+  return stats;
+}
+
+// ---- Tree edits ----
+
+UpdateStats DynamicDocument::Relabel(NodeId n, Label l) {
+  if (word_enc_) return Replace(word_enc_->PositionOf(n), l);
+  return Dispatch(tree_enc_->Relabel(n, l));
+}
+
+UpdateStats DynamicDocument::InsertFirstChild(NodeId n, Label l,
+                                              NodeId* new_node) {
+  if (word_enc_) return WordInsertAt(word_enc_->PositionOf(n), l, new_node);
+  return Dispatch(tree_enc_->InsertFirstChild(n, l, new_node));
+}
+
+UpdateStats DynamicDocument::InsertRightSibling(NodeId n, Label l,
+                                                NodeId* new_node) {
+  if (word_enc_) {
+    return WordInsertAt(word_enc_->PositionOf(n) + 1, l, new_node);
+  }
+  return Dispatch(tree_enc_->InsertRightSibling(n, l, new_node));
+}
+
+UpdateStats DynamicDocument::DeleteLeaf(NodeId n) {
+  if (word_enc_) return Erase(word_enc_->PositionOf(n));
+  return Dispatch(tree_enc_->DeleteLeaf(n));
+}
+
+// ---- Word edits ----
+
+UpdateStats DynamicDocument::Replace(size_t pos, Label l) {
+  TREENUM_CHECK(word_enc_ != nullptr, "Replace requires a word document");
+  return Dispatch(word_enc_->Replace(pos, l));
+}
+
+UpdateStats DynamicDocument::Insert(size_t pos, Label l) {
+  TREENUM_CHECK(word_enc_ != nullptr, "Insert requires a word document");
+  return Dispatch(word_enc_->Insert(pos, l));
+}
+
+UpdateStats DynamicDocument::Erase(size_t pos) {
+  TREENUM_CHECK(word_enc_ != nullptr, "Erase requires a word document");
+  return Dispatch(word_enc_->Erase(pos));
+}
+
+UpdateStats DynamicDocument::MoveRange(size_t begin, size_t end, size_t dst) {
+  TREENUM_CHECK(word_enc_ != nullptr, "MoveRange requires a word document");
+  return Dispatch(word_enc_->MoveRange(begin, end, dst));
+}
+
+UpdateStats DynamicDocument::WordInsertAt(size_t pos, Label l,
+                                          NodeId* new_node) {
+  UpdateStats stats = Dispatch(word_enc_->Insert(pos, l));
+  if (new_node) *new_node = word_enc_->PositionId(pos);
+  return stats;
+}
+
+// ---- Batched updates ----
+
+void DynamicDocument::BeginBatch() {
+  assert(!in_batch_ && "nested batches are not supported");
+  in_batch_ = true;
+  SetPipelinesPending(true);
+}
+
+UpdateStats DynamicDocument::CommitBatch() {
+  assert(in_batch_);
+  in_batch_ = false;
+
+  UpdateStats stats;
+
+  // Free each slot that is dead *now*; a slot freed mid-batch and then
+  // re-allocated by a later edit is alive and will be rebuilt below.
+  std::sort(batch_freed_.begin(), batch_freed_.end());
+  batch_freed_.erase(std::unique(batch_freed_.begin(), batch_freed_.end()),
+                     batch_freed_.end());
+  dead_freed_.clear();
+  for (TermNodeId id : batch_freed_) {
+    if (!term_->IsAlive(id)) dead_freed_.push_back(id);
+  }
+
+  // Coalesce: every alive changed node once, deepest first. Each edit's
+  // changed_bottom_up conservatively includes the full path to the root,
+  // so the union covers every node whose box inputs may have changed;
+  // depth order guarantees children are rebuilt before their parents.
+  // Computed once here — it depends only on the shared term, not on any
+  // query — and consumed by every pipeline.
+  std::sort(batch_changed_.begin(), batch_changed_.end());
+  batch_changed_.erase(
+      std::unique(batch_changed_.begin(), batch_changed_.end()),
+      batch_changed_.end());
+  order_scratch_.clear();
+  order_scratch_.reserve(batch_changed_.size());
+  for (TermNodeId id : batch_changed_) {
+    if (!term_->IsAlive(id)) continue;
+    uint32_t depth = 0;
+    for (TermNodeId p = term_->node(id).parent; p != kNoTerm;
+         p = term_->node(p).parent) {
+      ++depth;
+    }
+    order_scratch_.emplace_back(depth, id);
+  }
+  std::sort(order_scratch_.begin(), order_scratch_.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  ordered_changed_.clear();
+  ordered_changed_.reserve(order_scratch_.size());
+  for (const auto& [depth, id] : order_scratch_) {
+    (void)depth;
+    ordered_changed_.push_back(id);
+  }
+
+  FanOut([this](EnumerationPipeline& p) {
+    p.ApplyCoalesced(dead_freed_, ordered_changed_);
+  });
+  stats.boxes_recomputed = ordered_changed_.size() * num_live_;
+
+  batch_freed_.clear();
+  batch_changed_.clear();
+  SetPipelinesPending(false);
+  return stats;
+}
+
+UpdateStats DynamicDocument::ApplyEdit(const Edit& e, NodeId* new_node) {
+  switch (e.kind) {
+    case Edit::Kind::kRelabel:
+      return Relabel(e.node, e.label);
+    case Edit::Kind::kInsertFirstChild:
+      return InsertFirstChild(e.node, e.label, new_node);
+    case Edit::Kind::kInsertRightSibling:
+      return InsertRightSibling(e.node, e.label, new_node);
+    case Edit::Kind::kDeleteLeaf:
+      return DeleteLeaf(e.node);
+  }
+  return UpdateStats{};
+}
+
+UpdateStats DynamicDocument::ApplyEdits(const std::vector<Edit>& edits) {
+  UpdateStats stats;
+  if (in_batch_) {
+    for (const Edit& e : edits) stats += ApplyEdit(e);
+    return stats;
+  }
+  BeginBatch();
+  for (const Edit& e : edits) stats += ApplyEdit(e);
+  stats += CommitBatch();
+  return stats;
+}
+
+}  // namespace treenum

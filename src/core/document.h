@@ -1,0 +1,184 @@
+// DynamicDocument — one mutating document serving many registered queries.
+//
+// The paper maintains one circuit+index per (document, query) pair, and so
+// did the engines: each TreeEnumerator/WordEnumerator privately owned its
+// encoding, so serving Q queries over one document paid the O(log n)
+// balanced-term maintenance (Lemma 7.3's encoding half) Q times per edit
+// and refreshed every query's boxes serially. This layer splits the pair:
+//
+//   * The document owns exactly one encoding — the balanced tree term
+//     (`DynamicEncoding`) or the word AVL term (`WordEncoding`). Each edit
+//     mutates the term once and produces one `UpdateResult`.
+//   * Every registered query owns one `EnumerationPipeline` (circuit, jump
+//     index, optional counts) over the shared term. The per-edit
+//     UpdateResult is broadcast to all of them, so the encoding half of
+//     update maintenance is paid once regardless of Q.
+//   * Batch transactions (BeginBatch/CommitBatch/ApplyEdits) are coalesced
+//     at the document: the freed/changed term-node sets of the whole batch
+//     are merged, filtered against the term, and depth-ordered exactly
+//     once; each pipeline then consumes the same merged changed-box set.
+//   * Refresh fan-out optionally runs on a ThreadPool (util/thread_pool.h).
+//     Pipelines share only the immutable term during a refresh — all
+//     written state (circuit arena, index pools, counts) is pipeline-
+//     private — so per-query refreshes are embarrassingly parallel. With
+//     no pool, or a pool of size 1, the fan-out runs inline in
+//     registration order: the deterministic single-thread fallback, which
+//     also keeps the single-query steady state allocation-free.
+//
+// TreeEnumerator and WordEnumerator are thin views over a private document
+// with one registered query; multi-query servers hold a DynamicDocument
+// directly and query each pipeline.
+#ifndef TREENUM_CORE_DOCUMENT_H_
+#define TREENUM_CORE_DOCUMENT_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "automata/homogenize.h"
+#include "automata/unranked_tva.h"
+#include "automata/wva.h"
+#include "core/engine.h"
+#include "core/pipeline.h"
+#include "falgebra/update.h"
+#include "falgebra/word_avl.h"
+#include "trees/unranked_tree.h"
+#include "util/thread_pool.h"
+
+namespace treenum {
+
+class DynamicDocument {
+ public:
+  /// Handle of a registered query (stable across other registrations).
+  using QueryId = size_t;
+
+  /// A tree document: encodes `tree` as a balanced term (linear time).
+  /// Every registered query must use exactly `num_labels` base labels.
+  DynamicDocument(UnrankedTree tree, size_t num_labels);
+  /// A word document over the AVL ⊕HH term (Corollary 8.4).
+  DynamicDocument(const Word& w, size_t num_labels);
+
+  DynamicDocument(const DynamicDocument&) = delete;
+  DynamicDocument& operator=(const DynamicDocument&) = delete;
+
+  // ---- Introspection ----
+
+  bool is_word() const { return word_enc_ != nullptr; }
+  const Term& term() const { return *term_; }
+  /// Tree documents only.
+  const UnrankedTree& tree() const;
+  const DynamicEncoding& tree_encoding() const;
+  /// Word documents only.
+  const WordEncoding& word_encoding() const;
+  /// Current input size (tree nodes / word letters).
+  size_t size() const;
+
+  // ---- Query registration ----
+
+  /// Registers a query: translates + homogenizes it and builds its
+  /// pipeline (circuit and, in kIndexed mode, jump index) over the current
+  /// term — O(size * poly(|Q|)). Not allowed mid-batch.
+  QueryId Register(const UnrankedTva& query,
+                   BoxEnumMode mode = BoxEnumMode::kIndexed);
+  QueryId Register(const Wva& query, BoxEnumMode mode = BoxEnumMode::kIndexed);
+  /// Registers an already-prepared automaton (must be over this document's
+  /// term alphabet).
+  QueryId RegisterPrepared(HomogenizedTva homog, BoxEnumMode mode);
+  /// Drops a query; its pipeline is destroyed and the id becomes invalid.
+  void Unregister(QueryId id);
+  bool IsRegistered(QueryId id) const;
+  /// Number of live registered queries.
+  size_t num_queries() const { return num_live_; }
+
+  /// The pipeline of a registered query — the per-query surface for
+  /// enumeration (EnumerateAll / MakeEngineCursor / HasAnswer / counting).
+  EnumerationPipeline& pipeline(QueryId id);
+  const EnumerationPipeline& pipeline(QueryId id) const;
+
+  // ---- Refresh fan-out ----
+
+  /// Attaches a worker pool (not owned; must outlive its use here). The
+  /// pool runs one fork-join job at a time, so sharing it across
+  /// documents requires external serialization: only one document may be
+  /// inside an edit/commit at any moment. Pipelines refresh in parallel
+  /// when the pool has > 1 lane and > 1 query is registered; null (the
+  /// default) or a 1-lane pool means inline, deterministic,
+  /// allocation-free fan-out.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* pool() const { return pool_; }
+
+  // ---- Tree edits (Definition 7.1), O(log n * poly(Q)) + fan-out ----
+  // UpdateStats totals are summed across registered queries:
+  // boxes_recomputed counts every per-pipeline box refresh.
+
+  UpdateStats Relabel(NodeId n, Label l);
+  UpdateStats InsertFirstChild(NodeId n, Label l, NodeId* new_node = nullptr);
+  UpdateStats InsertRightSibling(NodeId n, Label l,
+                                 NodeId* new_node = nullptr);
+  UpdateStats DeleteLeaf(NodeId n);
+
+  // ---- Word edits by logical position, worst-case O(log |w|) ----
+
+  UpdateStats Replace(size_t pos, Label l);
+  UpdateStats Insert(size_t pos, Label l);
+  UpdateStats Erase(size_t pos);
+  /// Moves the factor [begin, end) so it starts at `dst` of the remaining
+  /// word (AVL split/join; position ids are preserved).
+  UpdateStats MoveRange(size_t begin, size_t end, size_t dst);
+
+  // ---- Batched updates ----
+
+  /// Opens a transaction: edits mutate the term immediately but the
+  /// freed/changed sets are only recorded (once, at the document — the
+  /// pipelines see nothing until commit). Querying any pipeline while a
+  /// batch is open is unsupported.
+  void BeginBatch();
+  /// Merges everything recorded since BeginBatch — a node touched by many
+  /// edits is refreshed once per pipeline, a node created and deleted
+  /// within the batch never — and fans the merged set out to every
+  /// pipeline (in parallel when a pool is attached).
+  UpdateStats CommitBatch();
+  bool in_batch() const { return in_batch_; }
+
+  /// Applies one Edit (tree vocabulary; on word documents Edit::node is a
+  /// stable position id, exactly as in WordEnumerator's Engine surface).
+  UpdateStats ApplyEdit(const Edit& e, NodeId* new_node = nullptr);
+  /// Applies a whole edit script in one transaction; if a batch is already
+  /// open the edits join it and the commit stays with the caller.
+  UpdateStats ApplyEdits(const std::vector<Edit>& edits);
+
+ private:
+  /// Broadcasts one UpdateResult (outside a batch) or records it (inside).
+  UpdateStats Dispatch(const UpdateResult& result);
+  /// Runs fn(pipeline) on every live pipeline — on the pool when parallel
+  /// fan-out is enabled, else inline in registration order.
+  template <typename Fn>
+  void FanOut(const Fn& fn);
+  void SetPipelinesPending(bool pending);
+  UpdateStats WordInsertAt(size_t pos, Label l, NodeId* new_node);
+
+  // Exactly one encoding is non-null. unique_ptr keeps the Term address
+  // stable for the pipelines.
+  std::unique_ptr<DynamicEncoding> tree_enc_;
+  std::unique_ptr<WordEncoding> word_enc_;
+  const Term* term_;
+  // Slot per ever-registered query; Unregister nulls the slot so QueryIds
+  // of the surviving queries stay valid.
+  std::vector<std::unique_ptr<EnumerationPipeline>> pipelines_;
+  size_t num_live_ = 0;
+  ThreadPool* pool_ = nullptr;
+
+  bool in_batch_ = false;
+  // Document-level transaction record and commit scratch. clear() keeps
+  // capacities, so steady-state batched relabels stay allocation-free.
+  std::vector<TermNodeId> batch_freed_;
+  std::vector<TermNodeId> batch_changed_;
+  std::vector<TermNodeId> dead_freed_;
+  std::vector<TermNodeId> ordered_changed_;
+  std::vector<std::pair<uint32_t, TermNodeId>> order_scratch_;
+  std::vector<EnumerationPipeline*> fan_scratch_;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_CORE_DOCUMENT_H_

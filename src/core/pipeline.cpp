@@ -23,8 +23,8 @@ void EnumerationPipeline::EnableCounting() {
 }
 
 uint64_t EnumerationPipeline::AcceptingRuns() const {
-  assert(!in_batch_ && "querying during an open batch is unsupported");
-  if (in_batch_) return 0;
+  assert(!update_pending_ && "querying during an open batch is unsupported");
+  if (update_pending_) return 0;
   return counter_ ? counter_->TotalAcceptingRuns() : 0;
 }
 
@@ -44,79 +44,31 @@ UpdateStats EnumerationPipeline::Apply(const UpdateResult& result) {
   UpdateStats stats;
   stats.edits_applied = 1;
   stats.rebuilt_size = result.rebuilt_size;
-  if (in_batch_) {
-    batch_freed_.insert(batch_freed_.end(), result.freed.begin(),
-                        result.freed.end());
-    batch_changed_.insert(batch_changed_.end(),
-                          result.changed_bottom_up.begin(),
-                          result.changed_bottom_up.end());
-    return stats;  // boxes refreshed at CommitBatch
-  }
   for (TermNodeId id : result.freed) ReleaseBox(id);
   for (TermNodeId id : result.changed_bottom_up) RefreshBox(id);
   stats.boxes_recomputed = result.changed_bottom_up.size();
   return stats;
 }
 
-void EnumerationPipeline::BeginBatch() {
-  assert(!in_batch_ && "nested batches are not supported");
-  in_batch_ = true;
-}
-
-UpdateStats EnumerationPipeline::CommitBatch() {
-  assert(in_batch_);
-  in_batch_ = false;
-
+UpdateStats EnumerationPipeline::ApplyCoalesced(
+    const std::vector<TermNodeId>& dead_freed,
+    const std::vector<TermNodeId>& ordered_changed) {
   UpdateStats stats;
-
-  // Free each slot that is dead *now*; a slot freed mid-batch and then
-  // re-allocated by a later edit is alive and will be rebuilt below.
-  std::sort(batch_freed_.begin(), batch_freed_.end());
-  batch_freed_.erase(std::unique(batch_freed_.begin(), batch_freed_.end()),
-                     batch_freed_.end());
-  for (TermNodeId id : batch_freed_) {
-    if (!term_->IsAlive(id)) ReleaseBox(id);
+  for (TermNodeId id : dead_freed) ReleaseBox(id);
+  circuit_.ReserveForRebuild(ordered_changed.size());
+  if (mode_ == BoxEnumMode::kIndexed) {
+    index_.ReserveForRebuild(ordered_changed.size());
   }
-
-  // Coalesce: every alive changed node once, deepest first. Each edit's
-  // changed_bottom_up conservatively includes the full path to the root,
-  // so the union covers every node whose box inputs may have changed;
-  // depth order guarantees children are rebuilt before their parents.
-  std::sort(batch_changed_.begin(), batch_changed_.end());
-  batch_changed_.erase(
-      std::unique(batch_changed_.begin(), batch_changed_.end()),
-      batch_changed_.end());
-  std::vector<std::pair<uint32_t, TermNodeId>>& order = order_scratch_;
-  order.clear();
-  order.reserve(batch_changed_.size());
-  for (TermNodeId id : batch_changed_) {
-    if (!term_->IsAlive(id)) continue;
-    uint32_t depth = 0;
-    for (TermNodeId p = term_->node(id).parent; p != kNoTerm;
-         p = term_->node(p).parent) {
-      ++depth;
-    }
-    order.emplace_back(depth, id);
-  }
-  std::sort(order.begin(), order.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-  // Pre-grow the circuit and index arenas for the whole transaction so the
-  // refresh loop below never re-grows a pool tail mid-batch.
-  circuit_.ReserveForRebuild(order.size());
-  if (mode_ == BoxEnumMode::kIndexed) index_.ReserveForRebuild(order.size());
-  for (const auto& [depth, id] : order) RefreshBox(id);
-  stats.boxes_recomputed = order.size();
-
-  batch_freed_.clear();
-  batch_changed_.clear();
+  for (TermNodeId id : ordered_changed) RefreshBox(id);
+  stats.boxes_recomputed = ordered_changed.size();
   return stats;
 }
 
 bool EnumerationPipeline::EmptyAssignmentSatisfies() const {
-  assert(!in_batch_ && "querying during an open batch is unsupported");
+  assert(!update_pending_ && "querying during an open batch is unsupported");
   // Release-mode safety: boxes of term nodes created mid-batch do not
   // exist until commit, so reading the root box would be out of bounds.
-  if (in_batch_) return false;
+  if (update_pending_) return false;
   const Box box = circuit_.box(term_->root());
   for (State q : homog_.tva.final_states()) {
     if (homog_.kind[q] == 0 && box.gamma(q) == GateKind::kTop) return true;
@@ -125,9 +77,9 @@ bool EnumerationPipeline::EmptyAssignmentSatisfies() const {
 }
 
 std::vector<uint32_t> EnumerationPipeline::FinalGamma() const {
-  assert(!in_batch_ && "querying during an open batch is unsupported");
+  assert(!update_pending_ && "querying during an open batch is unsupported");
   std::vector<uint32_t> gamma;
-  if (in_batch_) return gamma;
+  if (update_pending_) return gamma;
   const Box box = circuit_.box(term_->root());
   for (State q : homog_.tva.final_states()) {
     if (homog_.kind[q] == 1 && box.gamma(q) == GateKind::kUnion) {

@@ -1,4 +1,5 @@
-// EnumerationPipeline — the single owner of all derived enumeration state.
+// EnumerationPipeline — the per-query owner of all derived enumeration
+// state.
 //
 // The paper's machinery (Theorem 8.1 / Corollary 8.4) is one pipeline
 // instantiated over different encodings: a balanced forest-algebra term
@@ -9,14 +10,15 @@
 // `UpdateResult` of any encoding backend and refreshing circuit boxes,
 // index entries, and count vectors along the changed path (Lemma 7.3).
 //
-// Batched updates: between BeginBatch() and CommitBatch(), Apply() only
-// *records* the freed / changed term nodes; the encoding keeps mutating
-// the term immediately. CommitBatch() then coalesces the recorded sets —
-// a node touched by many edits in the batch is refreshed once, a node
-// created and deleted within the batch is never rebuilt at all — and
-// rebuilds the surviving boxes children-before-parents. For k clustered
-// edits on a tree of n nodes this does O(k + log n) box rebuilds instead
-// of O(k log n).
+// A pipeline does not own its term: the `DynamicDocument` layer
+// (core/document.h) owns one encoding and fans each edit's UpdateResult
+// out to every pipeline registered on it — possibly from worker threads,
+// which is safe because during a refresh the pipelines share only the
+// already-mutated, now-immutable term, and everything a refresh writes
+// (circuit arena, index pools, counts) is pipeline-private. Batch
+// *coalescing* also lives in the document (it depends only on the term,
+// so it is computed once per commit, not once per query); the pipeline
+// exposes ApplyCoalesced() to consume the merged changed-box set.
 #ifndef TREENUM_CORE_PIPELINE_H_
 #define TREENUM_CORE_PIPELINE_H_
 
@@ -65,20 +67,28 @@ class EnumerationPipeline {
 
   // ---- Incremental maintenance ----
 
-  /// Consumes one encoding UpdateResult. Outside a batch, refreshes the
-  /// changed boxes immediately; inside a batch, records them for
-  /// CommitBatch().
+  /// Consumes one encoding UpdateResult immediately: releases the freed
+  /// boxes and refreshes the changed ones in the given (children-first)
+  /// order.
   UpdateStats Apply(const UpdateResult& result);
 
-  void BeginBatch();
-  bool in_batch() const { return in_batch_; }
-  /// Coalesces everything recorded since BeginBatch() and refreshes each
-  /// surviving box exactly once, children before parents.
-  UpdateStats CommitBatch();
+  /// Consumes a document-coalesced transaction: `dead_freed` are the term
+  /// ids dead at commit (a slot freed mid-batch and re-allocated by a
+  /// later edit is alive and appears in `ordered_changed` instead);
+  /// `ordered_changed` are the surviving changed ids, deepest first, each
+  /// refreshed exactly once. Pre-grows the circuit/index pools for the
+  /// whole transaction so the refresh loop never re-grows a pool tail.
+  UpdateStats ApplyCoalesced(const std::vector<TermNodeId>& dead_freed,
+                             const std::vector<TermNodeId>& ordered_changed);
 
-  // ---- Query surface. Querying during an open batch is unsupported:
-  // these assert in debug builds and report no answers in release builds
-  // (boxes of term nodes created mid-batch do not exist until commit). ----
+  /// Set by the owning document while an edit transaction is open: term
+  /// nodes created mid-batch have no boxes until commit, so querying is
+  /// unsupported — the query surface asserts in debug builds and reports
+  /// no answers in release builds.
+  void set_update_pending(bool pending) { update_pending_ = pending; }
+  bool update_pending() const { return update_pending_; }
+
+  // ---- Query surface (invalid while update_pending()) ----
 
   /// True iff some final 0-state's root gate is ⊤ (the empty assignment
   /// satisfies the query).
@@ -106,13 +116,7 @@ class EnumerationPipeline {
   EnumIndex index_;
   BoxEnumMode mode_;
   std::unique_ptr<RunCounter> counter_;
-
-  bool in_batch_ = false;
-  std::vector<TermNodeId> batch_freed_;
-  std::vector<TermNodeId> batch_changed_;
-  // CommitBatch depth-ordering scratch (clear() keeps capacity, so
-  // steady-state batched relabels stay allocation-free).
-  std::vector<std::pair<uint32_t, TermNodeId>> order_scratch_;
+  bool update_pending_ = false;
 };
 
 }  // namespace treenum

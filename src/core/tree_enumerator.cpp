@@ -2,29 +2,17 @@
 
 #include <cassert>
 
-#include "automata/homogenize.h"
-#include "automata/translate.h"
-
 namespace treenum {
-
-namespace {
-
-HomogenizedTva Prepare(const UnrankedTva& query) {
-  TranslatedTva translated = TranslateUnrankedTva(query);
-  return HomogenizeBinaryTva(translated.tva);
-}
-
-}  // namespace
 
 TreeEnumerator::TreeEnumerator(UnrankedTree tree, const UnrankedTva& query,
                                BoxEnumMode mode)
-    : enc_(std::move(tree), query.num_labels()),
-      pipeline_(&enc_.term(), Prepare(query), mode) {}
+    : doc_(std::move(tree), query.num_labels()),
+      pipe_(&doc_.pipeline(doc_.Register(query, mode))) {}
 
 TreeEnumerator::Cursor TreeEnumerator::Enumerate() const {
   Cursor c;
-  c.emit_empty_ = pipeline_.EmptyAssignmentSatisfies();
-  c.inner_ = pipeline_.MakeRootCursor();
+  c.emit_empty_ = pipe_->EmptyAssignmentSatisfies();
+  c.inner_ = pipe_->MakeRootCursor();
   return c;
 }
 
@@ -46,29 +34,11 @@ size_t TreeEnumerator::Cursor::steps() const {
 }
 
 std::vector<Assignment> TreeEnumerator::EnumerateAll() const {
-  return pipeline_.EnumerateAll();
+  return pipe_->EnumerateAll();
 }
 
 std::unique_ptr<Engine::Cursor> TreeEnumerator::MakeCursor() const {
-  return pipeline_.MakeEngineCursor();
-}
-
-UpdateStats TreeEnumerator::Relabel(NodeId n, Label l) {
-  return pipeline_.Apply(enc_.Relabel(n, l));
-}
-
-UpdateStats TreeEnumerator::InsertFirstChild(NodeId n, Label l,
-                                             NodeId* new_node) {
-  return pipeline_.Apply(enc_.InsertFirstChild(n, l, new_node));
-}
-
-UpdateStats TreeEnumerator::InsertRightSibling(NodeId n, Label l,
-                                               NodeId* new_node) {
-  return pipeline_.Apply(enc_.InsertRightSibling(n, l, new_node));
-}
-
-UpdateStats TreeEnumerator::DeleteLeaf(NodeId n) {
-  return pipeline_.Apply(enc_.DeleteLeaf(n));
+  return pipe_->MakeEngineCursor();
 }
 
 std::vector<std::vector<NodeId>> AssignmentsToTuples(

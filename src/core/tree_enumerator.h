@@ -13,9 +13,12 @@
 // Definition 7.1 are supported in logarithmic time (Lemma 7.3), after which
 // enumeration can simply be restarted.
 //
-// All derived state (circuit, index, counts) lives in the shared
-// EnumerationPipeline; this class contributes only the tree encoding and
-// the Engine facade.
+// This class is a thin view over a private single-query DynamicDocument:
+// the document owns the tree encoding and edit/batch dispatch, the
+// registered EnumerationPipeline owns all derived state (circuit, index,
+// counts). To serve several queries over one shared tree — paying the
+// encoding maintenance once per edit instead of once per query — hold a
+// DynamicDocument (core/document.h) directly.
 #ifndef TREENUM_CORE_TREE_ENUMERATOR_H_
 #define TREENUM_CORE_TREE_ENUMERATOR_H_
 
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "automata/unranked_tva.h"
+#include "core/document.h"
 #include "core/engine.h"
 #include "core/pipeline.h"
 #include "falgebra/update.h"
@@ -38,11 +42,11 @@ class TreeEnumerator : public Engine {
   TreeEnumerator(UnrankedTree tree, const UnrankedTva& query,
                  BoxEnumMode mode = BoxEnumMode::kIndexed);
 
-  const UnrankedTree& tree() const { return enc_.tree(); }
-  const Term& term() const { return enc_.term(); }
+  const UnrankedTree& tree() const { return doc_.tree(); }
+  const Term& term() const { return doc_.term(); }
   /// Width of the circuit (= trimmed, homogenized |Q'|).
-  size_t width() const { return pipeline_.width(); }
-  size_t size() const override { return enc_.tree().size(); }
+  size_t width() const { return pipe_->width(); }
+  size_t size() const override { return doc_.tree().size(); }
 
   // ---- Enumeration ----
 
@@ -66,46 +70,55 @@ class TreeEnumerator : public Engine {
 
   /// O(w) Boolean answer: does the query have at least one satisfying
   /// assignment on the current tree?
-  bool HasAnswer() const override { return pipeline_.HasAnswer(); }
+  bool HasAnswer() const override { return pipe_->HasAnswer(); }
 
   // ---- Dynamic counting (optional; see counting/run_count.h) ----
 
   /// Enables maintenance of accepting-run counts (O(|T| * poly(w)) once;
   /// afterwards each update also refreshes the counts on the changed path).
-  void EnableCounting() { pipeline_.EnableCounting(); }
-  bool counting_enabled() const { return pipeline_.counting_enabled(); }
+  void EnableCounting() { pipe_->EnableCounting(); }
+  bool counting_enabled() const { return pipe_->counting_enabled(); }
   /// Number of accepting (valuation, run) pairs mod 2^64. Equals the number
   /// of satisfying assignments when the automaton is unambiguous (all
   /// query_library queries are). Requires EnableCounting().
-  uint64_t AcceptingRuns() const { return pipeline_.AcceptingRuns(); }
+  uint64_t AcceptingRuns() const { return pipe_->AcceptingRuns(); }
 
   // ---- Updates (Definition 7.1), O(log |T| * poly(|Q|)) each ----
 
-  UpdateStats Relabel(NodeId n, Label l) override;
+  UpdateStats Relabel(NodeId n, Label l) override {
+    return doc_.Relabel(n, l);
+  }
   UpdateStats InsertFirstChild(NodeId n, Label l,
-                               NodeId* new_node = nullptr) override;
+                               NodeId* new_node = nullptr) override {
+    return doc_.InsertFirstChild(n, l, new_node);
+  }
   UpdateStats InsertRightSibling(NodeId n, Label l,
-                                 NodeId* new_node = nullptr) override;
-  UpdateStats DeleteLeaf(NodeId n) override;
+                                 NodeId* new_node = nullptr) override {
+    return doc_.InsertRightSibling(n, l, new_node);
+  }
+  UpdateStats DeleteLeaf(NodeId n) override { return doc_.DeleteLeaf(n); }
 
-  /// Batched updates: circuit/index/count maintenance is coalesced and the
-  /// changed boxes are refreshed once at CommitBatch (see pipeline.h).
-  void BeginBatch() override { pipeline_.BeginBatch(); }
-  UpdateStats CommitBatch() override { return pipeline_.CommitBatch(); }
-  bool in_batch() const override { return pipeline_.in_batch(); }
+  /// Batched updates: circuit/index/count maintenance is coalesced at the
+  /// document and the changed boxes are refreshed once at CommitBatch
+  /// (see core/document.h).
+  void BeginBatch() override { doc_.BeginBatch(); }
+  UpdateStats CommitBatch() override { return doc_.CommitBatch(); }
+  bool in_batch() const override { return doc_.in_batch(); }
 
   // ---- Introspection (tests / benches) ----
-  const EnumerationPipeline& pipeline() const { return pipeline_; }
-  const AssignmentCircuit& circuit() const { return pipeline_.circuit(); }
-  const EnumIndex& index() const { return pipeline_.index(); }
-  const BinaryTva& binary_tva() const { return pipeline_.tva(); }
+  DynamicDocument& document() { return doc_; }
+  const DynamicDocument& document() const { return doc_; }
+  const EnumerationPipeline& pipeline() const { return *pipe_; }
+  const AssignmentCircuit& circuit() const { return pipe_->circuit(); }
+  const EnumIndex& index() const { return pipe_->index(); }
+  const BinaryTva& binary_tva() const { return pipe_->tva(); }
   const std::vector<uint8_t>& state_kinds() const {
-    return pipeline_.state_kinds();
+    return pipe_->state_kinds();
   }
 
  private:
-  DynamicEncoding enc_;
-  EnumerationPipeline pipeline_;
+  DynamicDocument doc_;
+  EnumerationPipeline* pipe_;
 };
 
 /// Corollary 8.3 convenience: converts assignments of a first-order query

@@ -2,85 +2,34 @@
 
 #include <algorithm>
 
-#include "automata/homogenize.h"
-#include "automata/translate.h"
-
 namespace treenum {
-
-namespace {
-
-HomogenizedTva PrepareWva(const Wva& query) {
-  TranslatedTva translated = TranslateWva(query);
-  return HomogenizeBinaryTva(translated.tva);
-}
-
-}  // namespace
 
 WordEnumerator::WordEnumerator(const Word& w, const Wva& query,
                                BoxEnumMode mode)
-    : enc_(w, query.num_labels()),
-      pipeline_(&enc_.term(), PrepareWva(query), mode) {}
+    : doc_(w, query.num_labels()),
+      pipe_(&doc_.pipeline(doc_.Register(query, mode))) {}
 
 std::vector<Assignment> WordEnumerator::EnumerateAll() const {
-  return pipeline_.EnumerateAll();
+  return pipe_->EnumerateAll();
 }
 
 std::unique_ptr<Engine::Cursor> WordEnumerator::MakeCursor() const {
-  return pipeline_.MakeEngineCursor();
+  return pipe_->MakeEngineCursor();
 }
 
 std::vector<Assignment> WordEnumerator::EnumerateAllByPosition() const {
+  const WordEncoding& enc = doc_.word_encoding();
   std::vector<Assignment> out;
   for (const Assignment& a : EnumerateAll()) {
     Assignment b;
     for (const Singleton& s : a.singletons()) {
-      b.Add(Singleton{s.var, static_cast<NodeId>(enc_.PositionOf(s.node))});
+      b.Add(Singleton{s.var, static_cast<NodeId>(enc.PositionOf(s.node))});
     }
     b.Normalize();
     out.push_back(std::move(b));
   }
   std::sort(out.begin(), out.end());
   return out;
-}
-
-UpdateStats WordEnumerator::Replace(size_t pos, Label l) {
-  return pipeline_.Apply(enc_.Replace(pos, l));
-}
-
-UpdateStats WordEnumerator::Insert(size_t pos, Label l) {
-  return pipeline_.Apply(enc_.Insert(pos, l));
-}
-
-UpdateStats WordEnumerator::Erase(size_t pos) {
-  return pipeline_.Apply(enc_.Erase(pos));
-}
-
-UpdateStats WordEnumerator::MoveRange(size_t begin, size_t end, size_t dst) {
-  return pipeline_.Apply(enc_.MoveRange(begin, end, dst));
-}
-
-UpdateStats WordEnumerator::InsertAt(size_t pos, Label l, NodeId* new_node) {
-  UpdateStats stats = pipeline_.Apply(enc_.Insert(pos, l));
-  if (new_node) *new_node = enc_.PositionId(pos);
-  return stats;
-}
-
-UpdateStats WordEnumerator::Relabel(NodeId n, Label l) {
-  return Replace(enc_.PositionOf(n), l);
-}
-
-UpdateStats WordEnumerator::InsertFirstChild(NodeId n, Label l,
-                                             NodeId* new_node) {
-  return InsertAt(enc_.PositionOf(n), l, new_node);
-}
-
-UpdateStats WordEnumerator::InsertRightSibling(NodeId n, Label l,
-                                               NodeId* new_node) {
-  return InsertAt(enc_.PositionOf(n) + 1, l, new_node);
-}
-
-UpdateStats WordEnumerator::DeleteLeaf(NodeId n) {
-  return Erase(enc_.PositionOf(n));
 }
 
 }  // namespace treenum

@@ -3,11 +3,13 @@
 // edits in worst-case O(log |w| * poly(|Q|)) via AVL-balanced ⊕HH terms
 // (Corollary 8.4).
 //
-// Shares all derived-state maintenance (circuit, jump index, batching)
-// with the tree engine through EnumerationPipeline. As an Engine, its
-// NodeIds are the stable position ids: Relabel = replace the letter,
-// InsertRightSibling = insert after, InsertFirstChild = insert before,
-// DeleteLeaf = erase.
+// Like TreeEnumerator, a thin view over a private single-query
+// DynamicDocument (the word-backed variant); all derived-state maintenance
+// is shared with the tree engine through the document layer and
+// EnumerationPipeline. As an Engine, its NodeIds are the stable position
+// ids: Relabel = replace the letter, InsertRightSibling = insert after,
+// InsertFirstChild = insert before, DeleteLeaf = erase. Multi-spanner
+// serving over one shared word goes through DynamicDocument directly.
 #ifndef TREENUM_CORE_WORD_ENUMERATOR_H_
 #define TREENUM_CORE_WORD_ENUMERATOR_H_
 
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "automata/wva.h"
+#include "core/document.h"
 #include "core/engine.h"
 #include "core/pipeline.h"
 #include "falgebra/word_avl.h"
@@ -27,51 +30,60 @@ class WordEnumerator : public Engine {
   WordEnumerator(const Word& w, const Wva& query,
                  BoxEnumMode mode = BoxEnumMode::kIndexed);
 
-  size_t word_size() const { return enc_.size(); }
-  size_t size() const override { return enc_.size(); }
-  size_t width() const { return pipeline_.width(); }
-  const WordEncoding& encoding() const { return enc_; }
+  size_t word_size() const { return doc_.word_encoding().size(); }
+  size_t size() const override { return doc_.word_encoding().size(); }
+  size_t width() const { return pipe_->width(); }
+  const WordEncoding& encoding() const { return doc_.word_encoding(); }
 
   /// Satisfying assignments; singleton NodeIds are *stable position ids* —
   /// translate to current positions with PositionOf.
   std::vector<Assignment> EnumerateAll() const override;
   std::unique_ptr<Engine::Cursor> MakeCursor() const override;
-  bool HasAnswer() const override { return pipeline_.HasAnswer(); }
+  bool HasAnswer() const override { return pipe_->HasAnswer(); }
   /// Current logical position of a stable position id.
-  size_t PositionOf(NodeId id) const { return enc_.PositionOf(id); }
+  size_t PositionOf(NodeId id) const {
+    return doc_.word_encoding().PositionOf(id);
+  }
 
   /// Like EnumerateAll but with singletons rewritten to current positions.
   std::vector<Assignment> EnumerateAllByPosition() const;
 
   // ---- Word edits by logical position, worst-case O(log |w|) ----
-  UpdateStats Replace(size_t pos, Label l);
-  UpdateStats Insert(size_t pos, Label l);
-  UpdateStats Erase(size_t pos);
+  UpdateStats Replace(size_t pos, Label l) { return doc_.Replace(pos, l); }
+  UpdateStats Insert(size_t pos, Label l) { return doc_.Insert(pos, l); }
+  UpdateStats Erase(size_t pos) { return doc_.Erase(pos); }
   /// Bulk edit: move the factor [begin, end) so it starts at `dst` of the
   /// remaining word. Also O(log |w|) (AVL split/join).
-  UpdateStats MoveRange(size_t begin, size_t end, size_t dst);
+  UpdateStats MoveRange(size_t begin, size_t end, size_t dst) {
+    return doc_.MoveRange(begin, end, dst);
+  }
 
   // ---- Engine edit surface, by stable position id ----
-  UpdateStats Relabel(NodeId n, Label l) override;
+  UpdateStats Relabel(NodeId n, Label l) override {
+    return doc_.Relabel(n, l);
+  }
   UpdateStats InsertFirstChild(NodeId n, Label l,
-                               NodeId* new_node = nullptr) override;
+                               NodeId* new_node = nullptr) override {
+    return doc_.InsertFirstChild(n, l, new_node);
+  }
   UpdateStats InsertRightSibling(NodeId n, Label l,
-                                 NodeId* new_node = nullptr) override;
-  UpdateStats DeleteLeaf(NodeId n) override;
+                                 NodeId* new_node = nullptr) override {
+    return doc_.InsertRightSibling(n, l, new_node);
+  }
+  UpdateStats DeleteLeaf(NodeId n) override { return doc_.DeleteLeaf(n); }
 
-  void BeginBatch() override { pipeline_.BeginBatch(); }
-  UpdateStats CommitBatch() override { return pipeline_.CommitBatch(); }
-  bool in_batch() const override { return pipeline_.in_batch(); }
+  void BeginBatch() override { doc_.BeginBatch(); }
+  UpdateStats CommitBatch() override { return doc_.CommitBatch(); }
+  bool in_batch() const override { return doc_.in_batch(); }
 
-  const EnumerationPipeline& pipeline() const { return pipeline_; }
-  const AssignmentCircuit& circuit() const { return pipeline_.circuit(); }
+  DynamicDocument& document() { return doc_; }
+  const DynamicDocument& document() const { return doc_; }
+  const EnumerationPipeline& pipeline() const { return *pipe_; }
+  const AssignmentCircuit& circuit() const { return pipe_->circuit(); }
 
  private:
-  /// Inserts at logical position `pos`, reporting the new stable id.
-  UpdateStats InsertAt(size_t pos, Label l, NodeId* new_node);
-
-  WordEncoding enc_;
-  EnumerationPipeline pipeline_;
+  DynamicDocument doc_;
+  EnumerationPipeline* pipe_;
 };
 
 }  // namespace treenum

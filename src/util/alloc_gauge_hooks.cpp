@@ -5,7 +5,10 @@
 // must not include it.
 //
 // All forms funnel into malloc/free, so new/delete stay a matched pair for
-// the sanitizers, which intercept the underlying malloc.
+// the sanitizers, which intercept the underlying malloc. The recording
+// calls land on relaxed atomics (util/alloc_gauge.cpp), so these
+// replacements are safe to hit from worker threads (the CI TSan job runs
+// the gauge-linked suites to keep that true).
 #include <cstdlib>
 #include <new>
 

@@ -1,0 +1,71 @@
+#include "util/thread_pool.h"
+
+namespace treenum {
+
+ThreadPool::ThreadPool(size_t threads) {
+  size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (workers_.empty() || n <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &body;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    workers_busy_ = workers_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller is a lane too: claim indices until the job is drained.
+  for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    body(i);
+  }
+  // Wait for the workers; their final mutex release publishes all of the
+  // body's side effects to this thread.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return workers_busy_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    const std::function<void(size_t)>* job = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+      n = job_n_;
+    }
+    for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      (*job)(i);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--workers_busy_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace treenum

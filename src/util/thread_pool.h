@@ -1,0 +1,73 @@
+// A small fixed-size fork-join worker pool for data-parallel fan-out.
+//
+// Built for DynamicDocument's per-commit refresh of N registered query
+// pipelines: the pipelines share only the immutable term during a refresh,
+// so each one can be rebuilt on its own lane. The pool is deliberately
+// minimal — one blocking ParallelFor at a time, no task queue, no futures:
+// the fan-out pattern is "run body(0..n-1), wait for all", and anything
+// fancier would put allocations and scheduling jitter on the update path.
+//
+// Threads are spawned once at construction and parked on a condition
+// variable between jobs. The *calling* thread always participates, so a
+// pool constructed with `threads == 1` spawns no workers at all and
+// ParallelFor degenerates to a plain in-order loop — the deterministic
+// single-thread fallback.
+#ifndef TREENUM_UTIL_THREAD_POOL_H_
+#define TREENUM_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace treenum {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` worker threads (the caller of ParallelFor is the
+  /// remaining lane). `threads <= 1` spawns none.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (worker threads + the calling thread).
+  size_t size() const { return workers_.size() + 1; }
+
+  /// Runs body(0) .. body(n-1), each exactly once, and returns when all
+  /// calls have completed. Indices are handed out dynamically, so uneven
+  /// per-index work self-balances. With no workers or n <= 1 the calls run
+  /// inline in index order with no synchronization at all.
+  ///
+  /// `body` must not throw, and must not call ParallelFor on this pool
+  /// (single fork-join job at a time).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Job state, guarded by mu_. `job_` points at the caller's body for the
+  // duration of one ParallelFor; `epoch_` ticks once per job so parked
+  // workers can tell a new job from a spurious wakeup.
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_n_ = 0;
+  uint64_t epoch_ = 0;
+  size_t workers_busy_ = 0;
+  bool stop_ = false;
+  // Next unclaimed index of the current job. Relaxed ordering suffices:
+  // indices are disjoint, and the mutex publishes the job itself.
+  std::atomic<size_t> next_{0};
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_UTIL_THREAD_POOL_H_

@@ -1,0 +1,416 @@
+// Tests for the shared-document multi-query layer: N queries registered on
+// one DynamicDocument, driven by mixed edit scripts (relabels + structural
+// inserts/deletes, sequential and batched), every pipeline cross-checked
+// against a per-query recompute-from-scratch oracle; pool-size invariance
+// (1 lane vs 8 lanes produce identical answers); the ThreadPool itself;
+// and the allocation/threading guarantees the fan-out relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "automata/query_library.h"
+#include "baseline/static_engine.h"
+#include "core/document.h"
+#include "core/engine.h"
+#include "core/tree_enumerator.h"
+#include "core/word_enumerator.h"
+#include "test_util.h"
+#include "util/alloc_gauge.h"
+#include "util/thread_pool.h"
+
+namespace treenum {
+namespace {
+
+// Edit scripts come from test_util's ScriptedEditor (mirror-tree scripter).
+
+std::vector<UnrankedTva> TestQueries() {
+  std::vector<UnrankedTva> queries;
+  queries.push_back(QuerySelectLabel(3, 1));
+  queries.push_back(QueryMarkedAncestor(3, 1, 2));
+  queries.push_back(QueryDescendantPairs(3, 0, 1));
+  queries.push_back(QueryChildOfLabel(3, 0, 2));
+  return queries;
+}
+
+// ---- ThreadPool ----
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // The pool is reusable: a second job sees fresh indices.
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 2) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<size_t> order;
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(8, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPool, EmptyAndSingletonJobs) {
+  ThreadPool pool(3);
+  size_t calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+// ---- Multi-query documents vs per-query oracles ----
+
+TEST(DynamicDocument, SequentialMixedScriptMatchesPerQueryOracles) {
+  Rng rng(211);
+  std::vector<UnrankedTva> queries = TestQueries();
+  UnrankedTree tree = RandomTree(40 + rng.Index(30), 3, rng);
+
+  DynamicDocument doc(tree, 3);
+  std::vector<DynamicDocument::QueryId> ids;
+  std::vector<std::unique_ptr<StaticEngine>> oracles;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    // Mix box-enum modes across the registered queries.
+    BoxEnumMode mode =
+        qi % 2 == 0 ? BoxEnumMode::kIndexed : BoxEnumMode::kNaive;
+    ids.push_back(doc.Register(queries[qi], mode));
+    oracles.push_back(std::make_unique<StaticEngine>(tree, queries[qi]));
+  }
+  ASSERT_EQ(doc.num_queries(), queries.size());
+
+  ScriptedEditor script(tree, 733, 3);
+  for (int step = 0; step < 200; ++step) {
+    Edit e = script.NextEdit();
+    doc.ApplyEdit(e);
+    for (auto& oracle : oracles) oracle->ApplyEdit(e);
+    if (step % 10 == 9) {
+      for (size_t qi = 0; qi < ids.size(); ++qi) {
+        const EnumerationPipeline& p = doc.pipeline(ids[qi]);
+        ASSERT_EQ(p.circuit().ValidateStorage(), "")
+            << "query " << qi << " step " << step;
+        if (p.mode() == BoxEnumMode::kIndexed) {
+          ASSERT_EQ(p.index().ValidateStorage(), "")
+              << "query " << qi << " step " << step;
+        }
+        ASSERT_EQ(p.EnumerateAll(), oracles[qi]->EnumerateAll())
+            << "query " << qi << " step " << step;
+      }
+    }
+  }
+}
+
+// Batched commits, cross-checked after every commit, and run twice — once
+// with no pool (inline fan-out) and once with an 8-lane pool — to assert
+// that parallel refresh produces bit-identical answers.
+TEST(DynamicDocument, BatchedCommitsMatchOraclesOnEveryPoolSize) {
+  Rng rng(223);
+  std::vector<UnrankedTva> queries = TestQueries();
+  UnrankedTree tree = RandomTree(60, 3, rng);
+
+  ThreadPool pool8(8);
+  DynamicDocument doc1(tree, 3);   // inline fan-out (no pool)
+  DynamicDocument doc8(tree, 3);
+  doc8.set_pool(&pool8);
+
+  std::vector<DynamicDocument::QueryId> ids1, ids8;
+  std::vector<std::unique_ptr<StaticEngine>> oracles;
+  for (const UnrankedTva& q : queries) {
+    ids1.push_back(doc1.Register(q));
+    ids8.push_back(doc8.Register(q));
+    oracles.push_back(std::make_unique<StaticEngine>(tree, q));
+  }
+
+  ScriptedEditor script(tree, 4242, 3);
+  for (int round = 0; round < 12; ++round) {
+    std::vector<Edit> edits;
+    for (int i = 0; i < 24; ++i) edits.push_back(script.NextEdit());
+    UpdateStats s1 = doc1.ApplyEdits(edits);
+    UpdateStats s8 = doc8.ApplyEdits(edits);
+    EXPECT_EQ(s1.boxes_recomputed, s8.boxes_recomputed) << "round " << round;
+    for (auto& oracle : oracles) oracle->ApplyEdits(edits);
+
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      std::vector<Assignment> expected = oracles[qi]->EnumerateAll();
+      ASSERT_EQ(doc1.pipeline(ids1[qi]).EnumerateAll(), expected)
+          << "query " << qi << " round " << round;
+      ASSERT_EQ(doc8.pipeline(ids8[qi]).EnumerateAll(), expected)
+          << "query " << qi << " round " << round;
+      ASSERT_EQ(doc8.pipeline(ids8[qi]).circuit().ValidateStorage(), "")
+          << "query " << qi << " round " << round;
+      ASSERT_EQ(doc8.pipeline(ids8[qi]).index().ValidateStorage(), "")
+          << "query " << qi << " round " << round;
+    }
+  }
+}
+
+// Interleaves sequential edits and batches on a pooled document, with
+// counting enabled on one pipeline — the fan-out must refresh counts too.
+TEST(DynamicDocument, MixedSequentialAndBatchedWithCounting) {
+  Rng rng(227);
+  UnrankedTree tree = RandomTree(50, 3, rng);
+  ThreadPool pool(4);
+  DynamicDocument doc(tree, 3);
+  doc.set_pool(&pool);
+
+  DynamicDocument::QueryId qa = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  DynamicDocument::QueryId qb = doc.Register(QuerySelectLabel(3, 0));
+  doc.pipeline(qa).EnableCounting();
+
+  StaticEngine oracle_a(tree, QueryMarkedAncestor(3, 1, 2));
+  StaticEngine oracle_b(tree, QuerySelectLabel(3, 0));
+
+  ScriptedEditor script(tree, 929, 3);
+  for (int round = 0; round < 10; ++round) {
+    if (round % 2 == 0) {
+      for (int i = 0; i < 8; ++i) {
+        Edit e = script.NextEdit();
+        doc.ApplyEdit(e);
+        oracle_a.ApplyEdit(e);
+        oracle_b.ApplyEdit(e);
+      }
+    } else {
+      std::vector<Edit> edits;
+      for (int i = 0; i < 16; ++i) edits.push_back(script.NextEdit());
+      doc.ApplyEdits(edits);
+      oracle_a.ApplyEdits(edits);
+      oracle_b.ApplyEdits(edits);
+    }
+    std::vector<Assignment> expected_a = oracle_a.EnumerateAll();
+    ASSERT_EQ(doc.pipeline(qa).EnumerateAll(), expected_a) << round;
+    ASSERT_EQ(doc.pipeline(qb).EnumerateAll(), oracle_b.EnumerateAll())
+        << round;
+    // Query-library automata are unambiguous: runs == assignments.
+    ASSERT_EQ(doc.pipeline(qa).AcceptingRuns(), expected_a.size()) << round;
+  }
+}
+
+TEST(DynamicDocument, UnregisterStopsMaintenanceForThatQueryOnly) {
+  Rng rng(233);
+  UnrankedTree tree = RandomTree(40, 3, rng);
+  DynamicDocument doc(tree, 3);
+  DynamicDocument::QueryId qa = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  DynamicDocument::QueryId qb = doc.Register(QuerySelectLabel(3, 1));
+  StaticEngine oracle(tree, QuerySelectLabel(3, 1));
+
+  ScriptedEditor script(tree, 311, 3);
+  for (int i = 0; i < 20; ++i) {
+    Edit e = script.NextEdit();
+    doc.ApplyEdit(e);
+    oracle.ApplyEdit(e);
+  }
+  EXPECT_EQ(doc.num_queries(), 2u);
+  doc.Unregister(qa);
+  EXPECT_EQ(doc.num_queries(), 1u);
+  EXPECT_FALSE(doc.IsRegistered(qa));
+  EXPECT_TRUE(doc.IsRegistered(qb));
+
+  for (int i = 0; i < 40; ++i) {
+    Edit e = script.NextEdit();
+    doc.ApplyEdit(e);
+    oracle.ApplyEdit(e);
+  }
+  EXPECT_EQ(doc.pipeline(qb).EnumerateAll(), oracle.EnumerateAll());
+
+  // Registering after the edits builds over the *current* tree.
+  DynamicDocument::QueryId qc = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  StaticEngine fresh(doc.tree(), QueryMarkedAncestor(3, 1, 2));
+  EXPECT_EQ(doc.pipeline(qc).EnumerateAll(), fresh.EnumerateAll());
+}
+
+// The thin engine views and a shared document must agree edit for edit.
+TEST(DynamicDocument, AgreesWithSingleQueryEngines) {
+  Rng rng(239);
+  std::vector<UnrankedTva> queries = TestQueries();
+  UnrankedTree tree = RandomTree(45, 3, rng);
+
+  DynamicDocument doc(tree, 3);
+  std::vector<DynamicDocument::QueryId> ids;
+  std::vector<std::unique_ptr<TreeEnumerator>> engines;
+  for (const UnrankedTva& q : queries) {
+    ids.push_back(doc.Register(q));
+    engines.push_back(std::make_unique<TreeEnumerator>(tree, q));
+  }
+
+  ScriptedEditor script(tree, 541, 3);
+  for (int step = 0; step < 120; ++step) {
+    Edit e = script.NextEdit();
+    doc.ApplyEdit(e);
+    for (auto& engine : engines) engine->ApplyEdit(e);
+    if (step % 15 == 14) {
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        ASSERT_EQ(doc.pipeline(ids[qi]).EnumerateAll(),
+                  engines[qi]->EnumerateAll())
+            << "query " << qi << " step " << step;
+      }
+    }
+  }
+}
+
+// ---- Word documents ----
+
+TEST(DynamicDocument, WordDocumentServesMultipleSpanners) {
+  // Two spanners over {a, b}: every b position, and every a position.
+  auto select_letter = [](Label which) {
+    Wva a(2, 2, 1);
+    a.AddInitial(0);
+    for (Label l = 0; l < 2; ++l) a.AddTransition(0, l, 0, 0);
+    a.AddTransition(0, which, 1, 1);
+    for (Label l = 0; l < 2; ++l) a.AddTransition(1, l, 0, 1);
+    a.AddFinal(1);
+    return a;
+  };
+  Wva select_b = select_letter(1);
+  Wva select_a = select_letter(0);
+
+  Rng rng(241);
+  Word ref;
+  for (int i = 0; i < 24; ++i) ref.push_back(static_cast<Label>(rng.Index(2)));
+
+  ThreadPool pool(8);
+  DynamicDocument doc(ref, 2);
+  doc.set_pool(&pool);
+  DynamicDocument::QueryId qb = doc.Register(select_b);
+  DynamicDocument::QueryId qa = doc.Register(select_a);
+
+  auto by_position = [&](DynamicDocument::QueryId id) {
+    std::vector<Assignment> out;
+    for (const Assignment& s : doc.pipeline(id).EnumerateAll()) {
+      Assignment b;
+      for (const Singleton& sg : s.singletons()) {
+        b.Add(Singleton{sg.var, static_cast<NodeId>(
+                                    doc.word_encoding().PositionOf(sg.node))});
+      }
+      b.Normalize();
+      out.push_back(std::move(b));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.Index(3)) {
+      case 0: {
+        size_t pos = rng.Index(ref.size() + 1);
+        Label l = static_cast<Label>(rng.Index(2));
+        ref.insert(ref.begin() + pos, l);
+        doc.Insert(pos, l);
+        break;
+      }
+      case 1: {
+        if (ref.size() <= 1) break;
+        size_t pos = rng.Index(ref.size());
+        ref.erase(ref.begin() + pos);
+        doc.Erase(pos);
+        break;
+      }
+      default: {
+        size_t pos = rng.Index(ref.size());
+        Label l = static_cast<Label>(rng.Index(2));
+        ref[pos] = l;
+        doc.Replace(pos, l);
+        break;
+      }
+    }
+    if (step % 10 == 9) {
+      // Cross-check against fresh single-query engines on the current word
+      // (brute force is exponential in |w|, so only for short words).
+      ASSERT_EQ(by_position(qb),
+                WordEnumerator(ref, select_b).EnumerateAllByPosition())
+          << "step " << step;
+      ASSERT_EQ(by_position(qa),
+                WordEnumerator(ref, select_a).EnumerateAllByPosition())
+          << "step " << step;
+      if (ref.size() <= 10) {
+        ASSERT_EQ(by_position(qb), select_b.BruteForceAssignments(ref))
+            << "step " << step;
+      }
+    }
+  }
+}
+
+// ---- Allocation / threading guarantees behind the fan-out ----
+
+// The single-query inline path through the document layer must preserve the
+// zero-allocation steady state the engines had before the refactor.
+TEST(DynamicDocument, SingleQuerySteadyStateRelabelsAreAllocationFree) {
+  ASSERT_TRUE(AllocGaugeActive())
+      << "document_test must link treenum_alloc_gauge";
+
+  Rng rng(251);
+  UnrankedTree tree = RandomTree(150, 3, rng);
+  DynamicDocument doc(tree, 3);
+  DynamicDocument::QueryId q = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  doc.pipeline(q).EnableCounting();
+
+  std::vector<NodeId> targets = tree.PreorderNodes();
+  auto run_pass = [&](bool batched) {
+    for (NodeId n : targets) {
+      if (batched) doc.BeginBatch();
+      for (Label l = 0; l < 3; ++l) doc.Relabel(n, l);
+      if (batched) doc.CommitBatch();
+    }
+  };
+  for (bool batched : {false, true}) {
+    // Warm until the pool spans and scratch capacities reach their fixed
+    // point (buffer recycling can circulate spans for a few passes; see
+    // the box-enum steady-state note in flat_storage_test).
+    int pass = 0;
+    for (; pass < 8; ++pass) {
+      AllocGaugeScope warm;
+      run_pass(batched);
+      if (warm.allocs() == 0) break;
+    }
+    ASSERT_LT(pass, 8) << "relabel passes failed to reach a steady state";
+    AllocGaugeScope gauge;
+    run_pass(batched);
+    EXPECT_EQ(gauge.allocs(), 0u)
+        << (batched ? "batched" : "sequential")
+        << " steady-state relabels through the document layer allocated";
+  }
+}
+
+// The alloc gauge counters are relaxed atomics: hammering them from pool
+// workers while the main thread reads deltas must be race-free (this is
+// what keeps the zero-allocation assertions valid once refresh fan-out
+// runs on worker threads; run under TSan in CI).
+TEST(DynamicDocument, AllocGaugeIsThreadSafeUnderParallelFanOut) {
+  ASSERT_TRUE(AllocGaugeActive());
+  ThreadPool pool(4);
+  AllocGaugeScope gauge;
+  uint64_t before_frees = FreeCount();
+  pool.ParallelFor(64, [](size_t i) {
+    std::vector<std::unique_ptr<int>> v;
+    for (size_t k = 0; k < 100; ++k) {
+      v.push_back(std::make_unique<int>(static_cast<int>(i + k)));
+    }
+  });
+  // 64 tasks x 100 boxed ints, plus vector growth: at least 6400 of each.
+  EXPECT_GE(gauge.allocs(), 6400u);
+  EXPECT_GE(FreeCount() - before_frees, 6400u);
+}
+
+}  // namespace
+}  // namespace treenum

@@ -18,62 +18,7 @@
 namespace treenum {
 namespace {
 
-// Mirror-tree edit scripter: generates random Definition 7.1 edits that are
-// valid on every engine seeded with the same tree (same NodeIds
-// everywhere), like bench_util's EngineEditDriver but shared across several
-// engines at once.
-class ScriptedEditor {
- public:
-  ScriptedEditor(UnrankedTree mirror, uint64_t seed, size_t num_labels)
-      : mirror_(std::move(mirror)), rng_(seed), num_labels_(num_labels) {
-    pool_ = mirror_.PreorderNodes();
-  }
-
-  Edit NextEdit() {
-    NodeId n = Pick();
-    Label l = static_cast<Label>(rng_.Index(num_labels_));
-    switch (rng_.Index(4)) {
-      case 1: {
-        NodeId u = mirror_.InsertFirstChild(n, l);
-        pool_.push_back(u);
-        return Edit::InsertFirstChild(n, l);
-      }
-      case 2:
-        if (n != mirror_.root()) {
-          NodeId u = mirror_.InsertRightSibling(n, l);
-          pool_.push_back(u);
-          return Edit::InsertRightSibling(n, l);
-        }
-        break;
-      case 3:
-        if (n != mirror_.root() && mirror_.IsLeaf(n)) {
-          mirror_.DeleteLeaf(n);
-          return Edit::DeleteLeaf(n);
-        }
-        break;
-      default:
-        break;
-    }
-    mirror_.Relabel(n, l);
-    return Edit::Relabel(n, l);
-  }
-
- private:
-  NodeId Pick() {
-    while (true) {
-      size_t i = rng_.Index(pool_.size());
-      NodeId n = pool_[i];
-      if (mirror_.IsAlive(n)) return n;
-      pool_[i] = pool_.back();
-      pool_.pop_back();
-    }
-  }
-
-  UnrankedTree mirror_;
-  Rng rng_;
-  size_t num_labels_;
-  std::vector<NodeId> pool_;
-};
+// Edit scripts come from test_util's ScriptedEditor (mirror-tree scripter).
 
 TEST(FlatStorage, LongMixedScriptMatchesRecomputeOracle) {
   Rng rng(131);
