@@ -7,7 +7,10 @@
 //      TreeEnumerators that each re-do the encoding half (and, on
 //      rebalances, the full subterm rebuild) — the `multiquery_shared` /
 //      `multiquery_independent` series.
-//   2. Batched-commit wall time with parallel refresh fan-out: the merged
+//   2. Registry dedupe: the same query registered Q times collapses onto
+//      one refcounted pipeline, so per-edit cost tracks *distinct* queries
+//      — the `multiquery_dedupe` series (flat in Q).
+//   3. Batched-commit wall time with parallel refresh fan-out: the merged
 //      changed-box set is computed once and each query's pipeline is
 //      refreshed on a ThreadPool lane; pool sizes 1/4/8 give the
 //      `multiquery_commit` series (pool=1 is the deterministic inline
@@ -27,19 +30,31 @@ namespace {
 
 using bench::kSeed;
 
-// A rotating mix of library queries over the shared 3-label alphabet, so
-// registered pipelines have different widths (uneven per-lane work, the
-// realistic case for the dynamic index hand-out of ThreadPool).
+// A mix of library queries over the shared 3-label alphabet, so registered
+// pipelines have different widths (uneven per-lane work, the realistic
+// case for the dynamic index hand-out of ThreadPool). All 8 are pairwise
+// distinct automata: the document's registry dedupes identical queries to
+// one pipeline, so repeating a query here would silently shrink the
+// shared-document workload and skew the shared-vs-independent comparison
+// (the dedupe effect itself is measured by the dedupe series below).
 UnrankedTva QueryAt(size_t i) {
-  switch (i % 4) {
+  switch (i % 8) {
     case 0:
       return QueryMarkedAncestor(3, 1, 2);
     case 1:
       return QuerySelectLabel(3, 1);
     case 2:
       return QueryChildOfLabel(3, 0, 2);
-    default:
+    case 3:
       return QueryDescendantPairs(3, 0, 1);
+    case 4:
+      return QueryMarkedAncestor(3, 2, 1);
+    case 5:
+      return QuerySelectLabel(3, 2);
+    case 6:
+      return QueryChildOfLabel(3, 1, 0);
+    default:
+      return QueryDescendantPairs(3, 2, 0);
   }
 }
 
@@ -113,7 +128,50 @@ BENCHMARK(BM_MultiQuery_SharedDocument)
     ->Args({131072, 8})
     ->Unit(benchmark::kMicrosecond);
 
-// ---- 2. Batched commits with parallel refresh fan-out ----
+// ---- 2. Duplicate-heavy registration (registry dedupe) ----
+//
+// The same query registered Q times: the registry canonicalizes and maps
+// every registration onto one refcounted pipeline, so per-edit refresh
+// cost scales with the number of *distinct* queries (1 here), not with
+// the number of registrations — the `multiquery_dedupe` series should be
+// flat in Q (compare with `multiquery_shared`, where the Q queries are
+// distinct, and `multiquery_independent`, where each registration is a
+// whole engine).
+void BM_MultiQuery_DuplicateQueries(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t q = static_cast<size_t>(state.range(1));
+  UnrankedTree tree = bench::MakeTree(n);
+  DynamicDocument doc(tree, 3);
+  for (size_t i = 0; i < q; ++i) doc.Register(bench::StandardQuery());
+  EditScript script(tree, kSeed);
+  double total_us = 0;
+  size_t edits = 0;
+  for (auto _ : state) {
+    Edit e = script.Next();
+    auto t0 = std::chrono::steady_clock::now();
+    doc.ApplyEdit(e);
+    total_us += std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ++edits;
+  }
+  state.counters["queries"] = static_cast<double>(q);
+  state.counters["distinct"] = static_cast<double>(doc.num_pipelines());
+  bench::EmitJson("multiquery_dedupe",
+                  {{"n", static_cast<double>(n)},
+                   {"q", static_cast<double>(q)},
+                   {"distinct", static_cast<double>(doc.num_pipelines())},
+                   {"us_per_edit", edits ? total_us / edits : 0.0},
+                   {"iterations", static_cast<double>(state.iterations())}});
+}
+BENCHMARK(BM_MultiQuery_DuplicateQueries)
+    ->Args({131072, 1})
+    ->Args({131072, 2})
+    ->Args({131072, 4})
+    ->Args({131072, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+// ---- 3. Batched commits with parallel refresh fan-out ----
 
 void BM_MultiQuery_BatchedCommit(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

@@ -74,5 +74,35 @@ int main() {
       "batched 256 inserts, 4-lane commit: boxes_recomputed=%zu\n",
       commit.boxes_recomputed);
   report("after batched inserts:");
+
+  // Query dedupe: re-registering an already-registered query (even under
+  // a different construction of the same automaton) is admitted to the
+  // existing pipeline — refresh cost stays per *distinct* query.
+  DynamicDocument::QueryHandle dup = doc.Register(QuerySelectLabel(3, 1));
+  std::printf(
+      "\nregistered //1 again: handles=%zu, distinct pipelines=%zu "
+      "(same object: %s)\n",
+      doc.num_queries(), doc.num_pipelines(),
+      &doc.pipeline(dup) == &doc.pipeline(queries[0].id) ? "yes" : "no");
+
+  // Admission/eviction: cap the registry and release the duplicate plus
+  // one query; the refcount-zero pipeline is evicted LRU-first, while
+  // re-registering re-admits (warm) or rebuilds (evicted) as needed.
+  doc.set_pipeline_cap(3);
+  doc.Unregister(dup);              // still referenced by queries[0] - shared
+  doc.Unregister(queries[3].id);    // refcount zero -> evicted by the cap
+  DocumentStats reg = doc.stats();
+  std::printf(
+      "cap=3 after releases: live=%zu warm=%zu evicted=%zu "
+      "(shared_hits=%zu readmissions=%zu rebuilds=%zu evictions=%zu)\n",
+      reg.live_pipelines, reg.warm_pipelines, reg.evicted_entries,
+      reg.shared_hits, reg.readmissions, reg.rebuilds, reg.evictions);
+  for (const DocumentStats::PipelineStats& ps : reg.pipelines) {
+    std::printf(
+        "  pipeline %016llx: queries=%zu width=%zu boxes_refreshed=%llu%s\n",
+        static_cast<unsigned long long>(ps.fingerprint), ps.queries, ps.width,
+        static_cast<unsigned long long>(ps.boxes_refreshed),
+        ps.built ? "" : " (evicted)");
+  }
   return 0;
 }

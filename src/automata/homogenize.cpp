@@ -1,6 +1,8 @@
 #include "automata/homogenize.h"
 
+#include <algorithm>
 #include <cassert>
+#include <tuple>
 
 namespace treenum {
 
@@ -115,6 +117,142 @@ HomogenizedTva HomogenizeBinaryTva(const BinaryTva& a) {
   }
   assert(IsHomogenized(out.tva));
   return out;
+}
+
+// ---- Canonical form and fingerprints ----
+
+namespace {
+
+uint64_t Mix64(uint64_t x) { return FingerprintMix(x); }
+
+uint64_t Combine(uint64_t h, uint64_t v) { return FingerprintCombine(h, v); }
+
+size_t CountDistinct(std::vector<uint64_t> colors) {
+  std::sort(colors.begin(), colors.end());
+  return static_cast<size_t>(
+      std::unique(colors.begin(), colors.end()) - colors.begin());
+}
+
+// Deterministic state ordering by iterated signature refinement: the color
+// of a state folds in the colors of every iota/delta entry it appears in
+// (in each role), so two states get equal colors only if their local
+// neighborhoods look alike. Ties after the fixpoint fall back to the
+// incoming numbering.
+std::vector<State> CanonicalStateOrder(const HomogenizedTva& a) {
+  const BinaryTva& tva = a.tva;
+  size_t n = tva.num_states();
+  std::vector<uint64_t> color(n), next(n);
+  for (State q = 0; q < n; ++q) {
+    color[q] = Mix64(1 + (a.kind[q] ? 2u : 0u) + (tva.IsFinal(q) ? 4u : 0u));
+  }
+  std::vector<std::vector<uint64_t>> sigs(n);
+  size_t distinct = CountDistinct(color);
+  for (size_t round = 0; round < n; ++round) {
+    for (const LeafInit& li : tva.leaf_inits()) {
+      sigs[li.state].push_back(
+          Combine(Combine(11, li.label), li.vars));
+    }
+    for (const Transition& t : tva.transitions()) {
+      uint64_t base = Combine(13, t.label);
+      sigs[t.state].push_back(
+          Combine(Combine(Combine(base, 1), color[t.left]), color[t.right]));
+      sigs[t.left].push_back(
+          Combine(Combine(Combine(base, 2), color[t.right]), color[t.state]));
+      sigs[t.right].push_back(
+          Combine(Combine(Combine(base, 3), color[t.left]), color[t.state]));
+    }
+    for (State q = 0; q < n; ++q) {
+      std::sort(sigs[q].begin(), sigs[q].end());
+      uint64_t h = color[q];
+      for (uint64_t s : sigs[q]) h = Combine(h, s);
+      next[q] = h;
+      sigs[q].clear();
+    }
+    color.swap(next);
+    size_t nd = CountDistinct(color);
+    if (nd == distinct) break;  // partition stable (or fully discrete)
+    distinct = nd;
+  }
+
+  std::vector<State> order(n);
+  for (State q = 0; q < n; ++q) order[q] = q;
+  std::sort(order.begin(), order.end(), [&](State x, State y) {
+    return std::tie(color[x], x) < std::tie(color[y], y);
+  });
+  return order;  // order[new_id] = old_id
+}
+
+}  // namespace
+
+void CanonicalizeHomogenizedTva(HomogenizedTva* a) {
+  const BinaryTva& tva = a->tva;
+  size_t n = tva.num_states();
+  std::vector<State> order = CanonicalStateOrder(*a);
+  std::vector<State> new_of_old(n);
+  for (State nq = 0; nq < n; ++nq) new_of_old[order[nq]] = nq;
+
+  std::vector<LeafInit> inits = tva.leaf_inits();
+  for (LeafInit& li : inits) li.state = new_of_old[li.state];
+  std::sort(inits.begin(), inits.end(), [](const LeafInit& x, const LeafInit& y) {
+    return std::tie(x.label, x.vars, x.state) <
+           std::tie(y.label, y.vars, y.state);
+  });
+
+  std::vector<Transition> trans = tva.transitions();
+  for (Transition& t : trans) {
+    t.left = new_of_old[t.left];
+    t.right = new_of_old[t.right];
+    t.state = new_of_old[t.state];
+  }
+  std::sort(trans.begin(), trans.end(),
+            [](const Transition& x, const Transition& y) {
+              return std::tie(x.label, x.left, x.right, x.state) <
+                     std::tie(y.label, y.left, y.right, y.state);
+            });
+
+  std::vector<State> finals = tva.final_states();
+  for (State& q : finals) q = new_of_old[q];
+  std::sort(finals.begin(), finals.end());
+
+  BinaryTva out(n, tva.num_labels(), tva.num_vars());
+  for (const LeafInit& li : inits) out.AddLeafInit(li.label, li.vars, li.state);
+  for (const Transition& t : trans) {
+    out.AddTransition(t.label, t.left, t.right, t.state);
+  }
+  for (State q : finals) out.AddFinal(q);
+
+  std::vector<uint8_t> kind(n);
+  for (State old = 0; old < n; ++old) kind[new_of_old[old]] = a->kind[old];
+
+  a->tva = std::move(out);
+  a->kind = std::move(kind);
+}
+
+uint64_t FingerprintHomogenizedTva(const HomogenizedTva& a) {
+  const BinaryTva& tva = a.tva;
+  uint64_t h = Mix64(0x7265656e756dULL);  // arbitrary seed
+  h = Combine(h, tva.num_states());
+  h = Combine(h, tva.num_labels());
+  h = Combine(h, tva.num_vars());
+  for (uint8_t k : a.kind) h = Combine(h, k);
+  for (const LeafInit& li : tva.leaf_inits()) {
+    h = Combine(Combine(Combine(h, li.label), li.vars), li.state);
+  }
+  for (const Transition& t : tva.transitions()) {
+    h = Combine(Combine(Combine(Combine(h, t.label), t.left), t.right),
+                t.state);
+  }
+  for (State q : tva.final_states()) h = Combine(h, q);
+  return h;
+}
+
+bool HomogenizedTvaEqual(const HomogenizedTva& a, const HomogenizedTva& b) {
+  return a.tva.num_states() == b.tva.num_states() &&
+         a.tva.num_labels() == b.tva.num_labels() &&
+         a.tva.num_vars() == b.tva.num_vars() && a.kind == b.kind &&
+         a.tva.leaf_inits() == b.tva.leaf_inits() &&
+         a.tva.transitions() == b.tva.transitions() &&
+         a.tva.final_states() == b.tva.final_states();
 }
 
 }  // namespace treenum

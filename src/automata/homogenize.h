@@ -52,6 +52,52 @@ struct HomogenizedTva {
 /// Equivalent to `a` (same satisfying valuations on every tree).
 HomogenizedTva HomogenizeBinaryTva(const BinaryTva& a);
 
+// ---- Canonical form and fingerprints (query dedupe) ----
+//
+// The shared-document query registry (core/document.h) maps every
+// registered query to a canonical homogenized automaton: textually
+// different queries that homogenize to the same automaton share one
+// pipeline. Canonicalization renumbers states deterministically (iterated
+// signature refinement over iota/delta/F/kind — a 1-dimensional
+// Weisfeiler-Leman pass) and sorts the relation vectors, so automata that
+// differ only in state numbering or declaration order produce identical
+// canonical forms. Residual refinement ties fall back to the incoming
+// numbering, which makes the scheme *sound* (equal canonical forms are
+// literally equal automata) but not *complete* (isomorphic automata with
+// nontrivial automorphisms may keep distinct forms — they are then served
+// by distinct pipelines, costing memory but never correctness).
+
+/// splitmix64 finalizer — the hash primitive behind every automaton
+/// fingerprint in this layer (homogenized, unranked, word).
+inline uint64_t FingerprintMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent fold of `v` into the running fingerprint `h`.
+inline uint64_t FingerprintCombine(uint64_t h, uint64_t v) {
+  return FingerprintMix(h ^ FingerprintMix(v));
+}
+
+/// Rewrites `a` in place into its canonical form: states renumbered by
+/// signature refinement, leaf inits / transitions / final states sorted.
+/// Preserves semantics exactly (same runs, same satisfying valuations,
+/// same run multiplicities — duplicate relation entries are kept).
+void CanonicalizeHomogenizedTva(HomogenizedTva* a);
+
+/// 64-bit structural fingerprint of `a` exactly as given (sizes, kinds and
+/// every relation entry in order). Canonicalize first to make it invariant
+/// under state renumbering and declaration order. Used as the registry
+/// hash key; equality is always confirmed with HomogenizedTvaEqual.
+uint64_t FingerprintHomogenizedTva(const HomogenizedTva& a);
+
+/// Exact structural equality (sizes, kind vector, and the leaf-init /
+/// transition / final-state vectors element for element). Meaningful as an
+/// automaton-identity test only on canonical forms.
+bool HomogenizedTvaEqual(const HomogenizedTva& a, const HomogenizedTva& b);
+
 }  // namespace treenum
 
 #endif  // TREENUM_AUTOMATA_HOMOGENIZE_H_

@@ -37,7 +37,7 @@ size_t DynamicDocument::size() const {
   return tree_enc_ ? tree_enc_->tree().size() : word_enc_->size();
 }
 
-DynamicDocument::QueryId DynamicDocument::Register(const UnrankedTva& query,
+DynamicDocument::QueryHandle DynamicDocument::Register(const UnrankedTva& query,
                                                    BoxEnumMode mode) {
   TREENUM_CHECK(tree_enc_ != nullptr,
                 "tree queries require a tree document");
@@ -48,7 +48,7 @@ DynamicDocument::QueryId DynamicDocument::Register(const UnrankedTva& query,
   return RegisterPrepared(HomogenizeBinaryTva(translated.tva), mode);
 }
 
-DynamicDocument::QueryId DynamicDocument::Register(const Wva& query,
+DynamicDocument::QueryHandle DynamicDocument::Register(const Wva& query,
                                                    BoxEnumMode mode) {
   TREENUM_CHECK(word_enc_ != nullptr,
                 "word queries require a word document");
@@ -59,55 +59,166 @@ DynamicDocument::QueryId DynamicDocument::Register(const Wva& query,
   return RegisterPrepared(HomogenizeBinaryTva(translated.tva), mode);
 }
 
-DynamicDocument::QueryId DynamicDocument::RegisterPrepared(HomogenizedTva homog,
-                                                           BoxEnumMode mode) {
+DynamicDocument::QueryHandle DynamicDocument::RegisterPrepared(
+    HomogenizedTva homog, BoxEnumMode mode) {
   TREENUM_CHECK(!in_batch_, "cannot register a query mid-batch");
-  pipelines_.push_back(
-      std::make_unique<EnumerationPipeline>(term_, std::move(homog), mode));
+  CanonicalizeHomogenizedTva(&homog);
+  uint64_t fp = FingerprintHomogenizedTva(homog);
+
+  size_t entry_idx = kNoEntry;
+  auto range = by_fingerprint_.equal_range(fp);
+  for (auto it = range.first; it != range.second; ++it) {
+    const QueryEntry& e = entries_[it->second];
+    if (e.mode == mode && HomogenizedTvaEqual(*e.homog, homog)) {
+      entry_idx = it->second;
+      break;
+    }
+  }
+
+  if (entry_idx == kNoEntry) {
+    // Genuinely new query: new registry entry + pipeline over the current
+    // term. The canonical automaton is shared between entry and pipeline.
+    entry_idx = entries_.size();
+    QueryEntry entry;
+    entry.fingerprint = fp;
+    entry.homog = std::make_shared<const HomogenizedTva>(std::move(homog));
+    entry.mode = mode;
+    entry.pipeline =
+        std::make_unique<EnumerationPipeline>(term_, entry.homog, mode);
+    entries_.push_back(std::move(entry));
+    by_fingerprint_.emplace(fp, entry_idx);
+    built_entries_.push_back(entry_idx);
+  } else {
+    QueryEntry& e = entries_[entry_idx];
+    if (e.pipeline == nullptr) {
+      // Evicted entry: rebuild over the current term from the retained
+      // canonical automaton (no re-translation / re-homogenization).
+      e.pipeline =
+          std::make_unique<EnumerationPipeline>(term_, e.homog, e.mode);
+      built_entries_.push_back(entry_idx);
+      ++rebuilds_;
+    } else if (e.refcount == 0) {
+      ++readmissions_;  // warm hit: the pipeline never went cold
+    } else {
+      ++shared_hits_;  // active hit: another registration shares it
+    }
+  }
+
+  QueryEntry& e = entries_[entry_idx];
+  ++e.refcount;
+  e.last_use = ++use_clock_;
   ++num_live_;
-  return pipelines_.size() - 1;
+  handle_to_entry_.push_back(entry_idx);
+  EnforceCap();
+  return handle_to_entry_.size() - 1;
 }
 
-void DynamicDocument::Unregister(QueryId id) {
+void DynamicDocument::Unregister(QueryHandle handle) {
   TREENUM_CHECK(!in_batch_, "cannot unregister a query mid-batch");
-  TREENUM_CHECK(IsRegistered(id), "unknown or already-unregistered query");
-  pipelines_[id].reset();
+  TREENUM_CHECK(IsRegistered(handle), "unknown or already-unregistered query");
+  QueryEntry& e = entries_[handle_to_entry_[handle]];
+  handle_to_entry_[handle] = kNoEntry;
+  --e.refcount;
   --num_live_;
+  if (e.refcount == 0) {
+    e.last_use = ++use_clock_;
+    EnforceCap();
+  }
 }
 
-bool DynamicDocument::IsRegistered(QueryId id) const {
-  return id < pipelines_.size() && pipelines_[id] != nullptr;
+bool DynamicDocument::IsRegistered(QueryHandle handle) const {
+  return handle < handle_to_entry_.size() &&
+         handle_to_entry_[handle] != kNoEntry;
 }
 
-EnumerationPipeline& DynamicDocument::pipeline(QueryId id) {
-  TREENUM_CHECK(IsRegistered(id), "unknown or already-unregistered query");
-  return *pipelines_[id];
+EnumerationPipeline& DynamicDocument::pipeline(QueryHandle handle) {
+  TREENUM_CHECK(IsRegistered(handle), "unknown or already-unregistered query");
+  return *entries_[handle_to_entry_[handle]].pipeline;
 }
 
-const EnumerationPipeline& DynamicDocument::pipeline(QueryId id) const {
-  TREENUM_CHECK(IsRegistered(id), "unknown or already-unregistered query");
-  return *pipelines_[id];
+const EnumerationPipeline& DynamicDocument::pipeline(
+    QueryHandle handle) const {
+  TREENUM_CHECK(IsRegistered(handle), "unknown or already-unregistered query");
+  return *entries_[handle_to_entry_[handle]].pipeline;
+}
+
+void DynamicDocument::set_pipeline_cap(size_t cap) {
+  TREENUM_CHECK(!in_batch_, "cannot change the pipeline cap mid-batch");
+  pipeline_cap_ = cap;
+  EnforceCap();
+}
+
+void DynamicDocument::EnforceCap() {
+  while (built_entries_.size() > pipeline_cap_) {
+    size_t victim = kNoEntry;
+    uint64_t oldest = ~uint64_t{0};
+    for (size_t idx : built_entries_) {
+      const QueryEntry& e = entries_[idx];
+      if (e.refcount == 0 && e.last_use < oldest) {
+        oldest = e.last_use;
+        victim = idx;
+      }
+    }
+    if (victim == kNoEntry) break;  // every built pipeline is pinned
+    entries_[victim].pipeline.reset();
+    built_entries_.erase(
+        std::find(built_entries_.begin(), built_entries_.end(), victim));
+    ++evictions_;
+  }
+}
+
+DocumentStats DynamicDocument::stats() const {
+  DocumentStats s;
+  s.live_queries = num_live_;
+  s.live_pipelines = built_entries_.size();
+  s.shared_hits = shared_hits_;
+  s.readmissions = readmissions_;
+  s.rebuilds = rebuilds_;
+  s.evictions = evictions_;
+  for (const QueryEntry& e : entries_) {
+    if (e.pipeline != nullptr) {
+      if (e.refcount > 0) {
+        ++s.active_pipelines;
+      } else {
+        ++s.warm_pipelines;
+      }
+    } else {
+      ++s.evicted_entries;
+    }
+    DocumentStats::PipelineStats ps;
+    ps.fingerprint = e.fingerprint;
+    ps.queries = e.refcount;
+    ps.width = e.homog->tva.num_states();
+    ps.boxes_refreshed = e.boxes_refreshed;
+    ps.built = e.pipeline != nullptr;
+    s.pipelines.push_back(ps);
+  }
+  return s;
 }
 
 template <typename Fn>
 void DynamicDocument::FanOut(const Fn& fn) {
-  if (pool_ != nullptr && pool_->size() > 1 && num_live_ > 1) {
+  if (pool_ != nullptr && pool_->size() > 1 && built_entries_.size() > 1) {
     fan_scratch_.clear();
-    for (const std::unique_ptr<EnumerationPipeline>& p : pipelines_) {
-      if (p) fan_scratch_.push_back(p.get());
+    for (size_t idx : built_entries_) {
+      fan_scratch_.push_back(entries_[idx].pipeline.get());
     }
     pool_->ParallelFor(fan_scratch_.size(),
                        [&](size_t i) { fn(*fan_scratch_[i]); });
   } else {
-    for (const std::unique_ptr<EnumerationPipeline>& p : pipelines_) {
-      if (p) fn(*p);
-    }
+    for (size_t idx : built_entries_) fn(*entries_[idx].pipeline);
   }
 }
 
 void DynamicDocument::SetPipelinesPending(bool pending) {
-  for (const std::unique_ptr<EnumerationPipeline>& p : pipelines_) {
-    if (p) p->set_update_pending(pending);
+  for (size_t idx : built_entries_) {
+    entries_[idx].pipeline->set_update_pending(pending);
+  }
+}
+
+void DynamicDocument::ChargeRefresh(size_t boxes) {
+  for (size_t idx : built_entries_) {
+    entries_[idx].boxes_refreshed += boxes;
   }
 }
 
@@ -124,7 +235,9 @@ UpdateStats DynamicDocument::Dispatch(const UpdateResult& result) {
     return stats;  // every pipeline refreshed at CommitBatch
   }
   FanOut([&result](EnumerationPipeline& p) { p.Apply(result); });
-  stats.boxes_recomputed = result.changed_bottom_up.size() * num_live_;
+  stats.boxes_recomputed =
+      result.changed_bottom_up.size() * built_entries_.size();
+  ChargeRefresh(result.changed_bottom_up.size());
   return stats;
 }
 
@@ -240,7 +353,8 @@ UpdateStats DynamicDocument::CommitBatch() {
   FanOut([this](EnumerationPipeline& p) {
     p.ApplyCoalesced(dead_freed_, ordered_changed_);
   });
-  stats.boxes_recomputed = ordered_changed_.size() * num_live_;
+  stats.boxes_recomputed = ordered_changed_.size() * built_entries_.size();
+  ChargeRefresh(ordered_changed_.size());
 
   batch_freed_.clear();
   batch_changed_.clear();

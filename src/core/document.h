@@ -17,13 +17,22 @@
 //     at the document: the freed/changed term-node sets of the whole batch
 //     are merged, filtered against the term, and depth-ordered exactly
 //     once; each pipeline then consumes the same merged changed-box set.
-//   * Refresh fan-out optionally runs on a ThreadPool (util/thread_pool.h).
+//   * Registered queries are *deduplicated*: each query is canonicalized
+//     (automata/homogenize.h) and looked up by fingerprint + exact
+//     equality in the document's query registry, so textually different
+//     but automaton-identical queries map to one refcounted pipeline. The
+//     registry keeps refcount-zero pipelines warm for cheap re-admission
+//     and supports a configurable cap with LRU eviction (see
+//     set_pipeline_cap); DocumentStats exposes the registry state.
+//   * Refresh fan-out optionally runs on a ThreadPool (util/thread_pool.h)
+//     and iterates *distinct* pipelines only — per-edit refresh cost
+//     scales with the number of distinct queries, not registrations.
 //     Pipelines share only the immutable term during a refresh — all
 //     written state (circuit arena, index pools, counts) is pipeline-
 //     private — so per-query refreshes are embarrassingly parallel. With
-//     no pool, or a pool of size 1, the fan-out runs inline in
-//     registration order: the deterministic single-thread fallback, which
-//     also keeps the single-query steady state allocation-free.
+//     no pool, or a pool of size 1, the fan-out runs inline in build
+//     order: the deterministic single-thread fallback, which also keeps
+//     the single-query steady state allocation-free.
 //
 // TreeEnumerator and WordEnumerator are thin views over a private document
 // with one registered query; multi-query servers hold a DynamicDocument
@@ -31,7 +40,9 @@
 #ifndef TREENUM_CORE_DOCUMENT_H_
 #define TREENUM_CORE_DOCUMENT_H_
 
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -47,10 +58,55 @@
 
 namespace treenum {
 
+/// Registry observability snapshot (see DynamicDocument::stats()): how many
+/// queries and pipelines are live, how registrations were served, and the
+/// accumulated per-pipeline refresh cost.
+struct DocumentStats {
+  /// Per-pipeline registry entry state.
+  struct PipelineStats {
+    uint64_t fingerprint = 0;   ///< Canonical-form fingerprint (registry key).
+    size_t queries = 0;         ///< Live registrations sharing this pipeline.
+    size_t width = 0;           ///< Automaton width (circuit state count).
+    uint64_t boxes_refreshed = 0;  ///< Lifetime box refreshes paid by it.
+    bool built = false;         ///< Pipeline currently materialized.
+  };
+
+  size_t live_queries = 0;     ///< Live handles (registrations).
+  size_t live_pipelines = 0;   ///< Built pipelines (active + warm).
+  size_t active_pipelines = 0; ///< Built pipelines with refcount > 0.
+  size_t warm_pipelines = 0;   ///< Built pipelines with refcount == 0.
+  size_t evicted_entries = 0;  ///< Registry entries whose pipeline was evicted.
+  size_t shared_hits = 0;      ///< Registrations served by an active pipeline.
+  size_t readmissions = 0;     ///< Registrations served by a warm pipeline.
+  size_t rebuilds = 0;         ///< Registrations that rebuilt an evicted entry.
+  size_t evictions = 0;        ///< Pipelines destroyed by the cap.
+  std::vector<PipelineStats> pipelines;  ///< One entry per ever-seen query.
+};
+
+/// One mutating document (tree or word) serving many registered queries
+/// through a deduplicating, refcounted query registry (see the file
+/// comment above for the full design).
 class DynamicDocument {
  public:
-  /// Handle of a registered query (stable across other registrations).
-  using QueryId = size_t;
+  /// Handle of one registration. Handles are stable across other
+  /// registrations and unregistrations; several live handles may resolve
+  /// to the same deduplicated pipeline.
+  using QueryHandle = size_t;
+  /// Backward-compatible alias (pre-registry name).
+  using QueryId = QueryHandle;
+  /// Pipeline cap value meaning "never evict".
+  static constexpr size_t kNoPipelineCap = static_cast<size_t>(-1);
+  /// Default pipeline cap: plenty of headroom for realistic working sets,
+  /// while bounding what dominates memory and per-edit cost — built
+  /// pipelines, each O(document size) and refreshed on every edit — so
+  /// long-lived documents with query churn (register, serve, unregister,
+  /// repeat with new queries) can't accumulate either without bound.
+  /// Raise it — or pass kNoPipelineCap — via set_pipeline_cap to retain
+  /// more. Note what the cap does NOT bound: per *distinct query ever
+  /// seen*, the registry retains a small O(poly automaton-size) entry
+  /// (the canonical automaton, for rebuild and stats), and each
+  /// registration ever issued keeps one handle slot.
+  static constexpr size_t kDefaultPipelineCap = 64;
 
   /// A tree document: encodes `tree` as a balanced term (linear time).
   /// Every registered query must use exactly `num_labels` base labels.
@@ -63,37 +119,73 @@ class DynamicDocument {
 
   // ---- Introspection ----
 
+  /// True for word documents, false for tree documents.
   bool is_word() const { return word_enc_ != nullptr; }
+  /// The shared balanced term every pipeline is built over.
   const Term& term() const { return *term_; }
-  /// Tree documents only.
+  /// The current tree (tree documents only).
   const UnrankedTree& tree() const;
+  /// The balanced-term encoding backend (tree documents only).
   const DynamicEncoding& tree_encoding() const;
-  /// Word documents only.
+  /// The AVL-term encoding backend (word documents only).
   const WordEncoding& word_encoding() const;
   /// Current input size (tree nodes / word letters).
   size_t size() const;
 
-  // ---- Query registration ----
+  // ---- Query registration (deduplicating registry) ----
 
-  /// Registers a query: translates + homogenizes it and builds its
-  /// pipeline (circuit and, in kIndexed mode, jump index) over the current
-  /// term — O(size * poly(|Q|)). Not allowed mid-batch.
-  QueryId Register(const UnrankedTva& query,
-                   BoxEnumMode mode = BoxEnumMode::kIndexed);
-  QueryId Register(const Wva& query, BoxEnumMode mode = BoxEnumMode::kIndexed);
+  /// Registers a query: translates + homogenizes + canonicalizes it, then
+  /// either admits it to an existing pipeline (same canonical automaton
+  /// and mode — a dedupe hit, O(|Q|) to canonicalize and compare) or
+  /// builds a new pipeline (circuit and, in kIndexed mode, jump index)
+  /// over the current term — O(size * poly(|Q|)). Not allowed mid-batch.
+  QueryHandle Register(const UnrankedTva& query,
+                       BoxEnumMode mode = BoxEnumMode::kIndexed);
+  /// Word-document overload of Register (queries are WVAs / spanners).
+  QueryHandle Register(const Wva& query,
+                       BoxEnumMode mode = BoxEnumMode::kIndexed);
   /// Registers an already-prepared automaton (must be over this document's
-  /// term alphabet).
-  QueryId RegisterPrepared(HomogenizedTva homog, BoxEnumMode mode);
-  /// Drops a query; its pipeline is destroyed and the id becomes invalid.
-  void Unregister(QueryId id);
-  bool IsRegistered(QueryId id) const;
-  /// Number of live registered queries.
+  /// term alphabet). Canonicalized and deduplicated like Register.
+  QueryHandle RegisterPrepared(HomogenizedTva homog, BoxEnumMode mode);
+  /// Releases one registration; the handle becomes invalid. The shared
+  /// pipeline lives on while other handles reference it; at refcount zero
+  /// it is kept *warm* — still refreshed on every edit, so re-registering
+  /// the same query is a cheap re-admission instead of an O(size) rebuild
+  /// — until the pipeline cap evicts it (LRU order).
+  void Unregister(QueryHandle handle);
+  /// True iff `handle` was returned by Register and not yet unregistered.
+  bool IsRegistered(QueryHandle handle) const;
+  /// Number of live registrations (handles), counting duplicates.
   size_t num_queries() const { return num_live_; }
+  /// Number of built pipelines: distinct live queries plus warm
+  /// (refcount-zero, not yet evicted) entries. This — not num_queries() —
+  /// is what per-edit refresh cost scales with.
+  size_t num_pipelines() const { return built_entries_.size(); }
 
-  /// The pipeline of a registered query — the per-query surface for
+  /// The pipeline serving a registration — the per-query surface for
   /// enumeration (EnumerateAll / MakeEngineCursor / HasAnswer / counting).
-  EnumerationPipeline& pipeline(QueryId id);
-  const EnumerationPipeline& pipeline(QueryId id) const;
+  /// Duplicate registrations return the same pipeline object.
+  EnumerationPipeline& pipeline(QueryHandle handle);
+  /// Const overload of pipeline().
+  const EnumerationPipeline& pipeline(QueryHandle handle) const;
+
+  // ---- Admission / eviction policy ----
+
+  /// Caps the number of built pipelines. When an admission (or this call,
+  /// or an unregistration) pushes num_pipelines() above the cap, warm
+  /// refcount-zero pipelines are evicted in LRU order — least recently
+  /// registered-or-released first — until the cap holds or only actively
+  /// referenced pipelines remain. Active pipelines are never evicted, so
+  /// num_pipelines() may exceed the cap while more than `cap` distinct
+  /// queries are live. An evicted entry keeps its canonical automaton;
+  /// re-registering rebuilds the pipeline over the current term without
+  /// re-homogenizing. Not allowed mid-batch.
+  void set_pipeline_cap(size_t cap);
+  /// Current cap (kDefaultPipelineCap unless overridden; kNoPipelineCap
+  /// disables eviction entirely).
+  size_t pipeline_cap() const { return pipeline_cap_; }
+  /// Registry + refresh-cost observability snapshot.
+  DocumentStats stats() const;
 
   // ---- Refresh fan-out ----
 
@@ -105,22 +197,31 @@ class DynamicDocument {
   /// default) or a 1-lane pool means inline, deterministic,
   /// allocation-free fan-out.
   void set_pool(ThreadPool* pool) { pool_ = pool; }
+  /// The attached pool (null = inline, deterministic fan-out).
   ThreadPool* pool() const { return pool_; }
 
   // ---- Tree edits (Definition 7.1), O(log n * poly(Q)) + fan-out ----
-  // UpdateStats totals are summed across registered queries:
-  // boxes_recomputed counts every per-pipeline box refresh.
+  // UpdateStats totals are summed across built pipelines (distinct live
+  // queries + warm entries): boxes_recomputed counts every per-pipeline
+  // box refresh.
 
+  /// Changes the label of node `n`.
   UpdateStats Relabel(NodeId n, Label l);
+  /// Inserts a new first child under `n` (id reported via `new_node`).
   UpdateStats InsertFirstChild(NodeId n, Label l, NodeId* new_node = nullptr);
+  /// Inserts a new right sibling of `n` (id reported via `new_node`).
   UpdateStats InsertRightSibling(NodeId n, Label l,
                                  NodeId* new_node = nullptr);
+  /// Deletes leaf `n`.
   UpdateStats DeleteLeaf(NodeId n);
 
   // ---- Word edits by logical position, worst-case O(log |w|) ----
 
+  /// Replaces the letter at position `pos`.
   UpdateStats Replace(size_t pos, Label l);
+  /// Inserts letter `l` so that it becomes position `pos`.
   UpdateStats Insert(size_t pos, Label l);
+  /// Erases the letter at position `pos`.
   UpdateStats Erase(size_t pos);
   /// Moves the factor [begin, end) so it starts at `dst` of the remaining
   /// word (AVL split/join; position ids are preserved).
@@ -138,6 +239,7 @@ class DynamicDocument {
   /// within the batch never — and fans the merged set out to every
   /// pipeline (in parallel when a pool is attached).
   UpdateStats CommitBatch();
+  /// True while a transaction is open.
   bool in_batch() const { return in_batch_; }
 
   /// Applies one Edit (tree vocabulary; on word documents Edit::node is a
@@ -148,24 +250,59 @@ class DynamicDocument {
   UpdateStats ApplyEdits(const std::vector<Edit>& edits);
 
  private:
+  /// One deduplicated query: the canonical automaton (shared with the
+  /// pipeline, and retained across eviction for the rebuild path), the
+  /// refcounted pipeline, and the LRU/cost bookkeeping.
+  struct QueryEntry {
+    uint64_t fingerprint = 0;
+    std::shared_ptr<const HomogenizedTva> homog;
+    BoxEnumMode mode = BoxEnumMode::kIndexed;
+    std::unique_ptr<EnumerationPipeline> pipeline;  // null once evicted
+    size_t refcount = 0;
+    uint64_t last_use = 0;  // LRU stamp: last registration or release
+    uint64_t boxes_refreshed = 0;  // lifetime refresh cost
+  };
+  static constexpr size_t kNoEntry = static_cast<size_t>(-1);
+
   /// Broadcasts one UpdateResult (outside a batch) or records it (inside).
   UpdateStats Dispatch(const UpdateResult& result);
-  /// Runs fn(pipeline) on every live pipeline — on the pool when parallel
-  /// fan-out is enabled, else inline in registration order.
+  /// Runs fn(pipeline) on every built pipeline — on the pool when parallel
+  /// fan-out is enabled, else inline in build order.
   template <typename Fn>
   void FanOut(const Fn& fn);
   void SetPipelinesPending(bool pending);
   UpdateStats WordInsertAt(size_t pos, Label l, NodeId* new_node);
+  /// Charges `boxes` refreshes to every built pipeline's cost counter.
+  void ChargeRefresh(size_t boxes);
+  /// Evicts warm pipelines (LRU first) until the cap holds or only active
+  /// pipelines remain.
+  void EnforceCap();
 
   // Exactly one encoding is non-null. unique_ptr keeps the Term address
   // stable for the pipelines.
   std::unique_ptr<DynamicEncoding> tree_enc_;
   std::unique_ptr<WordEncoding> word_enc_;
   const Term* term_;
-  // Slot per ever-registered query; Unregister nulls the slot so QueryIds
-  // of the surviving queries stay valid.
-  std::vector<std::unique_ptr<EnumerationPipeline>> pipelines_;
-  size_t num_live_ = 0;
+
+  // The query registry. Entries are append-only (an evicted entry keeps
+  // its automaton for re-admission); handle_to_entry_ has one slot per
+  // ever-issued handle, kNoEntry once unregistered, so surviving handles
+  // stay valid.
+  std::vector<QueryEntry> entries_;
+  std::unordered_multimap<uint64_t, size_t> by_fingerprint_;
+  std::vector<size_t> handle_to_entry_;
+  // Indices of entries with a built pipeline, in build order — the edit
+  // path (fan-out, pending flags, cost charging) iterates this compact
+  // list, so per-edit cost is O(built pipelines), not O(entries ever
+  // registered). Maintained on build/rebuild/evict.
+  std::vector<size_t> built_entries_;
+  size_t num_live_ = 0;  // live handles
+  size_t pipeline_cap_ = kDefaultPipelineCap;
+  uint64_t use_clock_ = 0;
+  size_t shared_hits_ = 0;
+  size_t readmissions_ = 0;
+  size_t rebuilds_ = 0;
+  size_t evictions_ = 0;
   ThreadPool* pool_ = nullptr;
 
   bool in_batch_ = false;

@@ -51,20 +51,27 @@ struct Edit {
     kDeleteLeaf,
   };
 
-  Kind kind = Kind::kRelabel;
-  NodeId node = kNoNode;
-  Label label = 0;  ///< Unused by kDeleteLeaf.
+  Kind kind = Kind::kRelabel;      ///< Which of the four edit ops.
+  NodeId node = kNoNode;           ///< Target node (or word position id).
+  Label label = 0;                 ///< Unused by kDeleteLeaf.
 
+  /// Value form of Engine::Relabel.
   static Edit Relabel(NodeId n, Label l) { return {Kind::kRelabel, n, l}; }
+  /// Value form of Engine::InsertFirstChild.
   static Edit InsertFirstChild(NodeId n, Label l) {
     return {Kind::kInsertFirstChild, n, l};
   }
+  /// Value form of Engine::InsertRightSibling.
   static Edit InsertRightSibling(NodeId n, Label l) {
     return {Kind::kInsertRightSibling, n, l};
   }
+  /// Value form of Engine::DeleteLeaf.
   static Edit DeleteLeaf(NodeId n) { return {Kind::kDeleteLeaf, n, 0}; }
 };
 
+/// The shared surface of every enumeration backend (dynamic tree engine,
+/// AVL word engine, Table-1 baselines): enumeration, Definition 7.1
+/// updates, and transactional batching.
 class Engine {
  public:
   /// Type-erased pull cursor over satisfying assignments. Invalidated by
@@ -90,11 +97,15 @@ class Engine {
 
   // ---- Updates ----
 
+  /// Changes the label of node `n`.
   virtual UpdateStats Relabel(NodeId n, Label l) = 0;
+  /// Inserts a new first child under `n` (id reported via `new_node`).
   virtual UpdateStats InsertFirstChild(NodeId n, Label l,
                                        NodeId* new_node = nullptr) = 0;
+  /// Inserts a new right sibling of `n` (id reported via `new_node`).
   virtual UpdateStats InsertRightSibling(NodeId n, Label l,
                                          NodeId* new_node = nullptr) = 0;
+  /// Deletes leaf `n`.
   virtual UpdateStats DeleteLeaf(NodeId n) = 0;
 
   // ---- Batched updates ----

@@ -5,11 +5,12 @@
 
 namespace treenum {
 
-EnumerationPipeline::EnumerationPipeline(const Term* term, HomogenizedTva homog,
-                                         BoxEnumMode mode)
+EnumerationPipeline::EnumerationPipeline(
+    const Term* term, std::shared_ptr<const HomogenizedTva> homog,
+    BoxEnumMode mode)
     : term_(term),
       homog_(std::move(homog)),
-      circuit_(term, &homog_.tva, &homog_.kind),
+      circuit_(term, &homog_->tva, &homog_->kind),
       index_(&circuit_),
       mode_(mode) {
   circuit_.BuildAll();
@@ -70,8 +71,8 @@ bool EnumerationPipeline::EmptyAssignmentSatisfies() const {
   // exist until commit, so reading the root box would be out of bounds.
   if (update_pending_) return false;
   const Box box = circuit_.box(term_->root());
-  for (State q : homog_.tva.final_states()) {
-    if (homog_.kind[q] == 0 && box.gamma(q) == GateKind::kTop) return true;
+  for (State q : homog_->tva.final_states()) {
+    if (homog_->kind[q] == 0 && box.gamma(q) == GateKind::kTop) return true;
   }
   return false;
 }
@@ -81,8 +82,8 @@ std::vector<uint32_t> EnumerationPipeline::FinalGamma() const {
   std::vector<uint32_t> gamma;
   if (update_pending_) return gamma;
   const Box box = circuit_.box(term_->root());
-  for (State q : homog_.tva.final_states()) {
-    if (homog_.kind[q] == 1 && box.gamma(q) == GateKind::kUnion) {
+  for (State q : homog_->tva.final_states()) {
+    if (homog_->kind[q] == 1 && box.gamma(q) == GateKind::kUnion) {
       gamma.push_back(static_cast<uint32_t>(box.union_idx(q)));
     }
   }

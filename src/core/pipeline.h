@@ -36,12 +36,22 @@
 
 namespace treenum {
 
+/// The per-query owner of all derived enumeration state — assignment
+/// circuit, jump index, optional run counts — over a shared term it does
+/// not own (see the file comment above for the full contract).
 class EnumerationPipeline {
  public:
   /// Builds the circuit (and, in kIndexed mode, the jump index) over
   /// `term`, which must outlive the pipeline and is mutated externally by
   /// the encoding backend that produces the UpdateResults fed to Apply().
-  EnumerationPipeline(const Term* term, HomogenizedTva homog,
+  /// The automaton is shared, not owned: the document's query registry
+  /// keeps the canonical `HomogenizedTva` alive and hands the same object
+  /// to every pipeline built for it — including the re-admission path,
+  /// where an evicted query's pipeline is rebuilt over the current term
+  /// from the retained automaton without re-translating or re-homogenizing
+  /// the query.
+  EnumerationPipeline(const Term* term,
+                      std::shared_ptr<const HomogenizedTva> homog,
                       BoxEnumMode mode);
 
   EnumerationPipeline(const EnumerationPipeline&) = delete;
@@ -49,18 +59,31 @@ class EnumerationPipeline {
 
   // ---- Introspection ----
 
+  /// The shared term this pipeline's boxes are built over.
   const Term& term() const { return *term_; }
-  const BinaryTva& tva() const { return homog_.tva; }
-  const std::vector<uint8_t>& state_kinds() const { return homog_.kind; }
+  /// The homogenized (canonical) binary TVA driving the circuit.
+  const BinaryTva& tva() const { return homog_->tva; }
+  /// Per-state 0-/1-state classification of tva() (see HomogenizedTva).
+  const std::vector<uint8_t>& state_kinds() const { return homog_->kind; }
   /// Width of the circuit (= trimmed, homogenized |Q'|).
-  size_t width() const { return homog_.tva.num_states(); }
+  size_t width() const { return homog_->tva.num_states(); }
+  /// The canonical automaton, shared with the owning registry entry.
+  const std::shared_ptr<const HomogenizedTva>& automaton() const {
+    return homog_;
+  }
+  /// The assignment circuit (Lemma 3.7) maintained over term().
   const AssignmentCircuit& circuit() const { return circuit_; }
+  /// The jump index (Lemma 6.3); empty unless mode() is kIndexed.
   const EnumIndex& index() const { return index_; }
+  /// Box-enumeration mode this pipeline was built for.
   BoxEnumMode mode() const { return mode_; }
 
   // ---- Dynamic counting (optional; see counting/run_count.h) ----
 
+  /// Builds the run-count vectors (O(size * poly(w)) once); afterwards
+  /// every refresh also maintains them along the changed path.
   void EnableCounting();
+  /// True once EnableCounting() has run.
   bool counting_enabled() const { return counter_ != nullptr; }
   /// Accepting (valuation, run) pairs mod 2^64; requires EnableCounting().
   uint64_t AcceptingRuns() const;
@@ -86,6 +109,7 @@ class EnumerationPipeline {
   /// unsupported — the query surface asserts in debug builds and reports
   /// no answers in release builds.
   void set_update_pending(bool pending) { update_pending_ = pending; }
+  /// True while the owning document has an open batch.
   bool update_pending() const { return update_pending_; }
 
   // ---- Query surface (invalid while update_pending()) ----
@@ -111,7 +135,7 @@ class EnumerationPipeline {
   void ReleaseBox(TermNodeId id);
 
   const Term* term_;
-  HomogenizedTva homog_;
+  std::shared_ptr<const HomogenizedTva> homog_;
   AssignmentCircuit circuit_;
   EnumIndex index_;
   BoxEnumMode mode_;

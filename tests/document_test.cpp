@@ -207,7 +207,12 @@ TEST(DynamicDocument, MixedSequentialAndBatchedWithCounting) {
   }
 }
 
-TEST(DynamicDocument, UnregisterStopsMaintenanceForThatQueryOnly) {
+// With no pipeline cap, an unregistered query's pipeline stays *warm*
+// (still refreshed, ready for re-admission); survivors must be unaffected
+// and registration after edits must build over the current tree. The
+// eviction path (where maintenance really stops) is covered in
+// registry_test.cpp.
+TEST(DynamicDocument, UnregisterKeepsSurvivorsCorrect) {
   Rng rng(233);
   UnrankedTree tree = RandomTree(40, 3, rng);
   DynamicDocument doc(tree, 3);
@@ -234,7 +239,8 @@ TEST(DynamicDocument, UnregisterStopsMaintenanceForThatQueryOnly) {
   }
   EXPECT_EQ(doc.pipeline(qb).EnumerateAll(), oracle.EnumerateAll());
 
-  // Registering after the edits builds over the *current* tree.
+  // Registering after the edits serves the *current* tree (here via warm
+  // re-admission of qa's pipeline, which kept refreshing at refcount 0).
   DynamicDocument::QueryId qc = doc.Register(QueryMarkedAncestor(3, 1, 2));
   StaticEngine fresh(doc.tree(), QueryMarkedAncestor(3, 1, 2));
   EXPECT_EQ(doc.pipeline(qc).EnumerateAll(), fresh.EnumerateAll());
@@ -390,6 +396,42 @@ TEST(DynamicDocument, SingleQuerySteadyStateRelabelsAreAllocationFree) {
         << (batched ? "batched" : "sequential")
         << " steady-state relabels through the document layer allocated";
   }
+}
+
+// The registry must not cost the steady state anything: duplicate
+// registrations collapse onto one pipeline, so relabels with Q duplicate
+// handles do exactly the single-query work — and stay allocation-free
+// (the registry's hash map and LRU stamps are touched only at
+// Register/Unregister time, never on the edit path).
+TEST(DynamicDocument, DeduplicatedSteadyStateRelabelsAreAllocationFree) {
+  ASSERT_TRUE(AllocGaugeActive())
+      << "document_test must link treenum_alloc_gauge";
+
+  Rng rng(257);
+  UnrankedTree tree = RandomTree(150, 3, rng);
+  DynamicDocument doc(tree, 3);
+  DynamicDocument::QueryHandle q1 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  DynamicDocument::QueryHandle q2 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  ASSERT_EQ(&doc.pipeline(q1), &doc.pipeline(q2));
+  ASSERT_EQ(doc.num_pipelines(), 1u);
+
+  std::vector<NodeId> targets = tree.PreorderNodes();
+  auto run_pass = [&] {
+    for (NodeId n : targets) {
+      for (Label l = 0; l < 3; ++l) doc.Relabel(n, l);
+    }
+  };
+  int pass = 0;
+  for (; pass < 8; ++pass) {
+    AllocGaugeScope warm;
+    run_pass();
+    if (warm.allocs() == 0) break;
+  }
+  ASSERT_LT(pass, 8) << "relabel passes failed to reach a steady state";
+  AllocGaugeScope gauge;
+  run_pass();
+  EXPECT_EQ(gauge.allocs(), 0u)
+      << "steady-state relabels through the registry allocated";
 }
 
 // The alloc gauge counters are relaxed atomics: hammering them from pool

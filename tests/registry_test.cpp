@@ -1,0 +1,371 @@
+// Tests for the deduplicating query registry (core/document.h) and the
+// canonical-form / fingerprint API it is built on (automata/homogenize.h):
+// duplicate and state-renumbered queries share one refcounted pipeline,
+// unregistering keeps survivors correct, warm refcount-zero pipelines are
+// re-admitted without a rebuild, and the pipeline cap evicts in LRU order
+// with eviction + re-admission round-tripping against a StaticEngine
+// oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "automata/homogenize.h"
+#include "automata/query_library.h"
+#include "automata/translate.h"
+#include "baseline/static_engine.h"
+#include "core/document.h"
+#include "test_util.h"
+
+namespace treenum {
+namespace {
+
+using QueryHandle = DynamicDocument::QueryHandle;
+
+// QuerySelectLabel(3, a) with the two states swapped and the relations
+// declared in a different order: textually different, automaton-identical.
+UnrankedTva SelectLabelPermuted(Label a) {
+  // Original states: 0 = no pick below, 1 = exactly one pick below.
+  // Here: 1 = no pick below, 0 = exactly one pick below.
+  UnrankedTva q(2, 3, 1);
+  q.AddFinal(0);
+  q.AddTransition(0, 1, 0);
+  q.AddTransition(1, 0, 0);
+  q.AddTransition(1, 1, 1);
+  q.AddInit(a, 1, 0);
+  for (Label l = 3; l-- > 0;) q.AddInit(l, 0, 1);
+  return q;
+}
+
+HomogenizedTva Prepare(const UnrankedTva& q) {
+  return HomogenizeBinaryTva(TranslateUnrankedTva(q).tva);
+}
+
+// ---- Canonical form and fingerprints ----
+
+TEST(CanonicalForm, InvariantUnderRenumberingAndDeclarationOrder) {
+  for (Label a = 0; a < 3; ++a) {
+    HomogenizedTva h1 = Prepare(QuerySelectLabel(3, a));
+    HomogenizedTva h2 = Prepare(SelectLabelPermuted(a));
+    EXPECT_FALSE(HomogenizedTvaEqual(h1, h2))
+        << "permuted variants should differ before canonicalization";
+    CanonicalizeHomogenizedTva(&h1);
+    CanonicalizeHomogenizedTva(&h2);
+    EXPECT_TRUE(HomogenizedTvaEqual(h1, h2)) << "label " << a;
+    EXPECT_EQ(FingerprintHomogenizedTva(h1), FingerprintHomogenizedTva(h2))
+        << "label " << a;
+  }
+}
+
+TEST(CanonicalForm, IsIdempotent) {
+  HomogenizedTva h = Prepare(QueryMarkedAncestor(3, 1, 2));
+  CanonicalizeHomogenizedTva(&h);
+  HomogenizedTva again = h;
+  CanonicalizeHomogenizedTva(&again);
+  EXPECT_TRUE(HomogenizedTvaEqual(h, again));
+  EXPECT_EQ(FingerprintHomogenizedTva(h), FingerprintHomogenizedTva(again));
+}
+
+TEST(CanonicalForm, DistinguishesDifferentQueries) {
+  std::vector<HomogenizedTva> canon;
+  std::vector<UnrankedTva> queries;
+  queries.push_back(QuerySelectLabel(3, 1));
+  queries.push_back(QuerySelectLabel(3, 2));
+  queries.push_back(QueryMarkedAncestor(3, 1, 2));
+  queries.push_back(QueryMarkedAncestor(3, 2, 1));
+  queries.push_back(QueryChildOfLabel(3, 0, 2));
+  for (const UnrankedTva& q : queries) {
+    HomogenizedTva h = Prepare(q);
+    CanonicalizeHomogenizedTva(&h);
+    canon.push_back(std::move(h));
+  }
+  for (size_t i = 0; i < canon.size(); ++i) {
+    for (size_t j = i + 1; j < canon.size(); ++j) {
+      EXPECT_FALSE(HomogenizedTvaEqual(canon[i], canon[j]))
+          << "queries " << i << " and " << j;
+    }
+  }
+}
+
+TEST(CanonicalForm, SourceFingerprintsIgnoreDeclarationOrder) {
+  // The pre-translation fingerprints are declaration-order-insensitive
+  // (commutative folds) but state-numbering-sensitive.
+  UnrankedTva a = QuerySelectLabel(3, 1);
+  UnrankedTva b(2, 3, 1);  // same query, relations declared backwards
+  b.AddFinal(1);
+  b.AddTransition(1, 0, 1);
+  b.AddTransition(0, 1, 1);
+  b.AddTransition(0, 0, 0);
+  b.AddInit(1, 1, 1);
+  for (Label l = 3; l-- > 0;) b.AddInit(l, 0, 0);
+  EXPECT_EQ(FingerprintUnrankedTva(a), FingerprintUnrankedTva(b));
+  EXPECT_NE(FingerprintUnrankedTva(a),
+            FingerprintUnrankedTva(QuerySelectLabel(3, 2)));
+
+  Wva w1(2, 2, 1), w2(2, 2, 1);
+  w1.AddInitial(0);
+  w1.AddTransition(0, 0, 0, 0);
+  w1.AddTransition(0, 1, 1, 1);
+  w1.AddFinal(1);
+  w2.AddFinal(1);
+  w2.AddTransition(0, 1, 1, 1);
+  w2.AddTransition(0, 0, 0, 0);
+  w2.AddInitial(0);
+  EXPECT_EQ(FingerprintWva(w1), FingerprintWva(w2));
+}
+
+// ---- Registry: dedupe ----
+
+TEST(QueryRegistry, DuplicateRegistrationsShareOnePipeline) {
+  Rng rng(31);
+  UnrankedTree tree = RandomTree(40, 3, rng);
+  DynamicDocument doc(tree, 3);
+
+  QueryHandle h1 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  QueryHandle h2 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  QueryHandle h3 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h2, h3);
+  EXPECT_EQ(doc.num_queries(), 3u);
+  EXPECT_EQ(doc.num_pipelines(), 1u);
+  EXPECT_EQ(&doc.pipeline(h1), &doc.pipeline(h2));
+  EXPECT_EQ(&doc.pipeline(h1), &doc.pipeline(h3));
+
+  DocumentStats stats = doc.stats();
+  EXPECT_EQ(stats.live_queries, 3u);
+  EXPECT_EQ(stats.live_pipelines, 1u);
+  EXPECT_EQ(stats.active_pipelines, 1u);
+  EXPECT_EQ(stats.shared_hits, 2u);
+  ASSERT_EQ(stats.pipelines.size(), 1u);
+  EXPECT_EQ(stats.pipelines[0].queries, 3u);
+}
+
+TEST(QueryRegistry, RenumberedQueriesDedupeToOnePipeline) {
+  Rng rng(37);
+  UnrankedTree tree = RandomTree(30, 3, rng);
+  DynamicDocument doc(tree, 3);
+  QueryHandle h1 = doc.Register(QuerySelectLabel(3, 1));
+  QueryHandle h2 = doc.Register(SelectLabelPermuted(1));
+  EXPECT_EQ(&doc.pipeline(h1), &doc.pipeline(h2));
+  EXPECT_EQ(doc.num_pipelines(), 1u);
+
+  // ... and the shared pipeline answers correctly for both.
+  StaticEngine oracle(tree, QuerySelectLabel(3, 1));
+  EXPECT_EQ(doc.pipeline(h2).EnumerateAll(), oracle.EnumerateAll());
+}
+
+TEST(QueryRegistry, DistinctQueriesAndModesGetDistinctPipelines) {
+  Rng rng(41);
+  UnrankedTree tree = RandomTree(30, 3, rng);
+  DynamicDocument doc(tree, 3);
+  QueryHandle h1 = doc.Register(QuerySelectLabel(3, 1));
+  QueryHandle h2 = doc.Register(QuerySelectLabel(3, 2));
+  // Same automaton, different box-enum mode: must not share.
+  QueryHandle h3 = doc.Register(QuerySelectLabel(3, 1), BoxEnumMode::kNaive);
+  EXPECT_NE(&doc.pipeline(h1), &doc.pipeline(h2));
+  EXPECT_NE(&doc.pipeline(h1), &doc.pipeline(h3));
+  EXPECT_EQ(doc.num_pipelines(), 3u);
+  EXPECT_EQ(doc.stats().shared_hits, 0u);
+}
+
+TEST(QueryRegistry, WordDocumentDedupesSpanners) {
+  Word w;
+  for (int i = 0; i < 12; ++i) w.push_back(static_cast<Label>(i % 2));
+  auto select_b = [] {
+    Wva a(2, 2, 1);
+    a.AddInitial(0);
+    for (Label l = 0; l < 2; ++l) a.AddTransition(0, l, 0, 0);
+    a.AddTransition(0, 1, 1, 1);
+    for (Label l = 0; l < 2; ++l) a.AddTransition(1, l, 0, 1);
+    a.AddFinal(1);
+    return a;
+  };
+  DynamicDocument doc(w, 2);
+  QueryHandle h1 = doc.Register(select_b());
+  QueryHandle h2 = doc.Register(select_b());
+  EXPECT_EQ(&doc.pipeline(h1), &doc.pipeline(h2));
+  EXPECT_EQ(doc.num_pipelines(), 1u);
+}
+
+// ---- Registry: unregister / refcounting ----
+
+TEST(QueryRegistry, UnregisterToZeroKeepsSurvivorsCorrect) {
+  Rng rng(43);
+  UnrankedTree tree = RandomTree(50, 3, rng);
+  DynamicDocument doc(tree, 3);
+
+  QueryHandle dup1 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  QueryHandle dup2 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  QueryHandle other = doc.Register(QuerySelectLabel(3, 1));
+  StaticEngine oracle_ma(tree, QueryMarkedAncestor(3, 1, 2));
+  StaticEngine oracle_sel(tree, QuerySelectLabel(3, 1));
+
+  // Dropping one duplicate keeps the shared pipeline alive and correct.
+  doc.Unregister(dup1);
+  EXPECT_FALSE(doc.IsRegistered(dup1));
+  EXPECT_TRUE(doc.IsRegistered(dup2));
+  EXPECT_EQ(doc.num_queries(), 2u);
+  EXPECT_EQ(doc.num_pipelines(), 2u);
+
+  ScriptedEditor script(tree, 4711, 3);
+  for (int i = 0; i < 60; ++i) {
+    Edit e = script.NextEdit();
+    doc.ApplyEdit(e);
+    oracle_ma.ApplyEdit(e);
+    oracle_sel.ApplyEdit(e);
+  }
+  EXPECT_EQ(doc.pipeline(dup2).EnumerateAll(), oracle_ma.EnumerateAll());
+  EXPECT_EQ(doc.pipeline(other).EnumerateAll(), oracle_sel.EnumerateAll());
+}
+
+TEST(QueryRegistry, WarmReadmissionReusesThePipeline) {
+  Rng rng(47);
+  UnrankedTree tree = RandomTree(50, 3, rng);
+  DynamicDocument doc(tree, 3);
+
+  QueryHandle h1 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  const EnumerationPipeline* pipe = &doc.pipeline(h1);
+  StaticEngine oracle(tree, QueryMarkedAncestor(3, 1, 2));
+
+  doc.Unregister(h1);
+  EXPECT_EQ(doc.num_queries(), 0u);
+  // Below the (default) cap: the refcount-zero pipeline stays warm and
+  // keeps refreshing.
+  EXPECT_EQ(doc.num_pipelines(), 1u);
+  EXPECT_EQ(doc.stats().warm_pipelines, 1u);
+
+  ScriptedEditor script(tree, 271, 3);
+  for (int i = 0; i < 40; ++i) {
+    Edit e = script.NextEdit();
+    doc.ApplyEdit(e);
+    oracle.ApplyEdit(e);
+  }
+
+  QueryHandle h2 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  EXPECT_EQ(&doc.pipeline(h2), pipe) << "re-admission must reuse the object";
+  DocumentStats stats = doc.stats();
+  EXPECT_EQ(stats.readmissions, 1u);
+  EXPECT_EQ(stats.rebuilds, 0u);
+  EXPECT_EQ(doc.pipeline(h2).EnumerateAll(), oracle.EnumerateAll());
+}
+
+// ---- Registry: admission / eviction ----
+
+TEST(QueryRegistry, EvictionAndReadmissionRoundTripAgainstOracle) {
+  Rng rng(53);
+  UnrankedTree tree = RandomTree(50, 3, rng);
+  DynamicDocument doc(tree, 3);
+  doc.set_pipeline_cap(1);
+
+  QueryHandle keep = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  QueryHandle drop = doc.Register(QuerySelectLabel(3, 1));
+  // Both active: the cap never evicts referenced pipelines.
+  EXPECT_EQ(doc.num_pipelines(), 2u);
+  EXPECT_EQ(doc.stats().evictions, 0u);
+
+  StaticEngine oracle_keep(tree, QueryMarkedAncestor(3, 1, 2));
+  StaticEngine oracle_drop(tree, QuerySelectLabel(3, 1));
+
+  // Releasing the second query pushes it to refcount zero; the cap evicts
+  // it immediately (pipeline destroyed, canonical automaton retained).
+  doc.Unregister(drop);
+  EXPECT_EQ(doc.num_pipelines(), 1u);
+  DocumentStats stats = doc.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.evicted_entries, 1u);
+
+  ScriptedEditor script(tree, 6007, 3);
+  for (int i = 0; i < 60; ++i) {
+    Edit e = script.NextEdit();
+    doc.ApplyEdit(e);
+    oracle_keep.ApplyEdit(e);
+    oracle_drop.ApplyEdit(e);
+  }
+  EXPECT_EQ(doc.pipeline(keep).EnumerateAll(), oracle_keep.EnumerateAll());
+
+  // Re-admission rebuilds the evicted pipeline over the *current* tree.
+  QueryHandle again = doc.Register(QuerySelectLabel(3, 1));
+  stats = doc.stats();
+  EXPECT_EQ(stats.rebuilds, 1u);
+  EXPECT_EQ(stats.readmissions, 0u);
+  EXPECT_EQ(doc.pipeline(again).EnumerateAll(), oracle_drop.EnumerateAll());
+
+  // ... and stays correct under further edits.
+  for (int i = 0; i < 30; ++i) {
+    Edit e = script.NextEdit();
+    doc.ApplyEdit(e);
+    oracle_drop.ApplyEdit(e);
+  }
+  EXPECT_EQ(doc.pipeline(again).EnumerateAll(), oracle_drop.EnumerateAll());
+}
+
+TEST(QueryRegistry, CapEvictsWarmPipelinesInLruOrder) {
+  Rng rng(59);
+  UnrankedTree tree = RandomTree(40, 3, rng);
+  DynamicDocument doc(tree, 3);
+
+  QueryHandle ha = doc.Register(QuerySelectLabel(3, 0));
+  QueryHandle hb = doc.Register(QuerySelectLabel(3, 1));
+  QueryHandle hc = doc.Register(QuerySelectLabel(3, 2));
+  doc.Unregister(ha);  // A released first -> least recently used
+  doc.Unregister(hb);
+  EXPECT_EQ(doc.num_pipelines(), 3u);  // below the default cap: all warm
+
+  // Cap 2 evicts exactly one warm pipeline: A (LRU), not B.
+  doc.set_pipeline_cap(2);
+  EXPECT_EQ(doc.num_pipelines(), 2u);
+  EXPECT_EQ(doc.stats().evictions, 1u);
+  QueryHandle hb2 = doc.Register(QuerySelectLabel(3, 1));
+  EXPECT_EQ(doc.stats().readmissions, 1u) << "B must still be warm";
+  QueryHandle ha2 = doc.Register(QuerySelectLabel(3, 0));
+  EXPECT_EQ(doc.stats().rebuilds, 1u) << "A must have been evicted";
+  EXPECT_TRUE(doc.IsRegistered(hc));
+  EXPECT_TRUE(doc.IsRegistered(hb2));
+  EXPECT_TRUE(doc.IsRegistered(ha2));
+}
+
+TEST(QueryRegistry, HandlesStayStableAcrossUnregister) {
+  Rng rng(61);
+  UnrankedTree tree = RandomTree(30, 3, rng);
+  DynamicDocument doc(tree, 3);
+  QueryHandle h1 = doc.Register(QuerySelectLabel(3, 0));
+  QueryHandle h2 = doc.Register(QuerySelectLabel(3, 1));
+  QueryHandle h3 = doc.Register(QuerySelectLabel(3, 2));
+  doc.Unregister(h2);
+  EXPECT_TRUE(doc.IsRegistered(h1));
+  EXPECT_FALSE(doc.IsRegistered(h2));
+  EXPECT_TRUE(doc.IsRegistered(h3));
+  // New handles are never recycled ids of live ones.
+  QueryHandle h4 = doc.Register(QuerySelectLabel(3, 1));
+  EXPECT_NE(h4, h1);
+  EXPECT_NE(h4, h3);
+  EXPECT_TRUE(doc.IsRegistered(h4));
+  StaticEngine oracle(tree, QuerySelectLabel(3, 2));
+  EXPECT_EQ(doc.pipeline(h3).EnumerateAll(), oracle.EnumerateAll());
+}
+
+// The batched-commit path must refresh warm pipelines too, so a
+// re-admitted query is correct after commits that happened while it had
+// refcount zero.
+TEST(QueryRegistry, WarmPipelinesFollowBatchedCommits) {
+  Rng rng(67);
+  UnrankedTree tree = RandomTree(50, 3, rng);
+  DynamicDocument doc(tree, 3);
+  QueryHandle h = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  StaticEngine oracle(tree, QueryMarkedAncestor(3, 1, 2));
+  doc.Unregister(h);
+
+  ScriptedEditor script(tree, 6389, 3);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<Edit> edits;
+    for (int i = 0; i < 16; ++i) edits.push_back(script.NextEdit());
+    doc.ApplyEdits(edits);
+    oracle.ApplyEdits(edits);
+  }
+  QueryHandle h2 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  EXPECT_EQ(doc.stats().readmissions, 1u);
+  EXPECT_EQ(doc.pipeline(h2).EnumerateAll(), oracle.EnumerateAll());
+}
+
+}  // namespace
+}  // namespace treenum
