@@ -1,0 +1,209 @@
+// SIMD kernel microbenchmark — a PAM time_operations.h-style harness (own
+// main, no google-benchmark dependency) timing every word-block kernel of
+// util/simd_kernels.h per dispatch tier across (rows, cols) grids drawn
+// from real index shapes, and reporting GB/s.
+//
+// Output: one table per kernel on stdout (ns/op, GB/s, speedup vs the
+// scalar tier at the same shape), plus JSON-lines into $TREENUM_BENCH_JSON
+// (series kernel_compose / kernel_or_into / kernel_any / kernel_popcount /
+// kernel_zero — see docs/BENCHMARKS.md). Set TREENUM_BENCH_MIN_TIME to
+// shrink or grow the per-measurement budget (seconds, default 0.12).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/aligned_alloc.h"
+#include "util/bit_matrix.h"
+#include "util/random.h"
+#include "util/simd_kernels.h"
+
+namespace treenum {
+namespace {
+
+volatile uint64_t g_sink = 0;
+
+double MinSeconds() {
+  const char* env = std::getenv("TREENUM_BENCH_MIN_TIME");
+  if (env != nullptr && *env != '\0') {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 0.12;
+}
+
+/// Repeats `fn` until the measured batch exceeds the time budget and
+/// returns seconds per call (the time_operations.h repeat-until idiom).
+template <typename Fn>
+double TimeOp(const Fn& fn, double min_seconds) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm caches and the dispatch statics
+  size_t reps = 1;
+  for (;;) {
+    auto t0 = Clock::now();
+    for (size_t i = 0; i < reps; ++i) fn();
+    double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt >= min_seconds) return dt / static_cast<double>(reps);
+    double scale = dt > 0 ? min_seconds * 1.4 / dt : 16.0;
+    reps = static_cast<size_t>(static_cast<double>(reps) * scale) + 1;
+  }
+}
+
+/// A rows x cols matrix with ~`density` of its bits set (tail bits zero).
+BitMatrix RandomMatrix(size_t rows, size_t cols, double density, Rng& rng) {
+  BitMatrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (rng.Flip(density)) m.Set(r, c);
+    }
+  }
+  return m;
+}
+
+struct TierResult {
+  SimdTier tier;
+  double ns_op = 0;
+  double gbps = 0;
+};
+
+void PrintHeader(const char* kernel) {
+  std::printf("\n%-14s %-18s %-8s %12s %10s %10s\n", kernel, "shape", "tier",
+              "ns/op", "GB/s", "vs scalar");
+}
+
+void PrintRow(const char* kernel, const std::string& shape,
+              const TierResult& r, double scalar_ns) {
+  std::printf("%-14s %-18s %-8s %12.1f %10.2f %9.2fx\n", kernel,
+              shape.c_str(), TierName(r.tier), r.ns_op, r.gbps,
+              scalar_ns > 0 ? scalar_ns / r.ns_op : 1.0);
+}
+
+const SimdTier kTiers[] = {SimdTier::kScalar, SimdTier::kAvx2,
+                           SimdTier::kAvx512};
+
+// ---- compose --------------------------------------------------------------
+
+void BenchCompose(double min_seconds) {
+  // (a_rows, inner, b_cols): square relation composes at growing widths —
+  // the O(w^omega) kernel of the paper — plus the narrow (b_wpr == 1)
+  // shape the standard w <= 64 queries hit, and one rectangular
+  // candidate-times-wire shape.
+  const size_t shapes[][3] = {{64, 64, 64},    {128, 128, 128},
+                              {256, 256, 256}, {512, 512, 512},
+                              {1024, 64, 64},  {256, 512, 128}};
+  Rng rng(bench::kSeed);
+  for (const auto& sh : shapes) {
+    const size_t rows = sh[0], inner = sh[1], cols = sh[2];
+    BitMatrix a = RandomMatrix(rows, inner, 0.25, rng);
+    BitMatrix b = RandomMatrix(inner, cols, 0.25, rng);
+    const BitMatrixView av(a), bv(b);
+    const size_t a_wpr = av.words_per_row(), b_wpr = bv.words_per_row();
+    AlignedWordVector out(rows * b_wpr, 0);
+    // Traffic model: read a once, read one b row per set bit of a, write
+    // out once. The same formula across tiers makes GB/s comparable.
+    const double bytes =
+        8.0 * (static_cast<double>(rows * a_wpr) +
+               static_cast<double>(a.Count()) * static_cast<double>(b_wpr) +
+               static_cast<double>(rows * b_wpr));
+    std::string shape = std::to_string(rows) + "x" + std::to_string(inner) +
+                        "x" + std::to_string(cols);
+    double scalar_ns = 0;
+    PrintHeader("compose");
+    for (SimdTier tier : kTiers) {
+      const BitKernels* k = KernelsForTier(tier);
+      if (k == nullptr) continue;
+      double sec = TimeOp(
+          [&] {
+            k->compose(av.Row(0), rows, a_wpr, bv.Row(0), b_wpr, out.data());
+            g_sink += out[0];
+          },
+          min_seconds);
+      TierResult r{tier, sec * 1e9, bytes / sec * 1e-9};
+      if (tier == SimdTier::kScalar) scalar_ns = r.ns_op;
+      PrintRow("compose", shape, r, scalar_ns);
+      bench::EmitJson("kernel_compose",
+                      {{"tier", static_cast<double>(tier)},
+                       {"rows", static_cast<double>(rows)},
+                       {"inner", static_cast<double>(inner)},
+                       {"cols", static_cast<double>(cols)},
+                       {"ns_op", r.ns_op},
+                       {"gbps", r.gbps},
+                       {"speedup_vs_scalar",
+                        scalar_ns > 0 ? scalar_ns / r.ns_op : 1.0}});
+    }
+  }
+}
+
+// ---- flat word-range kernels ----------------------------------------------
+
+template <typename Run>
+void BenchFlat(const char* kernel, const char* series, double bytes_per_word,
+               double min_seconds, const Run& run) {
+  // Word counts spanning the relation-block sizes the index allocates:
+  // one row of a narrow relation up to a full wide-automaton block.
+  const size_t sizes[] = {64, 1024, 16384, 262144};
+  Rng rng(bench::kSeed + 1);
+  for (size_t n : sizes) {
+    AlignedWordVector dst(n, 0);
+    AlignedWordVector src(n);
+    for (size_t i = 0; i < n; ++i) {
+      src[i] = (static_cast<uint64_t>(rng.Int(0, INT64_MAX)) << 1) | 1;
+    }
+    std::string shape = std::to_string(n) + "w";
+    double scalar_ns = 0;
+    PrintHeader(kernel);
+    for (SimdTier tier : kTiers) {
+      const BitKernels* k = KernelsForTier(tier);
+      if (k == nullptr) continue;
+      double sec =
+          TimeOp([&] { run(*k, dst.data(), src.data(), n); }, min_seconds);
+      TierResult r{tier, sec * 1e9,
+                   bytes_per_word * static_cast<double>(n) / sec * 1e-9};
+      if (tier == SimdTier::kScalar) scalar_ns = r.ns_op;
+      PrintRow(kernel, shape, r, scalar_ns);
+      bench::EmitJson(series, {{"tier", static_cast<double>(tier)},
+                               {"words", static_cast<double>(n)},
+                               {"ns_op", r.ns_op},
+                               {"gbps", r.gbps},
+                               {"speedup_vs_scalar",
+                                scalar_ns > 0 ? scalar_ns / r.ns_op : 1.0}});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treenum
+
+int main() {
+  using namespace treenum;
+  const double min_seconds = MinSeconds();
+  std::printf("active tier: %s (TREENUM_SIMD=%s)\n", TierName(ActiveTier()),
+              std::getenv("TREENUM_SIMD") ? std::getenv("TREENUM_SIMD")
+                                          : "<unset>");
+  std::printf("available tiers:");
+  for (SimdTier t : kTiers) {
+    if (KernelsForTier(t) != nullptr) std::printf(" %s", TierName(t));
+  }
+  std::printf("\n");
+
+  BenchCompose(min_seconds);
+  // or_into: read dst + src, write dst = 24 bytes per word.
+  BenchFlat("or_into", "kernel_or_into", 24.0, min_seconds,
+            [](const BitKernels& k, uint64_t* dst, const uint64_t* src,
+               size_t n) { k.or_into(dst, src, n); });
+  // any over an all-zero buffer: the full-scan worst case, 8 bytes/word.
+  BenchFlat("any", "kernel_any", 8.0, min_seconds,
+            [](const BitKernels& k, uint64_t* dst, const uint64_t*,
+               size_t n) { g_sink += k.any(dst, n) ? 1 : 0; });
+  // popcount reads src, 8 bytes per word.
+  BenchFlat("popcount", "kernel_popcount", 8.0, min_seconds,
+            [](const BitKernels& k, uint64_t*, const uint64_t* src,
+               size_t n) { g_sink += k.popcount(src, n); });
+  // zero writes dst, 8 bytes per word.
+  BenchFlat("zero", "kernel_zero", 8.0, min_seconds,
+            [](const BitKernels& k, uint64_t* dst, const uint64_t*,
+               size_t n) { k.zero(dst, n); });
+  return 0;
+}

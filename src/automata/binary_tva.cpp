@@ -1,5 +1,6 @@
 #include "automata/binary_tva.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace treenum {
@@ -7,6 +8,7 @@ namespace treenum {
 const std::vector<std::pair<VarMask, State>> BinaryTva::kEmptyLeafInits;
 const std::vector<State> BinaryTva::kEmptyStates;
 const std::vector<Transition> BinaryTva::kEmptyTransitions;
+const std::vector<DeltaGroup> BinaryTva::kEmptyGroups;
 
 void BinaryTva::AddLeafInit(Label l, VarMask vars, State q) {
   assert(l < num_labels_ && q < num_states_);
@@ -43,6 +45,7 @@ void BinaryTva::AddTransition(Label l, State left, State right, State q) {
                      num_states_ +
                  right;
   delta_lookup_[key].push_back(q);
+  delta_groups_dirty_ = true;
 }
 
 void BinaryTva::AddFinal(State q) {
@@ -76,6 +79,44 @@ const std::vector<State>& BinaryTva::TransitionsFor(Label l, State q1,
 const std::vector<Transition>& BinaryTva::TransitionsForLabel(Label l) const {
   if (l >= transitions_by_label_.size()) return kEmptyTransitions;
   return transitions_by_label_[l];
+}
+
+const std::vector<DeltaGroup>& BinaryTva::DeltaGroupsFor(Label l) const {
+  EnsureDeltaGroups();
+  if (l >= delta_groups_by_label_.size()) return kEmptyGroups;
+  return delta_groups_by_label_[l];
+}
+
+void BinaryTva::EnsureDeltaGroups() const {
+  if (!delta_groups_dirty_) return;
+  delta_groups_dirty_ = false;
+  delta_groups_by_label_.assign(transitions_by_label_.size(), {});
+  delta_results_.clear();
+  delta_results_.reserve(transitions_.size());
+  std::vector<std::pair<State, State>> pairs;
+  for (Label l = 0; l < transitions_by_label_.size(); ++l) {
+    pairs.clear();
+    for (const Transition& t : transitions_by_label_[l]) {
+      pairs.emplace_back(t.left, t.right);
+    }
+    // Sorted (left, right) order matches the nested q1/q2 scan the groups
+    // replace; within a group the delta_lookup_ vector preserves insertion
+    // order, so downstream circuits come out bit-identical.
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    std::vector<DeltaGroup>& groups = delta_groups_by_label_[l];
+    groups.reserve(pairs.size());
+    for (const auto& [q1, q2] : pairs) {
+      uint64_t key =
+          (static_cast<uint64_t>(l) * num_states_ + q1) * num_states_ + q2;
+      const std::vector<State>& results = delta_lookup_.at(key);
+      DeltaGroup g{q1, q2, static_cast<uint32_t>(delta_results_.size()), 0};
+      delta_results_.insert(delta_results_.end(), results.begin(),
+                            results.end());
+      g.end = static_cast<uint32_t>(delta_results_.size());
+      groups.push_back(g);
+    }
+  }
 }
 
 std::string BinaryTva::ToString() const {

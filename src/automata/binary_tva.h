@@ -49,6 +49,15 @@ struct Transition {
   }
 };
 
+/// One live (left, right) child-state pair of δ restricted to a label; its
+/// result states are delta_results()[begin..end) in insertion order.
+struct DeltaGroup {
+  State left;
+  State right;
+  uint32_t begin;
+  uint32_t end;
+};
+
 /// A nondeterministic tree variable automaton on binary Λ-trees.
 class BinaryTva {
  public:
@@ -84,6 +93,22 @@ class BinaryTva {
   /// All transitions with label l, grouped arbitrarily (for full scans).
   const std::vector<Transition>& TransitionsForLabel(Label l) const;
 
+  /// Grouped-CSR view of δ restricted to label l: one DeltaGroup per live
+  /// (left, right) pair, sorted by (left, right), with result states flat in
+  /// delta_results(). Iterating groups in order and results within each group
+  /// visits exactly the triples the nested TransitionsFor scan would, in the
+  /// same order — consumers replacing that scan stay bit-identical.
+  const std::vector<DeltaGroup>& DeltaGroupsFor(Label l) const;
+  const std::vector<State>& delta_results() const {
+    EnsureDeltaGroups();
+    return delta_results_;
+  }
+
+  /// Builds the grouped-CSR cache if any AddTransition invalidated it. Called
+  /// lazily by DeltaGroupsFor; call it eagerly before handing the automaton
+  /// to concurrent readers (the cache mutates on first access).
+  void EnsureDeltaGroups() const;
+
   std::string ToString() const;
 
  private:
@@ -102,9 +127,16 @@ class BinaryTva {
   // Key: (label * num_states + q1) * num_states + q2.
   std::unordered_map<uint64_t, std::vector<State>> delta_lookup_;
 
+  // Grouped-CSR cache over δ (see DeltaGroupsFor); rebuilt on demand after
+  // AddTransition marks it dirty.
+  mutable std::vector<std::vector<DeltaGroup>> delta_groups_by_label_;
+  mutable std::vector<State> delta_results_;
+  mutable bool delta_groups_dirty_ = true;
+
   static const std::vector<std::pair<VarMask, State>> kEmptyLeafInits;
   static const std::vector<State> kEmptyStates;
   static const std::vector<Transition> kEmptyTransitions;
+  static const std::vector<DeltaGroup> kEmptyGroups;
 };
 
 }  // namespace treenum

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -54,8 +55,10 @@ struct SpanRef {
   uint32_t cap = 0;
 };
 
-/// One flat pool of `T` with size-class span recycling.
-template <typename T>
+/// One flat pool of `T` with size-class span recycling. `Alloc` customizes
+/// the backing vector's allocator (the bit-matrix pool passes an over-
+/// aligned one so SIMD kernels see cache-line-aligned blocks).
+template <typename T, typename Alloc = std::allocator<T>>
 class SpanPool {
  public:
   /// Makes `ref` address at least `n` usable slots and sets ref.len = n.
@@ -122,7 +125,7 @@ class SpanPool {
     return k;
   }
 
-  std::vector<T> store_;
+  std::vector<T, Alloc> store_;
   std::vector<uint32_t> free_[32];
 };
 

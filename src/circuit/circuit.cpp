@@ -19,6 +19,10 @@ AssignmentCircuit::AssignmentCircuit(const Term* term, const BinaryTva* tva,
   local_in_scratch_.resize(w_);
   child_in_scratch_.resize(w_);
   has_top_scratch_.resize(w_, 0);
+  // Build the grouped-CSR δ cache now, while this thread owns the automaton:
+  // box rebuilds may later run from parallel refresh workers, and the cache
+  // mutates on first access.
+  tva->EnsureDeltaGroups();
 }
 
 void AssignmentCircuit::EnsureSlot(TermNodeId id) {
@@ -154,34 +158,36 @@ void AssignmentCircuit::BuildInternalBox(TermNodeId id) {
   cross_gates_scratch_.clear();
   var_masks_scratch_.clear();
 
-  // Iterate over live child state pairs; δ lookups give the result states.
-  for (State q1 = 0; q1 < w; ++q1) {
-    GateKind k1 = lg[q1];
+  // Iterate the grouped-CSR form of δ|l: one group per live (q1, q2) pair
+  // instead of a w x w scan with a hash probe per pair — sparse automata
+  // touch only |δ|l| groups, and the flat result array replaces 2.8e7-scale
+  // hash lookups on large relabel batches.
+  const std::vector<DeltaGroup>& groups = tva_->DeltaGroupsFor(l);
+  const State* results = tva_->delta_results().data();
+  for (const DeltaGroup& g : groups) {
+    GateKind k1 = lg[g.left];
     if (k1 == GateKind::kBot) continue;
-    for (State q2 = 0; q2 < w; ++q2) {
-      GateKind k2 = rg[q2];
-      if (k2 == GateKind::kBot) continue;
-      const std::vector<State>& results = tva_->TransitionsFor(l, q1, q2);
-      if (results.empty()) continue;
-      // Each (q1, q2) pair is visited exactly once, so the shared ×-gate
-      // д^{q1,q2} is created lazily on its first live result state.
-      int32_t cross_id = -1;
-      for (State q : results) {
-        if (k1 == GateKind::kTop && k2 == GateKind::kTop) {
-          assert((*kind_)[q] == 0 && "homogenization violated");
-          has_top_scratch_[q] = 1;
-        } else if (k1 == GateKind::kTop) {
-          // д^{q1,q2} collapses to γ(right, q2).
-          child_in_scratch_[q].push_back(ChildUnionInput{uint8_t{1}, q2});
-        } else if (k2 == GateKind::kTop) {
-          child_in_scratch_[q].push_back(ChildUnionInput{uint8_t{0}, q1});
-        } else {
-          if (cross_id < 0) {
-            cross_id = static_cast<int32_t>(cross_gates_scratch_.size());
-            cross_gates_scratch_.push_back(CrossGate{q1, q2});
-          }
-          local_in_scratch_[q].push_back(static_cast<uint32_t>(cross_id));
+    GateKind k2 = rg[g.right];
+    if (k2 == GateKind::kBot) continue;
+    // Each (q1, q2) pair owns exactly one group, so the shared ×-gate
+    // д^{q1,q2} is created lazily on its first live result state.
+    int32_t cross_id = -1;
+    for (uint32_t i = g.begin; i < g.end; ++i) {
+      State q = results[i];
+      if (k1 == GateKind::kTop && k2 == GateKind::kTop) {
+        assert((*kind_)[q] == 0 && "homogenization violated");
+        has_top_scratch_[q] = 1;
+      } else if (k1 == GateKind::kTop) {
+        // д^{q1,q2} collapses to γ(right, q2).
+        child_in_scratch_[q].push_back(ChildUnionInput{uint8_t{1}, g.right});
+      } else if (k2 == GateKind::kTop) {
+        child_in_scratch_[q].push_back(ChildUnionInput{uint8_t{0}, g.left});
+      } else {
+        if (cross_id < 0) {
+          cross_id = static_cast<int32_t>(cross_gates_scratch_.size());
+          cross_gates_scratch_.push_back(CrossGate{g.left, g.right});
         }
+        local_in_scratch_[q].push_back(static_cast<uint32_t>(cross_id));
       }
     }
   }

@@ -76,16 +76,23 @@ DynamicDocument::QueryHandle DynamicDocument::RegisterPrepared(
   }
 
   if (entry_idx == kNoEntry) {
-    // Genuinely new query: new registry entry + pipeline over the current
-    // term. The canonical automaton is shared between entry and pipeline.
-    entry_idx = entries_.size();
-    QueryEntry entry;
+    // Genuinely new query: a registry entry (recycling a reclaimed slot
+    // when one is free) + pipeline over the current term. The canonical
+    // automaton is shared between entry and pipeline.
+    if (!entry_free_.empty()) {
+      entry_idx = entry_free_.back();
+      entry_free_.pop_back();
+      entries_[entry_idx] = QueryEntry{};
+    } else {
+      entry_idx = entries_.size();
+      entries_.emplace_back();
+    }
+    QueryEntry& entry = entries_[entry_idx];
     entry.fingerprint = fp;
     entry.homog = std::make_shared<const HomogenizedTva>(std::move(homog));
     entry.mode = mode;
     entry.pipeline =
         std::make_unique<EnumerationPipeline>(term_, entry.homog, mode);
-    entries_.push_back(std::move(entry));
     by_fingerprint_.emplace(fp, entry_idx);
     built_entries_.push_back(entry_idx);
   } else {
@@ -96,6 +103,7 @@ DynamicDocument::QueryHandle DynamicDocument::RegisterPrepared(
       e.pipeline =
           std::make_unique<EnumerationPipeline>(term_, e.homog, e.mode);
       built_entries_.push_back(entry_idx);
+      --retained_evicted_;
       ++rebuilds_;
     } else if (e.refcount == 0) {
       ++readmissions_;  // warm hit: the pipeline never went cold
@@ -108,16 +116,28 @@ DynamicDocument::QueryHandle DynamicDocument::RegisterPrepared(
   ++e.refcount;
   e.last_use = ++use_clock_;
   ++num_live_;
-  handle_to_entry_.push_back(entry_idx);
+  uint32_t slot;
+  if (!handle_free_.empty()) {
+    slot = handle_free_.back();
+    handle_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(handle_entry_.size());
+    handle_entry_.push_back(kNoEntry);
+    handle_gen_.push_back(0);
+  }
+  handle_entry_[slot] = entry_idx;
   EnforceCap();
-  return handle_to_entry_.size() - 1;
+  return MakeHandle(slot, handle_gen_[slot]);
 }
 
 void DynamicDocument::Unregister(QueryHandle handle) {
   TREENUM_CHECK(!in_batch_, "cannot unregister a query mid-batch");
   TREENUM_CHECK(IsRegistered(handle), "unknown or already-unregistered query");
-  QueryEntry& e = entries_[handle_to_entry_[handle]];
-  handle_to_entry_[handle] = kNoEntry;
+  const uint32_t slot = HandleSlot(handle);
+  QueryEntry& e = entries_[handle_entry_[slot]];
+  handle_entry_[slot] = kNoEntry;
+  ++handle_gen_[slot];  // invalidate any copies of this handle
+  handle_free_.push_back(slot);
   --e.refcount;
   --num_live_;
   if (e.refcount == 0) {
@@ -127,19 +147,21 @@ void DynamicDocument::Unregister(QueryHandle handle) {
 }
 
 bool DynamicDocument::IsRegistered(QueryHandle handle) const {
-  return handle < handle_to_entry_.size() &&
-         handle_to_entry_[handle] != kNoEntry;
+  const uint32_t slot = HandleSlot(handle);
+  return slot < handle_entry_.size() &&
+         handle_gen_[slot] == HandleGen(handle) &&
+         handle_entry_[slot] != kNoEntry;
 }
 
 EnumerationPipeline& DynamicDocument::pipeline(QueryHandle handle) {
   TREENUM_CHECK(IsRegistered(handle), "unknown or already-unregistered query");
-  return *entries_[handle_to_entry_[handle]].pipeline;
+  return *entries_[handle_entry_[HandleSlot(handle)]].pipeline;
 }
 
 const EnumerationPipeline& DynamicDocument::pipeline(
     QueryHandle handle) const {
   TREENUM_CHECK(IsRegistered(handle), "unknown or already-unregistered query");
-  return *entries_[handle_to_entry_[handle]].pipeline;
+  return *entries_[handle_entry_[HandleSlot(handle)]].pipeline;
 }
 
 void DynamicDocument::set_pipeline_cap(size_t cap) {
@@ -163,8 +185,41 @@ void DynamicDocument::EnforceCap() {
     entries_[victim].pipeline.reset();
     built_entries_.erase(
         std::find(built_entries_.begin(), built_entries_.end(), victim));
+    ++retained_evicted_;
     ++evictions_;
   }
+  // Second-level cap: evicted entries keep only their canonical automaton,
+  // but even that must not grow with every query ever seen. Reclaim the
+  // LRU evicted entries outright — fingerprint forgotten, slot recycled.
+  while (retained_evicted_ > evicted_retention_cap_) {
+    size_t victim = kNoEntry;
+    uint64_t oldest = ~uint64_t{0};
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const QueryEntry& e = entries_[i];
+      if (e.pipeline == nullptr && e.homog != nullptr && e.last_use < oldest) {
+        oldest = e.last_use;
+        victim = i;
+      }
+    }
+    if (victim == kNoEntry) break;  // counter out of sync; be safe
+    auto range = by_fingerprint_.equal_range(entries_[victim].fingerprint);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == victim) {
+        by_fingerprint_.erase(it);
+        break;
+      }
+    }
+    entries_[victim].homog.reset();  // marks the slot free
+    entry_free_.push_back(victim);
+    --retained_evicted_;
+    ++reclaimed_;
+  }
+}
+
+void DynamicDocument::set_evicted_retention_cap(size_t cap) {
+  TREENUM_CHECK(!in_batch_, "cannot change the retention cap mid-batch");
+  evicted_retention_cap_ = cap;
+  EnforceCap();
 }
 
 DocumentStats DynamicDocument::stats() const {
@@ -175,7 +230,11 @@ DocumentStats DynamicDocument::stats() const {
   s.readmissions = readmissions_;
   s.rebuilds = rebuilds_;
   s.evictions = evictions_;
+  s.handle_slots = handle_entry_.size();
+  s.registry_entries = entries_.size() - entry_free_.size();
+  s.reclaimed_entries = reclaimed_;
   for (const QueryEntry& e : entries_) {
+    if (e.homog == nullptr) continue;  // reclaimed slot awaiting reuse
     if (e.pipeline != nullptr) {
       if (e.refcount > 0) {
         ++s.active_pipelines;

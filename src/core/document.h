@@ -23,7 +23,11 @@
 //     but automaton-identical queries map to one refcounted pipeline. The
 //     registry keeps refcount-zero pipelines warm for cheap re-admission
 //     and supports a configurable cap with LRU eviction (see
-//     set_pipeline_cap); DocumentStats exposes the registry state.
+//     set_pipeline_cap); DocumentStats exposes the registry state. The
+//     registry's own metadata is bounded too: handle and entry slots
+//     recycle through free lists (handles carry generation tags so stale
+//     ones never validate), and evicted-entry metadata kept for the
+//     cheap-rebuild path has its own LRU cap (set_evicted_retention_cap).
 //   * Refresh fan-out optionally runs on a ThreadPool (util/thread_pool.h)
 //     and iterates *distinct* pipelines only — per-edit refresh cost
 //     scales with the number of distinct queries, not registrations.
@@ -80,7 +84,10 @@ struct DocumentStats {
   size_t readmissions = 0;     ///< Registrations served by a warm pipeline.
   size_t rebuilds = 0;         ///< Registrations that rebuilt an evicted entry.
   size_t evictions = 0;        ///< Pipelines destroyed by the cap.
-  std::vector<PipelineStats> pipelines;  ///< One entry per ever-seen query.
+  size_t handle_slots = 0;     ///< Handle-table slots (recycled, ~peak live).
+  size_t registry_entries = 0; ///< Occupied registry entry slots.
+  size_t reclaimed_entries = 0;  ///< Evicted entries fully reclaimed (lifetime).
+  std::vector<PipelineStats> pipelines;  ///< One entry per retained query.
 };
 
 /// One mutating document (tree or word) serving many registered queries
@@ -102,11 +109,15 @@ class DynamicDocument {
   /// long-lived documents with query churn (register, serve, unregister,
   /// repeat with new queries) can't accumulate either without bound.
   /// Raise it — or pass kNoPipelineCap — via set_pipeline_cap to retain
-  /// more. Note what the cap does NOT bound: per *distinct query ever
-  /// seen*, the registry retains a small O(poly automaton-size) entry
-  /// (the canonical automaton, for rebuild and stats), and each
-  /// registration ever issued keeps one handle slot.
+  /// more. The small O(poly automaton-size) metadata of *evicted* entries
+  /// (the canonical automaton, kept for cheap rebuild) is bounded
+  /// separately by set_evicted_retention_cap, and handle slots are
+  /// recycled through a free list — so every piece of registry state is
+  /// bounded by the live working set plus the two caps, no matter how
+  /// many registrations a long-lived document churns through.
   static constexpr size_t kDefaultPipelineCap = 64;
+  /// Default cap on evicted-entry metadata retained for rebuilds.
+  static constexpr size_t kDefaultEvictedRetention = 256;
 
   /// A tree document: encodes `tree` as a balanced term (linear time).
   /// Every registered query must use exactly `num_labels` base labels.
@@ -184,6 +195,14 @@ class DynamicDocument {
   /// Current cap (kDefaultPipelineCap unless overridden; kNoPipelineCap
   /// disables eviction entirely).
   size_t pipeline_cap() const { return pipeline_cap_; }
+  /// Caps how many *evicted* entries keep their canonical automaton for
+  /// the cheap-rebuild path. Beyond the cap the LRU evicted entries are
+  /// reclaimed outright (slot recycled, fingerprint forgotten);
+  /// re-registering such a query is indistinguishable from a first
+  /// registration. Not allowed mid-batch.
+  void set_evicted_retention_cap(size_t cap);
+  /// Current evicted-metadata retention cap.
+  size_t evicted_retention_cap() const { return evicted_retention_cap_; }
   /// Registry + refresh-cost observability snapshot.
   DocumentStats stats() const;
 
@@ -264,6 +283,20 @@ class DynamicDocument {
   };
   static constexpr size_t kNoEntry = static_cast<size_t>(-1);
 
+  // Handles pack a recycled slot index (low 32 bits) with that slot's
+  // generation (high 32 bits): unregistering bumps the generation, so a
+  // stale handle to a recycled slot never validates. Generations wrap at
+  // 2^32 reuses of one slot — far beyond any realistic churn.
+  static constexpr QueryHandle MakeHandle(uint32_t slot, uint32_t gen) {
+    return (static_cast<QueryHandle>(gen) << 32) | slot;
+  }
+  static constexpr uint32_t HandleSlot(QueryHandle h) {
+    return static_cast<uint32_t>(h);
+  }
+  static constexpr uint32_t HandleGen(QueryHandle h) {
+    return static_cast<uint32_t>(h >> 32);
+  }
+
   /// Broadcasts one UpdateResult (outside a batch) or records it (inside).
   UpdateStats Dispatch(const UpdateResult& result);
   /// Runs fn(pipeline) on every built pipeline — on the pool when parallel
@@ -284,13 +317,17 @@ class DynamicDocument {
   std::unique_ptr<WordEncoding> word_enc_;
   const Term* term_;
 
-  // The query registry. Entries are append-only (an evicted entry keeps
-  // its automaton for re-admission); handle_to_entry_ has one slot per
-  // ever-issued handle, kNoEntry once unregistered, so surviving handles
-  // stay valid.
+  // The query registry. Entry slots recycle through entry_free_ once an
+  // evicted entry's metadata is reclaimed (homog == nullptr marks a free
+  // slot); handle slots recycle through handle_free_ under generation
+  // tags, so surviving handles stay valid while the tables stay bounded
+  // by the peak working set plus the caps.
   std::vector<QueryEntry> entries_;
   std::unordered_multimap<uint64_t, size_t> by_fingerprint_;
-  std::vector<size_t> handle_to_entry_;
+  std::vector<size_t> entry_free_;
+  std::vector<size_t> handle_entry_;  // per-slot entry idx; kNoEntry if dead
+  std::vector<uint32_t> handle_gen_;
+  std::vector<uint32_t> handle_free_;
   // Indices of entries with a built pipeline, in build order — the edit
   // path (fan-out, pending flags, cost charging) iterates this compact
   // list, so per-edit cost is O(built pipelines), not O(entries ever
@@ -298,11 +335,14 @@ class DynamicDocument {
   std::vector<size_t> built_entries_;
   size_t num_live_ = 0;  // live handles
   size_t pipeline_cap_ = kDefaultPipelineCap;
+  size_t evicted_retention_cap_ = kDefaultEvictedRetention;
+  size_t retained_evicted_ = 0;  // evicted entries still holding metadata
   uint64_t use_clock_ = 0;
   size_t shared_hits_ = 0;
   size_t readmissions_ = 0;
   size_t rebuilds_ = 0;
   size_t evictions_ = 0;
+  size_t reclaimed_ = 0;
   ThreadPool* pool_ = nullptr;
 
   bool in_batch_ = false;

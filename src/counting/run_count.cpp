@@ -49,15 +49,16 @@ void RunCounter::RebuildBoxCounts(TermNodeId id) {
   } else {
     const uint64_t* lc = counts_.data() + static_cast<size_t>(t.left) * w;
     const uint64_t* rc = counts_.data() + static_cast<size_t>(t.right) * w;
-    for (State q1 = 0; q1 < w; ++q1) {
-      if (lc[q1] == 0) continue;
-      for (State q2 = 0; q2 < w; ++q2) {
-        if (rc[q2] == 0) continue;
-        uint64_t prod = lc[q1] * rc[q2];
-        for (State q : tva.TransitionsFor(t.label, q1, q2)) {
-          counts[q] += prod;
-        }
-      }
+    // Grouped-CSR δ: only live (q1, q2) pairs, no hash probe per pair.
+    const std::vector<DeltaGroup>& groups = tva.DeltaGroupsFor(t.label);
+    const State* results = tva.delta_results().data();
+    for (const DeltaGroup& g : groups) {
+      const uint64_t cl = lc[g.left];
+      if (cl == 0) continue;
+      const uint64_t cr = rc[g.right];
+      if (cr == 0) continue;
+      const uint64_t prod = cl * cr;
+      for (uint32_t i = g.begin; i < g.end; ++i) counts[results[i]] += prod;
     }
   }
 }

@@ -268,7 +268,14 @@ void EnumIndex::RebuildBoxIndex(TermNodeId id) {
   for (uint32_t c = 0; c < nc; ++c) {
     const CandMeta& m = cand_meta_scratch_[c];
     recs[c] = CandRec{m.box, m.source, m.cc, BitsRef{}};
-    bits_pool_.Ensure(recs[c].rel, m.rows, nu);
+    // Inherited candidates (source != 0) are compose targets, which the
+    // kernel fully overwrites — skip the zero-fill for them. Only the
+    // identity block (diagonal scatter) needs pre-zeroed words.
+    if (m.source == 0) {
+      bits_pool_.Ensure(recs[c].rel, m.rows, nu);
+    } else {
+      bits_pool_.EnsureUninit(recs[c].rel, m.rows, nu);
+    }
   }
 
   // ---- Phase 3: fill. Reads child spans, writes this box's spans; no pool
@@ -290,8 +297,9 @@ void EnumIndex::RebuildBoxIndex(TermNodeId id) {
     }
   }
 
-  // Candidate relations: self = identity, inherited = child rel composed
-  // with the wire relation of that side (all blocks pre-zeroed by Ensure).
+  // Candidate relations: self = identity (block pre-zeroed by Ensure),
+  // inherited = child rel composed with the wire relation of that side
+  // (blocks written wholesale by the overwrite-semantics compose kernel).
   const BitMatrixView wlv = bits_pool_.view(s.wire_left);
   const BitMatrixView wrv = bits_pool_.view(s.wire_right);
   for (uint32_t c = 0; c < nc; ++c) {

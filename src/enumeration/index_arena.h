@@ -14,6 +14,13 @@
 // into the pool are invalidated by the next Ensure that grows the backing
 // store. Rebuilds therefore run in phases — read children into scratch,
 // (re)allocate this box's spans, then fill through freshly resolved views.
+//
+// Alignment contract with the SIMD kernels (util/simd_kernels.h): the pool's
+// backing store is 64-byte-aligned and every block is rounded up to a
+// multiple of 8 words, so — size classes being powers of two ≥ 8 — every
+// block offset stays a multiple of 8 words and every handed-out block starts
+// on a cache line. The kernels use unaligned load instructions regardless
+// (alignment is a performance contract, not a correctness one).
 #ifndef TREENUM_ENUMERATION_INDEX_ARENA_H_
 #define TREENUM_ENUMERATION_INDEX_ARENA_H_
 
@@ -21,6 +28,7 @@
 #include <cstdint>
 
 #include "circuit/arena.h"
+#include "util/aligned_alloc.h"
 #include "util/bit_matrix.h"
 #include "util/check.h"
 
@@ -41,14 +49,16 @@ class BitMatrixPool {
   /// Makes `ref` a zeroed rows x cols matrix, reusing its current span when
   /// the capacity suffices (the steady-state allocation-free path).
   void Ensure(BitsRef& ref, uint32_t rows, uint32_t cols) {
-    uint64_t words = uint64_t{rows} * WordsPerRow(cols);
-    TREENUM_CHECK(words <= (uint64_t{1} << 31),
-                  "index bit matrix exceeds 2^31 words");
-    pool_.Ensure(ref.words, static_cast<uint32_t>(words));
-    ref.rows = rows;
-    ref.cols = cols;
+    uint64_t words = EnsureSpan(ref, rows, cols);
     uint64_t* p = pool_.at(ref.words.off);
     std::fill(p, p + words, uint64_t{0});
+  }
+
+  /// Ensure without the zero-fill: entry values are unspecified. Only for
+  /// blocks about to be fully overwritten — i.e. compose targets, which
+  /// BitMatrixView::ComposeIntoWords writes in every word.
+  void EnsureUninit(BitsRef& ref, uint32_t rows, uint32_t cols) {
+    EnsureSpan(ref, rows, cols);
   }
 
   /// Returns ref's span to its size-class free list and clears ref.
@@ -73,7 +83,20 @@ class BitMatrixPool {
   static uint32_t WordsPerRow(uint32_t cols) { return (cols + 63) / 64; }
 
  private:
-  SpanPool<uint64_t> pool_;
+  /// Shared (re)allocation: rounds the request up to a multiple of 8 words
+  /// (64 bytes) to keep every block offset cache-line-aligned (see the file
+  /// comment), sets the shape, and returns the padded word count.
+  uint64_t EnsureSpan(BitsRef& ref, uint32_t rows, uint32_t cols) {
+    uint64_t words = (uint64_t{rows} * WordsPerRow(cols) + 7) & ~uint64_t{7};
+    TREENUM_CHECK(words <= (uint64_t{1} << 31),
+                  "index bit matrix exceeds 2^31 words");
+    pool_.Ensure(ref.words, static_cast<uint32_t>(words));
+    ref.rows = rows;
+    ref.cols = cols;
+    return words;
+  }
+
+  SpanPool<uint64_t, AlignedAllocator<uint64_t, 64>> pool_;
 };
 
 }  // namespace treenum

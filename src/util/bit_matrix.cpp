@@ -2,15 +2,17 @@
 
 #include <cassert>
 
+#include "util/simd_kernels.h"
+
 namespace treenum {
 
 namespace {
 
-bool AnyWord(const uint64_t* words, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    if (words[i]) return true;
-  }
-  return false;
+// One guarded static lookup per call site; the table itself is resolved
+// once per process (cpuid + TREENUM_SIMD, see util/simd_kernels.h).
+const BitKernels& K() {
+  static const BitKernels& k = ActiveKernels();
+  return k;
 }
 
 }  // namespace
@@ -18,19 +20,15 @@ bool AnyWord(const uint64_t* words, size_t n) {
 // ---------------------------------------------------------------- View
 
 bool BitMatrixView::RowAny(size_t r) const {
-  return AnyWord(Row(r), words_per_row_);
+  return K().any(Row(r), words_per_row_);
 }
 
 bool BitMatrixView::Any() const {
-  return AnyWord(words_, rows_ * words_per_row_);
+  return K().any(words_, rows_ * words_per_row_);
 }
 
 size_t BitMatrixView::Count() const {
-  size_t n = 0;
-  for (size_t i = 0; i < rows_ * words_per_row_; ++i) {
-    n += static_cast<size_t>(__builtin_popcountll(words_[i]));
-  }
-  return n;
+  return K().popcount(words_, rows_ * words_per_row_);
 }
 
 void BitMatrixView::NonEmptyRowsInto(std::vector<uint32_t>* out) const {
@@ -43,26 +41,16 @@ void BitMatrixView::NonEmptyRowsInto(std::vector<uint32_t>* out) const {
 void BitMatrixView::ComposeIntoWords(const BitMatrixView& a,
                                      const BitMatrixView& b, uint64_t* out) {
   assert(a.cols() == b.rows());
-  const size_t b_wpr = b.words_per_row();
-  for (size_t r = 0; r < a.rows_; ++r) {
-    const uint64_t* row = a.Row(r);
-    uint64_t* o = out + r * b_wpr;
-    for (size_t w = 0; w < a.words_per_row_; ++w) {
-      uint64_t bits = row[w];
-      while (bits) {
-        size_t m = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
-        bits &= bits - 1;
-        const uint64_t* mid = b.Row(m);
-        for (size_t ow = 0; ow < b_wpr; ++ow) o[ow] |= mid[ow];
-      }
-    }
-  }
+  K().compose(a.words_, a.rows_, a.words_per_row_, b.words_, b.words_per_row(),
+              out);
 }
 
 void BitMatrixView::ComposeInto(const BitMatrixView& other,
                                 BitMatrix* result) const {
-  result->Assign(rows_, other.cols());
-  if (rows_ == 0) return;
+  // The kernel overwrites the whole destination block, so the reshape can
+  // skip the zero-fill the old code paid through Assign.
+  result->ReshapeUninit(rows_, other.cols());
+  if (rows_ == 0 || other.cols() == 0) return;
   ComposeIntoWords(*this, other, result->MutableRow(0));
 }
 
@@ -75,19 +63,33 @@ BitMatrix BitMatrix::Identity(size_t n) {
 }
 
 void BitMatrix::Assign(size_t rows, size_t cols) {
+  ReshapeUninit(rows, cols);
+  K().zero(bits_.data(), bits_.size());
+}
+
+void BitMatrix::ReshapeUninit(size_t rows, size_t cols) {
   rows_ = rows;
   cols_ = cols;
   words_per_row_ = (cols + 63) / 64;
-  bits_.assign(rows * words_per_row_, 0);
+  const size_t n = rows * words_per_row_;
+  // Exact-capacity growth (reserve, not resize's geometric policy): cursor
+  // buffers circulate between stack slots of different sizes, and the
+  // steady-state allocation-freeness tests rely on capacities converging to
+  // the per-slot maxima in a bounded number of passes. Retained words keep
+  // stale values — callers overwrite or zero every word.
+  if (n > bits_.capacity()) bits_.reserve(n);
+  bits_.resize(n);
 }
 
 bool BitMatrix::RowAny(size_t r) const {
-  return AnyWord(Row(r), words_per_row_);
+  return K().any(Row(r), words_per_row_);
 }
 
 bool BitMatrix::ColAny(size_t c) const {
   // Stride the column's word with a fixed mask — one word probe per row
   // instead of a bit test through Get (the analog of RowAny's word scan).
+  // Strided single-word probes have nothing to vectorize, so this stays
+  // outside the kernel table.
   const size_t cw = c / 64;
   const uint64_t mask = uint64_t{1} << (c % 64);
   for (size_t r = 0; r < rows_; ++r) {
@@ -96,14 +98,10 @@ bool BitMatrix::ColAny(size_t c) const {
   return false;
 }
 
-bool BitMatrix::Any() const {
-  return AnyWord(bits_.data(), bits_.size());
-}
+bool BitMatrix::Any() const { return K().any(bits_.data(), bits_.size()); }
 
 size_t BitMatrix::Count() const {
-  size_t n = 0;
-  for (uint64_t w : bits_) n += static_cast<size_t>(__builtin_popcountll(w));
-  return n;
+  return K().popcount(bits_.data(), bits_.size());
 }
 
 BitMatrix BitMatrix::Compose(const BitMatrixView& other) const {
@@ -121,17 +119,13 @@ void BitMatrix::ComposeInto(const BitMatrixView& other,
 void BitMatrix::UnionWith(const BitMatrixView& other) {
   assert(rows_ == other.rows() && cols_ == other.cols());
   if (bits_.empty()) return;
-  const uint64_t* src = other.Row(0);
-  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= src[i];
+  K().or_into(bits_.data(), other.Row(0), bits_.size());
 }
 
 void BitMatrix::ZeroRowsNotIn(const std::vector<uint64_t>& keep) {
   for (size_t r = 0; r < rows_; ++r) {
     bool kept = r / 64 < keep.size() && ((keep[r / 64] >> (r % 64)) & 1u);
-    if (!kept) {
-      uint64_t* row = MutableRow(r);
-      for (size_t w = 0; w < words_per_row_; ++w) row[w] = 0;
-    }
+    if (!kept) K().zero(MutableRow(r), words_per_row_);
   }
 }
 
@@ -151,8 +145,7 @@ std::vector<uint32_t> BitMatrix::NonEmptyCols() const {
   std::vector<uint32_t> out;
   std::vector<uint64_t> acc(words_per_row_, 0);
   for (size_t r = 0; r < rows_; ++r) {
-    const uint64_t* row = Row(r);
-    for (size_t w = 0; w < words_per_row_; ++w) acc[w] |= row[w];
+    K().or_into(acc.data(), Row(r), words_per_row_);
   }
   for (size_t c = 0; c < cols_; ++c) {
     if ((acc[c / 64] >> (c % 64)) & 1u) out.push_back(static_cast<uint32_t>(c));

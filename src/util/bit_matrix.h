@@ -4,11 +4,16 @@
 // i.e. in O(rows * cols / 64) per row pair.
 //
 // Two representations share the kernels:
-//  * BitMatrix — owning (vector-backed), used for the relations that cursors
-//    thread through their stacks;
+//  * BitMatrix — owning (vector-backed, 64-byte-aligned), used for the
+//    relations that cursors thread through their stacks;
 //  * BitMatrixView — a borrowed (words, rows, cols) view over word-aligned
 //    storage, used for the pooled index relations (enumeration/index_arena.h)
 //    and to run the kernels without copying. A BitMatrix converts implicitly.
+//
+// Every scan/union/zero/compose below bottoms out in the runtime-dispatched
+// word-block kernels of util/simd_kernels.h (scalar / AVX2 / AVX-512, picked
+// once per process), so both representations share one implementation per
+// primitive.
 #ifndef TREENUM_UTIL_BIT_MATRIX_H_
 #define TREENUM_UTIL_BIT_MATRIX_H_
 
@@ -16,6 +21,8 @@
 #include <cstddef>
 #include <string>
 #include <vector>
+
+#include "util/aligned_alloc.h"
 
 namespace treenum {
 
@@ -60,9 +67,11 @@ class BitMatrixView {
   void ComposeInto(const BitMatrixView& other, BitMatrix* result) const;
 
   /// Low-level composition kernel: `out` must point at
-  /// a.rows() * b.words_per_row() pre-zeroed words not aliasing either
-  /// operand. Used by the index arena to compose directly into pooled
-  /// storage.
+  /// a.rows() * b.words_per_row() words that do NOT alias either operand's
+  /// storage (the blocked kernel re-reads operand rows after writing `out`).
+  /// OVERWRITE semantics: every word of `out` is written — accumulators
+  /// start at zero inside the kernel — so callers need not pre-zero the
+  /// block. Used by the index arena to compose directly into pooled storage.
   static void ComposeIntoWords(const BitMatrixView& a, const BitMatrixView& b,
                                uint64_t* out);
 
@@ -162,10 +171,17 @@ class BitMatrix {
   std::string ToString() const;
 
  private:
+  friend class BitMatrixView;
+
+  /// Reshapes to rows x cols WITHOUT zeroing: entry values are unspecified
+  /// afterwards. Only for callers about to overwrite every word (the
+  /// compose path — see ComposeIntoWords' overwrite semantics).
+  void ReshapeUninit(size_t rows, size_t cols);
+
   size_t rows_;
   size_t cols_;
   size_t words_per_row_;
-  std::vector<uint64_t> bits_;
+  AlignedWordVector bits_;
 };
 
 inline BitMatrixView::BitMatrixView(const BitMatrix& m)

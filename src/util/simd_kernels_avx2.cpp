@@ -1,0 +1,261 @@
+// AVX2 kernel tier. This TU is compiled with -mavx2 (see CMakeLists.txt);
+// when the toolchain cannot do that the guard below compiles it down to a
+// null entry point and the dispatcher never offers the tier.
+#include "util/simd_kernels.h"
+#include "util/simd_kernels_common.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+namespace treenum {
+namespace internal {
+namespace {
+
+void OrIntoAvx2(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i* d = reinterpret_cast<__m256i*>(dst + i);
+    const __m256i* s = reinterpret_cast<const __m256i*>(src + i);
+    __m256i v0 = _mm256_or_si256(_mm256_loadu_si256(d + 0),
+                                 _mm256_loadu_si256(s + 0));
+    __m256i v1 = _mm256_or_si256(_mm256_loadu_si256(d + 1),
+                                 _mm256_loadu_si256(s + 1));
+    __m256i v2 = _mm256_or_si256(_mm256_loadu_si256(d + 2),
+                                 _mm256_loadu_si256(s + 2));
+    __m256i v3 = _mm256_or_si256(_mm256_loadu_si256(d + 3),
+                                 _mm256_loadu_si256(s + 3));
+    _mm256_storeu_si256(d + 0, v0);
+    _mm256_storeu_si256(d + 1, v1);
+    _mm256_storeu_si256(d + 2, v2);
+    _mm256_storeu_si256(d + 3, v3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i* d = reinterpret_cast<__m256i*>(dst + i);
+    const __m256i* s = reinterpret_cast<const __m256i*>(src + i);
+    _mm256_storeu_si256(
+        d, _mm256_or_si256(_mm256_loadu_si256(d), _mm256_loadu_si256(s)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+bool AnyAvx2(const uint64_t* words, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i* p = reinterpret_cast<const __m256i*>(words + i);
+    __m256i v = _mm256_or_si256(
+        _mm256_or_si256(_mm256_loadu_si256(p + 0), _mm256_loadu_si256(p + 1)),
+        _mm256_or_si256(_mm256_loadu_si256(p + 2), _mm256_loadu_si256(p + 3)));
+    if (!_mm256_testz_si256(v, v)) return true;
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    if (!_mm256_testz_si256(v, v)) return true;
+  }
+  for (; i < n; ++i) {
+    if (words[i]) return true;
+  }
+  return false;
+}
+
+// Streaming compose for b_wpr == 2 (w <= 128, an important real shape):
+// one destination row at a time with a single xmm accumulator, so each set
+// bit costs exactly one 16-byte load and one OR — no masks, no broadcasts.
+void ComposeStream2Avx2(const uint64_t* a, size_t a_rows, size_t a_wpr,
+                        const uint64_t* b, uint64_t* out) {
+  for (size_t r = 0; r < a_rows; ++r) {
+    const uint64_t* row = a + r * a_wpr;
+    __m128i acc = _mm_setzero_si128();
+    for (size_t w = 0; w < a_wpr; ++w) {
+      uint64_t bits = row[w];
+      const uint64_t* bbase = b + (w * 64) * 2;
+      while (bits) {
+        const size_t j = static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        acc = _mm_or_si128(
+            acc, _mm_loadu_si128(
+                     reinterpret_cast<const __m128i*>(bbase + j * 2)));
+      }
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + r * 2), acc);
+  }
+}
+
+// Streaming compose for moderate widths (b_wpr <= 4 * NV): one destination
+// row at a time, accumulated across NV ymm registers — one (masked only on
+// the tail vector) load plus one OR per set bit per vector. Beats the
+// row-blocked scheme whenever b is cache-resident, because it needs no
+// per-row masking at all.
+template <size_t NV>
+void ComposeStreamAvx2(const uint64_t* a, size_t a_rows, size_t a_wpr,
+                       const uint64_t* b, size_t b_wpr, uint64_t* out) {
+  const size_t rem = b_wpr - 4 * (NV - 1);  // tail words, 1..4
+  const bool tail_full = rem == 4;
+  const __m256i tailmask = _mm256_setr_epi64x(-1, rem > 1 ? -1 : 0,
+                                              rem > 2 ? -1 : 0,
+                                              rem > 3 ? -1 : 0);
+  for (size_t r = 0; r < a_rows; ++r) {
+    const uint64_t* row = a + r * a_wpr;
+    __m256i acc[NV];
+    for (size_t v = 0; v < NV; ++v) acc[v] = _mm256_setzero_si256();
+    for (size_t w = 0; w < a_wpr; ++w) {
+      uint64_t bits = row[w];
+      const uint64_t* bbase = b + (w * 64) * b_wpr;
+      while (bits) {
+        const size_t j = static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* brow = bbase + j * b_wpr;
+        for (size_t v = 0; v + 1 < NV; ++v) {
+          acc[v] = _mm256_or_si256(
+              acc[v], _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(brow + 4 * v)));
+        }
+        const long long* tp =
+            reinterpret_cast<const long long*>(brow + 4 * (NV - 1));
+        acc[NV - 1] = _mm256_or_si256(
+            acc[NV - 1],
+            tail_full ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tp))
+                      : _mm256_maskload_epi64(tp, tailmask));
+      }
+    }
+    uint64_t* o = out + r * b_wpr;
+    for (size_t v = 0; v + 1 < NV; ++v) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + 4 * v), acc[v]);
+    }
+    long long* op = reinterpret_cast<long long*>(o + 4 * (NV - 1));
+    if (tail_full) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op), acc[NV - 1]);
+    } else {
+      _mm256_maskstore_epi64(op, tailmask, acc[NV - 1]);
+    }
+  }
+}
+
+// Register-blocked compose for wide b (b_wpr > 16): 4 destination rows by
+// one 4-word (256-bit) column tile per pass. Each touched b row is loaded
+// once per row block and or-ed into up to four ymm accumulators under
+// per-row broadcast masks (branchless), instead of once per set bit —
+// worth the masking overhead once b outgrows the cache.
+void ComposeBlockedAvx2(const uint64_t* a, size_t a_rows, size_t a_wpr,
+                        const uint64_t* b, size_t b_wpr, uint64_t* out) {
+  constexpr size_t kTile = 4;
+  for (size_t r0 = 0; r0 < a_rows; r0 += kBlockRows) {
+    const size_t nr = a_rows - r0 < kBlockRows ? a_rows - r0 : kBlockRows;
+    const uint64_t* arow[kBlockRows];
+    for (size_t k = 0; k < kBlockRows; ++k) {
+      // Rows past nr duplicate row 0; their accumulators are dropped.
+      arow[k] = a + (r0 + (k < nr ? k : 0)) * a_wpr;
+    }
+    for (size_t t0 = 0; t0 < b_wpr; t0 += kTile) {
+      const size_t nt = b_wpr - t0 < kTile ? b_wpr - t0 : kTile;
+      const bool full = nt == kTile;
+      const __m256i lanemask =
+          _mm256_setr_epi64x(-1, nt > 1 ? -1 : 0, nt > 2 ? -1 : 0,
+                             nt > 3 ? -1 : 0);
+      __m256i acc[kBlockRows] = {_mm256_setzero_si256(),
+                                 _mm256_setzero_si256(),
+                                 _mm256_setzero_si256(),
+                                 _mm256_setzero_si256()};
+      for (size_t w = 0; w < a_wpr; ++w) {
+        const uint64_t w0 = arow[0][w], w1 = arow[1][w];
+        const uint64_t w2 = arow[2][w], w3 = arow[3][w];
+        uint64_t live = w0 | w1 | w2 | w3;
+        const uint64_t* bbase = b + (w * 64) * b_wpr + t0;
+        while (live) {
+          const size_t j = static_cast<size_t>(__builtin_ctzll(live));
+          live &= live - 1;
+          const long long* brow =
+              reinterpret_cast<const long long*>(bbase + j * b_wpr);
+          const __m256i bv =
+              full ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(brow))
+                   : _mm256_maskload_epi64(brow, lanemask);
+          acc[0] = _mm256_or_si256(
+              acc[0], _mm256_and_si256(
+                          bv, _mm256_set1_epi64x(
+                                  -static_cast<long long>((w0 >> j) & 1))));
+          acc[1] = _mm256_or_si256(
+              acc[1], _mm256_and_si256(
+                          bv, _mm256_set1_epi64x(
+                                  -static_cast<long long>((w1 >> j) & 1))));
+          acc[2] = _mm256_or_si256(
+              acc[2], _mm256_and_si256(
+                          bv, _mm256_set1_epi64x(
+                                  -static_cast<long long>((w2 >> j) & 1))));
+          acc[3] = _mm256_or_si256(
+              acc[3], _mm256_and_si256(
+                          bv, _mm256_set1_epi64x(
+                                  -static_cast<long long>((w3 >> j) & 1))));
+        }
+      }
+      for (size_t k = 0; k < nr; ++k) {
+        long long* o =
+            reinterpret_cast<long long*>(out + (r0 + k) * b_wpr + t0);
+        if (full) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(o), acc[k]);
+        } else {
+          _mm256_maskstore_epi64(o, lanemask, acc[k]);
+        }
+      }
+    }
+  }
+}
+
+void ComposeAvx2(const uint64_t* a, size_t a_rows, size_t a_wpr,
+                 const uint64_t* b, size_t b_wpr, uint64_t* out) {
+  if (a_rows == 0 || b_wpr == 0) return;
+  if (a_wpr == 0) {
+    ZeroWords(out, a_rows * b_wpr);
+    return;
+  }
+  switch (b_wpr) {
+    case 1:
+      // Destination rows fit one GPR; the scalar gather is already optimal.
+      // Defer to the scalar TU: the same loop compiled under -mavx2 here
+      // picks up slower codegen.
+      ScalarKernels().compose(a, a_rows, a_wpr, b, b_wpr, out);
+      return;
+    case 2:
+      ComposeStream2Avx2(a, a_rows, a_wpr, b, out);
+      return;
+    case 3:
+    case 4:
+      ComposeStreamAvx2<1>(a, a_rows, a_wpr, b, b_wpr, out);
+      return;
+    case 5:
+    case 6:
+    case 7:
+    case 8:
+      ComposeStreamAvx2<2>(a, a_rows, a_wpr, b, b_wpr, out);
+      return;
+    default:
+      if (b_wpr <= 12) {
+        ComposeStreamAvx2<3>(a, a_rows, a_wpr, b, b_wpr, out);
+      } else if (b_wpr <= 16) {
+        ComposeStreamAvx2<4>(a, a_rows, a_wpr, b, b_wpr, out);
+      } else {
+        ComposeBlockedAvx2(a, a_rows, a_wpr, b, b_wpr, out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+const BitKernels* Avx2KernelsOrNull() {
+  static const BitKernels k = {&OrIntoAvx2,    &ZeroWords,   &AnyAvx2,
+                               &PopcountWords, &ComposeAvx2, "avx2"};
+  return &k;
+}
+
+}  // namespace internal
+}  // namespace treenum
+
+#else  // !defined(__AVX2__)
+
+namespace treenum {
+namespace internal {
+const BitKernels* Avx2KernelsOrNull() { return nullptr; }
+}  // namespace internal
+}  // namespace treenum
+
+#endif

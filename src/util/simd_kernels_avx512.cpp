@@ -1,0 +1,235 @@
+// AVX-512 kernel tier (F+BW+DQ+VL). This TU is compiled with the matching
+// -mavx512* flags (see CMakeLists.txt); without them the guard compiles it
+// down to a null entry point and the dispatcher never offers the tier.
+#include "util/simd_kernels.h"
+#include "util/simd_kernels_common.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512DQ__) && \
+    defined(__AVX512VL__)
+#include <immintrin.h>
+
+namespace treenum {
+namespace internal {
+namespace {
+
+void OrIntoAvx512(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m512i v0 = _mm512_or_si512(_mm512_loadu_si512(dst + i),
+                                 _mm512_loadu_si512(src + i));
+    __m512i v1 = _mm512_or_si512(_mm512_loadu_si512(dst + i + 8),
+                                 _mm512_loadu_si512(src + i + 8));
+    __m512i v2 = _mm512_or_si512(_mm512_loadu_si512(dst + i + 16),
+                                 _mm512_loadu_si512(src + i + 16));
+    __m512i v3 = _mm512_or_si512(_mm512_loadu_si512(dst + i + 24),
+                                 _mm512_loadu_si512(src + i + 24));
+    _mm512_storeu_si512(dst + i, v0);
+    _mm512_storeu_si512(dst + i + 8, v1);
+    _mm512_storeu_si512(dst + i + 16, v2);
+    _mm512_storeu_si512(dst + i + 24, v3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(dst + i,
+                        _mm512_or_si512(_mm512_loadu_si512(dst + i),
+                                        _mm512_loadu_si512(src + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = static_cast<__mmask8>((1u << (n - i)) - 1);
+    __m512i d = _mm512_maskz_loadu_epi64(m, dst + i);
+    __m512i s = _mm512_maskz_loadu_epi64(m, src + i);
+    _mm512_mask_storeu_epi64(dst + i, m, _mm512_or_si512(d, s));
+  }
+}
+
+bool AnyAvx512(const uint64_t* words, size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m512i v = _mm512_or_si512(
+        _mm512_or_si512(_mm512_loadu_si512(words + i),
+                        _mm512_loadu_si512(words + i + 8)),
+        _mm512_or_si512(_mm512_loadu_si512(words + i + 16),
+                        _mm512_loadu_si512(words + i + 24)));
+    if (_mm512_test_epi64_mask(v, v) != 0) return true;
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m512i v = _mm512_loadu_si512(words + i);
+    if (_mm512_test_epi64_mask(v, v) != 0) return true;
+  }
+  if (i < n) {
+    const __mmask8 m = static_cast<__mmask8>((1u << (n - i)) - 1);
+    __m512i v = _mm512_maskz_loadu_epi64(m, words + i);
+    if (_mm512_test_epi64_mask(v, v) != 0) return true;
+  }
+  return false;
+}
+
+// Streaming compose for b_wpr == 2: one destination row at a time with a
+// single xmm accumulator — one 16-byte load and one OR per set bit.
+void ComposeStream2Avx512(const uint64_t* a, size_t a_rows, size_t a_wpr,
+                          const uint64_t* b, uint64_t* out) {
+  for (size_t r = 0; r < a_rows; ++r) {
+    const uint64_t* row = a + r * a_wpr;
+    __m128i acc = _mm_setzero_si128();
+    for (size_t w = 0; w < a_wpr; ++w) {
+      uint64_t bits = row[w];
+      const uint64_t* bbase = b + (w * 64) * 2;
+      while (bits) {
+        const size_t j = static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        acc = _mm_or_si128(
+            acc, _mm_loadu_si128(
+                     reinterpret_cast<const __m128i*>(bbase + j * 2)));
+      }
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + r * 2), acc);
+  }
+}
+
+// Streaming compose for moderate widths (b_wpr <= 8 * NV): one destination
+// row at a time across NV zmm accumulators, the tail vector masked. One
+// load + one OR per set bit per vector; no per-row masking.
+template <size_t NV>
+void ComposeStreamAvx512(const uint64_t* a, size_t a_rows, size_t a_wpr,
+                         const uint64_t* b, size_t b_wpr, uint64_t* out) {
+  const size_t rem = b_wpr - 8 * (NV - 1);  // tail words, 1..8
+  const bool tail_full = rem == 8;
+  const __mmask8 tailmask = static_cast<__mmask8>((1u << rem) - 1);
+  for (size_t r = 0; r < a_rows; ++r) {
+    const uint64_t* row = a + r * a_wpr;
+    __m512i acc[NV];
+    for (size_t v = 0; v < NV; ++v) acc[v] = _mm512_setzero_si512();
+    for (size_t w = 0; w < a_wpr; ++w) {
+      uint64_t bits = row[w];
+      const uint64_t* bbase = b + (w * 64) * b_wpr;
+      while (bits) {
+        const size_t j = static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* brow = bbase + j * b_wpr;
+        for (size_t v = 0; v + 1 < NV; ++v) {
+          acc[v] = _mm512_or_si512(acc[v], _mm512_loadu_si512(brow + 8 * v));
+        }
+        const uint64_t* tp = brow + 8 * (NV - 1);
+        acc[NV - 1] = _mm512_or_si512(
+            acc[NV - 1], tail_full ? _mm512_loadu_si512(tp)
+                                   : _mm512_maskz_loadu_epi64(tailmask, tp));
+      }
+    }
+    uint64_t* o = out + r * b_wpr;
+    for (size_t v = 0; v + 1 < NV; ++v) {
+      _mm512_storeu_si512(o + 8 * v, acc[v]);
+    }
+    uint64_t* op = o + 8 * (NV - 1);
+    if (tail_full) {
+      _mm512_storeu_si512(op, acc[NV - 1]);
+    } else {
+      _mm512_mask_storeu_epi64(op, tailmask, acc[NV - 1]);
+    }
+  }
+}
+
+// Register-blocked compose for wide b (b_wpr > 32), same scheme as the AVX2
+// tier but with one 8-word (512-bit) column tile per pass and masked
+// loads/stores for the partial tail tile.
+void ComposeBlockedAvx512(const uint64_t* a, size_t a_rows, size_t a_wpr,
+                          const uint64_t* b, size_t b_wpr, uint64_t* out) {
+  constexpr size_t kTile = 8;
+  for (size_t r0 = 0; r0 < a_rows; r0 += kBlockRows) {
+    const size_t nr = a_rows - r0 < kBlockRows ? a_rows - r0 : kBlockRows;
+    const uint64_t* arow[kBlockRows];
+    for (size_t k = 0; k < kBlockRows; ++k) {
+      arow[k] = a + (r0 + (k < nr ? k : 0)) * a_wpr;
+    }
+    for (size_t t0 = 0; t0 < b_wpr; t0 += kTile) {
+      const size_t nt = b_wpr - t0 < kTile ? b_wpr - t0 : kTile;
+      const bool full = nt == kTile;
+      const __mmask8 lanemask = static_cast<__mmask8>((1u << nt) - 1);
+      __m512i acc[kBlockRows] = {
+          _mm512_setzero_si512(), _mm512_setzero_si512(),
+          _mm512_setzero_si512(), _mm512_setzero_si512()};
+      for (size_t w = 0; w < a_wpr; ++w) {
+        const uint64_t w0 = arow[0][w], w1 = arow[1][w];
+        const uint64_t w2 = arow[2][w], w3 = arow[3][w];
+        uint64_t live = w0 | w1 | w2 | w3;
+        const uint64_t* bbase = b + (w * 64) * b_wpr + t0;
+        while (live) {
+          const size_t j = static_cast<size_t>(__builtin_ctzll(live));
+          live &= live - 1;
+          const uint64_t* brow = bbase + j * b_wpr;
+          const __m512i bv = full ? _mm512_loadu_si512(brow)
+                                  : _mm512_maskz_loadu_epi64(lanemask, brow);
+          acc[0] = _mm512_or_si512(
+              acc[0], _mm512_and_si512(
+                          bv, _mm512_set1_epi64(
+                                  -static_cast<long long>((w0 >> j) & 1))));
+          acc[1] = _mm512_or_si512(
+              acc[1], _mm512_and_si512(
+                          bv, _mm512_set1_epi64(
+                                  -static_cast<long long>((w1 >> j) & 1))));
+          acc[2] = _mm512_or_si512(
+              acc[2], _mm512_and_si512(
+                          bv, _mm512_set1_epi64(
+                                  -static_cast<long long>((w2 >> j) & 1))));
+          acc[3] = _mm512_or_si512(
+              acc[3], _mm512_and_si512(
+                          bv, _mm512_set1_epi64(
+                                  -static_cast<long long>((w3 >> j) & 1))));
+        }
+      }
+      for (size_t k = 0; k < nr; ++k) {
+        uint64_t* o = out + (r0 + k) * b_wpr + t0;
+        if (full) {
+          _mm512_storeu_si512(o, acc[k]);
+        } else {
+          _mm512_mask_storeu_epi64(o, lanemask, acc[k]);
+        }
+      }
+    }
+  }
+}
+
+void ComposeAvx512(const uint64_t* a, size_t a_rows, size_t a_wpr,
+                   const uint64_t* b, size_t b_wpr, uint64_t* out) {
+  if (a_rows == 0 || b_wpr == 0) return;
+  if (a_wpr == 0) {
+    ZeroWords(out, a_rows * b_wpr);
+    return;
+  }
+  if (b_wpr == 1) {
+    // Single-GPR destination rows: the scalar TU's gather loop wins (the
+    // same code compiled under -mavx512* picks up slower codegen).
+    ScalarKernels().compose(a, a_rows, a_wpr, b, b_wpr, out);
+  } else if (b_wpr == 2) {
+    ComposeStream2Avx512(a, a_rows, a_wpr, b, out);
+  } else if (b_wpr <= 8) {
+    ComposeStreamAvx512<1>(a, a_rows, a_wpr, b, b_wpr, out);
+  } else if (b_wpr <= 16) {
+    ComposeStreamAvx512<2>(a, a_rows, a_wpr, b, b_wpr, out);
+  } else if (b_wpr <= 24) {
+    ComposeStreamAvx512<3>(a, a_rows, a_wpr, b, b_wpr, out);
+  } else if (b_wpr <= 32) {
+    ComposeStreamAvx512<4>(a, a_rows, a_wpr, b, b_wpr, out);
+  } else {
+    ComposeBlockedAvx512(a, a_rows, a_wpr, b, b_wpr, out);
+  }
+}
+
+}  // namespace
+
+const BitKernels* Avx512KernelsOrNull() {
+  static const BitKernels k = {&OrIntoAvx512,  &ZeroWords,     &AnyAvx512,
+                               &PopcountWords, &ComposeAvx512, "avx512"};
+  return &k;
+}
+
+}  // namespace internal
+}  // namespace treenum
+
+#else  // missing one of the AVX-512 F/BW/DQ/VL ISA macros
+
+namespace treenum {
+namespace internal {
+const BitKernels* Avx512KernelsOrNull() { return nullptr; }
+}  // namespace internal
+}  // namespace treenum
+
+#endif

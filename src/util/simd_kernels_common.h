@@ -1,0 +1,141 @@
+// Internal building blocks shared by the per-tier kernel translation units
+// (simd_kernels_{scalar,avx2,avx512}.cpp). Each TU compiles this header
+// under its own arch flags; nothing here is part of the public API.
+#ifndef TREENUM_UTIL_SIMD_KERNELS_COMMON_H_
+#define TREENUM_UTIL_SIMD_KERNELS_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace treenum {
+namespace internal {
+
+inline void ZeroWords(uint64_t* dst, size_t n) {
+  if (n != 0) std::memset(dst, 0, n * sizeof(uint64_t));
+}
+
+inline size_t PopcountWords(const uint64_t* words, size_t n) {
+  // Four independent counters hide the popcnt latency chain.
+  uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += static_cast<uint64_t>(__builtin_popcountll(words[i]));
+    c1 += static_cast<uint64_t>(__builtin_popcountll(words[i + 1]));
+    c2 += static_cast<uint64_t>(__builtin_popcountll(words[i + 2]));
+    c3 += static_cast<uint64_t>(__builtin_popcountll(words[i + 3]));
+  }
+  for (; i < n; ++i) {
+    c0 += static_cast<uint64_t>(__builtin_popcountll(words[i]));
+  }
+  return static_cast<size_t>(c0 + c1 + c2 + c3);
+}
+
+/// Compose specialization for b_wpr == 1 (destination columns fit one
+/// word — the common case: relations over a box's ∪-gates with w ≤ 64).
+/// The whole destination row lives in one register, so b's single-word
+/// rows are gathered straight into it.
+inline void ComposeNarrow(const uint64_t* a, size_t a_rows, size_t a_wpr,
+                          const uint64_t* b, uint64_t* out) {
+  for (size_t r = 0; r < a_rows; ++r) {
+    const uint64_t* row = a + r * a_wpr;
+    uint64_t acc = 0;
+    for (size_t w = 0; w < a_wpr; ++w) {
+      uint64_t bits = row[w];
+      const uint64_t* brows = b + w * 64;
+      while (bits) {
+        acc |= brows[__builtin_ctzll(bits)];
+        bits &= bits - 1;
+      }
+    }
+    out[r] = acc;
+  }
+}
+
+/// Register-blocked scalar compose tile: kBlockRows destination rows by NT
+/// destination words, accumulated in registers so each touched b row is
+/// loaded once per row block instead of once per set bit. Rows past `nr`
+/// are padded duplicates of row 0 (their accumulators are computed and
+/// dropped), which keeps the inner loops at compile-time trip counts.
+inline constexpr size_t kBlockRows = 4;
+
+template <size_t NT>
+inline void ComposeTileScalar(const uint64_t* const (&arow)[kBlockRows],
+                              size_t nr, size_t a_wpr, const uint64_t* b,
+                              size_t b_wpr, size_t t0, uint64_t* out,
+                              size_t r0) {
+  uint64_t acc[kBlockRows][NT] = {};
+  for (size_t w = 0; w < a_wpr; ++w) {
+    const uint64_t w0 = arow[0][w], w1 = arow[1][w];
+    const uint64_t w2 = arow[2][w], w3 = arow[3][w];
+    uint64_t live = w0 | w1 | w2 | w3;
+    const uint64_t* bbase = b + (w * 64) * b_wpr + t0;
+    while (live) {
+      const size_t j = static_cast<size_t>(__builtin_ctzll(live));
+      live &= live - 1;
+      const uint64_t* brow = bbase + j * b_wpr;
+      uint64_t bv[NT];
+      for (size_t t = 0; t < NT; ++t) bv[t] = brow[t];
+      const uint64_t m0 = -((w0 >> j) & 1);
+      const uint64_t m1 = -((w1 >> j) & 1);
+      const uint64_t m2 = -((w2 >> j) & 1);
+      const uint64_t m3 = -((w3 >> j) & 1);
+      for (size_t t = 0; t < NT; ++t) {
+        acc[0][t] |= bv[t] & m0;
+        acc[1][t] |= bv[t] & m1;
+        acc[2][t] |= bv[t] & m2;
+        acc[3][t] |= bv[t] & m3;
+      }
+    }
+  }
+  for (size_t k = 0; k < nr; ++k) {
+    for (size_t t = 0; t < NT; ++t) out[(r0 + k) * b_wpr + t0 + t] = acc[k][t];
+  }
+}
+
+/// Generic register-blocked scalar compose (overwrite semantics; see
+/// BitKernels::compose). Shared by the scalar tier and used by the wide
+/// tiers for the narrow b_wpr == 1 case.
+inline void ComposeBlockedScalar(const uint64_t* a, size_t a_rows,
+                                 size_t a_wpr, const uint64_t* b, size_t b_wpr,
+                                 uint64_t* out) {
+  if (a_rows == 0 || b_wpr == 0) return;
+  if (a_wpr == 0) {
+    ZeroWords(out, a_rows * b_wpr);
+    return;
+  }
+  if (b_wpr == 1) {
+    ComposeNarrow(a, a_rows, a_wpr, b, out);
+    return;
+  }
+  constexpr size_t kTile = 4;
+  for (size_t r0 = 0; r0 < a_rows; r0 += kBlockRows) {
+    const size_t nr = a_rows - r0 < kBlockRows ? a_rows - r0 : kBlockRows;
+    const uint64_t* arow[kBlockRows];
+    for (size_t k = 0; k < kBlockRows; ++k) {
+      arow[k] = a + (r0 + (k < nr ? k : 0)) * a_wpr;
+    }
+    for (size_t t0 = 0; t0 < b_wpr; t0 += kTile) {
+      const size_t nt = b_wpr - t0 < kTile ? b_wpr - t0 : kTile;
+      switch (nt) {
+        case 1:
+          ComposeTileScalar<1>(arow, nr, a_wpr, b, b_wpr, t0, out, r0);
+          break;
+        case 2:
+          ComposeTileScalar<2>(arow, nr, a_wpr, b, b_wpr, t0, out, r0);
+          break;
+        case 3:
+          ComposeTileScalar<3>(arow, nr, a_wpr, b, b_wpr, t0, out, r0);
+          break;
+        default:
+          ComposeTileScalar<4>(arow, nr, a_wpr, b, b_wpr, t0, out, r0);
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace treenum
+
+#endif  // TREENUM_UTIL_SIMD_KERNELS_COMMON_H_

@@ -1,0 +1,44 @@
+// Scalar kernel tier: plain uint64 loops, compiled with the project's
+// baseline flags only. Always available; the oracle every wide tier is
+// tested against (tests/simd_kernels_test.cpp).
+#include "util/simd_kernels.h"
+#include "util/simd_kernels_common.h"
+
+namespace treenum {
+namespace internal {
+
+namespace {
+
+void OrIntoScalar(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] |= src[i];
+    dst[i + 1] |= src[i + 1];
+    dst[i + 2] |= src[i + 2];
+    dst[i + 3] |= src[i + 3];
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+bool AnyScalar(const uint64_t* words, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (words[i] | words[i + 1] | words[i + 2] | words[i + 3]) return true;
+  }
+  for (; i < n; ++i) {
+    if (words[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const BitKernels& ScalarKernels() {
+  static const BitKernels k = {&OrIntoScalar, &ZeroWords,          &AnyScalar,
+                               &PopcountWords, &ComposeBlockedScalar,
+                               "scalar"};
+  return k;
+}
+
+}  // namespace internal
+}  // namespace treenum

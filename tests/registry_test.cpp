@@ -344,6 +344,47 @@ TEST(QueryRegistry, HandlesStayStableAcrossUnregister) {
   EXPECT_EQ(doc.pipeline(h3).EnumerateAll(), oracle.EnumerateAll());
 }
 
+// Long-lived documents with query churn (register, serve, unregister,
+// repeat) must not accumulate registry metadata: handle slots recycle and
+// reclaimed evicted entries keep the entry table bounded by the caps, not
+// by the number of registrations or distinct queries ever seen.
+TEST(QueryRegistry, ChurnKeepsRegistryMetadataBounded) {
+  Rng rng(71);
+  UnrankedTree tree = RandomTree(30, 3, rng);
+  DynamicDocument doc(tree, 3);
+  doc.set_pipeline_cap(2);
+  doc.set_evicted_retention_cap(3);
+
+  // 12 distinct (query, mode) combinations cycled 20 times, one live
+  // registration at a time: 240 registrations total.
+  for (int round = 0; round < 20; ++round) {
+    for (Label a = 0; a < 3; ++a) {
+      for (Label b = 0; b < 3; ++b) {
+        if (a == b) continue;
+        BoxEnumMode mode = (a + b) % 2 == 0 ? BoxEnumMode::kIndexed
+                                            : BoxEnumMode::kNaive;
+        DynamicDocument::QueryHandle h =
+            doc.Register(QueryMarkedAncestor(3, a, b), mode);
+        EXPECT_TRUE(doc.IsRegistered(h));
+        doc.Unregister(h);
+        EXPECT_FALSE(doc.IsRegistered(h));
+      }
+    }
+    DocumentStats s = doc.stats();
+    EXPECT_LE(s.handle_slots, 1u) << "one live handle -> one recycled slot";
+    EXPECT_LE(s.registry_entries, 2u + 3u)
+        << "entries bounded by pipeline cap + retention cap";
+    EXPECT_EQ(s.pipelines.size(), s.registry_entries);
+  }
+  EXPECT_GT(doc.stats().reclaimed_entries, 0u);
+
+  // A reclaimed query re-registers from scratch and still answers
+  // correctly against the oracle.
+  DynamicDocument::QueryHandle h = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  StaticEngine oracle(tree, QueryMarkedAncestor(3, 1, 2));
+  EXPECT_EQ(doc.pipeline(h).EnumerateAll(), oracle.EnumerateAll());
+}
+
 // The batched-commit path must refresh warm pipelines too, so a
 // re-admitted query is correct after commits that happened while it had
 // refcount zero.
