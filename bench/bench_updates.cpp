@@ -150,6 +150,11 @@ void RelabelScriptBench(benchmark::State& state, BoxEnumMode mode) {
   for (size_t i = 0; i < k; ++i) driver.RelabelStep();
   size_t boxes = 0;
   bench::AllocGauge gauge;
+  // Snapshot-layer cost: spine nodes path-copied per edit (the published
+  // snapshot pins the root, so every edit copies its O(log n) spine) and
+  // node versions recycled through the term's free list.
+  uint64_t copies0 = e.term().path_copies();
+  uint64_t recycled0 = e.term().nodes_recycled();
   for (auto _ : state) {
     if (kBatched) e.BeginBatch();
     for (size_t i = 0; i < k; ++i) {
@@ -160,8 +165,15 @@ void RelabelScriptBench(benchmark::State& state, BoxEnumMode mode) {
   size_t edits = state.iterations() * k;
   double per_edit_boxes =
       static_cast<double>(boxes) / static_cast<double>(edits);
+  double copies_per_edit =
+      static_cast<double>(e.term().path_copies() - copies0) /
+      static_cast<double>(edits);
+  double nodes_recycled =
+      static_cast<double>(e.term().nodes_recycled() - recycled0);
   state.counters["boxes_per_edit"] = per_edit_boxes;
   state.counters["allocs_per_edit"] = gauge.per(edits);
+  state.counters["path_copies_per_edit"] = copies_per_edit;
+  state.counters["nodes_recycled"] = nodes_recycled;
   state.SetItemsProcessed(static_cast<int64_t>(edits));
   bool indexed = mode == BoxEnumMode::kIndexed;
   const char* name =
@@ -174,6 +186,8 @@ void RelabelScriptBench(benchmark::State& state, BoxEnumMode mode) {
                    {"indexed", indexed ? 1.0 : 0.0},
                    {"boxes_per_edit", per_edit_boxes},
                    {"allocs_per_edit", gauge.per(edits)},
+                   {"path_copies_per_edit", copies_per_edit},
+                   {"nodes_recycled", nodes_recycled},
                    {"iterations", static_cast<double>(state.iterations())}});
 }
 

@@ -13,6 +13,10 @@
 // (re)allocated: consumers must re-fetch Box views (AssignmentCircuit::box)
 // after any rebuild, and builders must finish reading child spans before
 // committing writes. Offsets are stable.
+//
+// The backing store is a CowStore (util/cow_store.h): growth retires the old
+// buffer instead of freeing it, so snapshot readers resolving spans of
+// frozen boxes on other threads keep valid pointers across writer growth.
 #ifndef TREENUM_CIRCUIT_ARENA_H_
 #define TREENUM_CIRCUIT_ARENA_H_
 
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/cow_store.h"
 
 namespace treenum {
 
@@ -55,10 +60,10 @@ struct SpanRef {
   uint32_t cap = 0;
 };
 
-/// One flat pool of `T` with size-class span recycling. `Alloc` customizes
-/// the backing vector's allocator (the bit-matrix pool passes an over-
-/// aligned one so SIMD kernels see cache-line-aligned blocks).
-template <typename T, typename Alloc = std::allocator<T>>
+/// One flat pool of `T` with size-class span recycling. `Align` customizes
+/// the backing store's alignment (the bit-matrix pool passes 64 so SIMD
+/// kernels see cache-line-aligned blocks).
+template <typename T, size_t Align = alignof(T)>
 class SpanPool {
  public:
   /// Makes `ref` address at least `n` usable slots and sets ref.len = n.
@@ -125,7 +130,7 @@ class SpanPool {
     return k;
   }
 
-  std::vector<T, Alloc> store_;
+  CowStore<T, Align> store_;
   std::vector<uint32_t> free_[32];
 };
 

@@ -95,8 +95,8 @@ void AssignmentCircuit::FreeBox(TermNodeId id) {
   var_mask_pool_.Release(s.var_masks);
   s.num_unions = 0;
   size_t base = static_cast<size_t>(id) * w_;
-  std::fill_n(gamma_.begin() + base, w_, GateKind::kBot);
-  std::fill_n(union_idx_.begin() + base, w_, kNoGate);
+  std::fill_n(gamma_.data() + base, w_, GateKind::kBot);
+  std::fill_n(union_idx_.data() + base, w_, kNoGate);
 }
 
 void AssignmentCircuit::ReserveForRebuild(size_t boxes) {

@@ -192,12 +192,13 @@ class AssignmentCircuit {
   const std::vector<uint8_t>* kind_;
   uint32_t w_;
 
-  // Fixed-stride per-box state (index = id * w_ + q / + u).
-  std::vector<GateKind> gamma_;
-  std::vector<int32_t> union_idx_;
-  std::vector<State> union_states_;
-  std::vector<GateEnds> gate_ends_;
-  std::vector<BoxSpans> spans_;
+  // Fixed-stride per-box state (index = id * w_ + q / + u). CowStore-backed
+  // so concurrent snapshot readers survive writer growth (util/cow_store.h).
+  CowStore<GateKind> gamma_;
+  CowStore<int32_t> union_idx_;
+  CowStore<State> union_states_;
+  CowStore<GateEnds> gate_ends_;
+  CowStore<BoxSpans> spans_;
 
   // Flat pools, one per wire kind.
   SpanPool<CrossGate> cross_gate_pool_;

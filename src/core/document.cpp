@@ -10,11 +10,17 @@ namespace treenum {
 
 DynamicDocument::DynamicDocument(UnrankedTree tree, size_t num_labels)
     : tree_enc_(std::make_unique<DynamicEncoding>(std::move(tree), num_labels)),
-      term_(&tree_enc_->term()) {}
+      term_(&tree_enc_->term()),
+      snapshots_(std::make_unique<TermSnapshots>(&mutable_term())) {
+  snapshots_->Publish();
+}
 
 DynamicDocument::DynamicDocument(const Word& w, size_t num_labels)
     : word_enc_(std::make_unique<WordEncoding>(w, num_labels)),
-      term_(&word_enc_->term()) {}
+      term_(&word_enc_->term()),
+      snapshots_(std::make_unique<TermSnapshots>(&mutable_term())) {
+  snapshots_->Publish();
+}
 
 const UnrankedTree& DynamicDocument::tree() const {
   TREENUM_CHECK(tree_enc_ != nullptr, "tree() requires a tree document");
@@ -164,6 +170,45 @@ const EnumerationPipeline& DynamicDocument::pipeline(
   return *entries_[handle_entry_[HandleSlot(handle)]].pipeline;
 }
 
+// ---- Concurrent snapshot reads ----
+
+bool DynamicDocument::HasAnswerAt(const SnapshotRef& snap,
+                                  QueryHandle handle) const {
+  const EnumerationPipeline& p = pipeline(handle);
+  TREENUM_CHECK(snap && snap.epoch() >= p.min_snapshot_epoch(),
+                "snapshot predates this query's pipeline");
+  return p.HasAnswerAt(snap.root());
+}
+
+std::vector<Assignment> DynamicDocument::EnumerateAt(const SnapshotRef& snap,
+                                                     QueryHandle handle) const {
+  const EnumerationPipeline& p = pipeline(handle);
+  TREENUM_CHECK(snap && snap.epoch() >= p.min_snapshot_epoch(),
+                "snapshot predates this query's pipeline");
+  return p.EnumerateAllAt(snap.root());
+}
+
+std::unique_ptr<Engine::Cursor> DynamicDocument::MakeCursorAt(
+    SnapshotRef snap, QueryHandle handle) const {
+  const EnumerationPipeline& p = pipeline(handle);
+  TREENUM_CHECK(snap && snap.epoch() >= p.min_snapshot_epoch(),
+                "snapshot predates this query's pipeline");
+  // The cursor co-owns the pin: the snapshot version stays frozen until
+  // the cursor is destroyed, even if the caller's ref is released first.
+  class PinnedCursor : public Engine::Cursor {
+   public:
+    PinnedCursor(SnapshotRef s, std::unique_ptr<Engine::Cursor> inner)
+        : snap_(std::move(s)), inner_(std::move(inner)) {}
+    bool Next(Assignment* out) override { return inner_->Next(out); }
+
+   private:
+    SnapshotRef snap_;
+    std::unique_ptr<Engine::Cursor> inner_;
+  };
+  std::unique_ptr<Engine::Cursor> inner = p.MakeEngineCursorAt(snap.root());
+  return std::make_unique<PinnedCursor>(std::move(snap), std::move(inner));
+}
+
 void DynamicDocument::set_pipeline_cap(size_t cap) {
   TREENUM_CHECK(!in_batch_, "cannot change the pipeline cap mid-batch");
   pipeline_cap_ = cap;
@@ -172,12 +217,23 @@ void DynamicDocument::set_pipeline_cap(size_t cap) {
 
 void DynamicDocument::EnforceCap() {
   while (built_entries_.size() > pipeline_cap_) {
+    // Cost-aware victim selection (see set_pipeline_cap): evict the warm
+    // pipeline minimizing keep value = accumulated refresh cost /
+    // staleness. boxes_refreshed proxies how expensive this pipeline has
+    // been to keep current (and thus what a rebuild-after-eviction would
+    // cost); staleness is measured in registry clock ticks since its last
+    // use. Ties (e.g. all costs equal) fall back to LRU.
     size_t victim = kNoEntry;
-    uint64_t oldest = ~uint64_t{0};
+    double best_keep = 0.0;
     for (size_t idx : built_entries_) {
       const QueryEntry& e = entries_[idx];
-      if (e.refcount == 0 && e.last_use < oldest) {
-        oldest = e.last_use;
+      if (e.refcount != 0) continue;
+      double staleness = static_cast<double>(use_clock_ - e.last_use);
+      double keep =
+          (static_cast<double>(e.boxes_refreshed) + 1.0) / (staleness + 1.0);
+      if (victim == kNoEntry || keep < best_keep ||
+          (keep == best_keep && e.last_use < entries_[victim].last_use)) {
+        best_keep = keep;
         victim = idx;
       }
     }
@@ -281,6 +337,18 @@ void DynamicDocument::ChargeRefresh(size_t boxes) {
   }
 }
 
+void DynamicDocument::PreEdit() {
+  if (in_batch_) return;  // drained once, at BeginBatch
+  drained_freed_.clear();
+  snapshots_->DrainRetired(&drained_freed_);
+  if (drained_freed_.empty()) return;
+  // Inline, not FanOut: releasing spans is a few free-list pushes per box,
+  // far below fork-join overhead.
+  for (size_t idx : built_entries_) {
+    entries_[idx].pipeline->ReleaseBoxes(drained_freed_);
+  }
+}
+
 UpdateStats DynamicDocument::Dispatch(const UpdateResult& result) {
   UpdateStats stats;
   stats.edits_applied = 1;
@@ -297,6 +365,8 @@ UpdateStats DynamicDocument::Dispatch(const UpdateResult& result) {
   stats.boxes_recomputed =
       result.changed_bottom_up.size() * built_entries_.size();
   ChargeRefresh(result.changed_bottom_up.size());
+  // Every box of the new version is current — publish it for readers.
+  snapshots_->Publish();
   return stats;
 }
 
@@ -304,12 +374,14 @@ UpdateStats DynamicDocument::Dispatch(const UpdateResult& result) {
 
 UpdateStats DynamicDocument::Relabel(NodeId n, Label l) {
   if (word_enc_) return Replace(word_enc_->PositionOf(n), l);
+  PreEdit();
   return Dispatch(tree_enc_->Relabel(n, l));
 }
 
 UpdateStats DynamicDocument::InsertFirstChild(NodeId n, Label l,
                                               NodeId* new_node) {
   if (word_enc_) return WordInsertAt(word_enc_->PositionOf(n), l, new_node);
+  PreEdit();
   return Dispatch(tree_enc_->InsertFirstChild(n, l, new_node));
 }
 
@@ -318,11 +390,13 @@ UpdateStats DynamicDocument::InsertRightSibling(NodeId n, Label l,
   if (word_enc_) {
     return WordInsertAt(word_enc_->PositionOf(n) + 1, l, new_node);
   }
+  PreEdit();
   return Dispatch(tree_enc_->InsertRightSibling(n, l, new_node));
 }
 
 UpdateStats DynamicDocument::DeleteLeaf(NodeId n) {
   if (word_enc_) return Erase(word_enc_->PositionOf(n));
+  PreEdit();
   return Dispatch(tree_enc_->DeleteLeaf(n));
 }
 
@@ -330,26 +404,31 @@ UpdateStats DynamicDocument::DeleteLeaf(NodeId n) {
 
 UpdateStats DynamicDocument::Replace(size_t pos, Label l) {
   TREENUM_CHECK(word_enc_ != nullptr, "Replace requires a word document");
+  PreEdit();
   return Dispatch(word_enc_->Replace(pos, l));
 }
 
 UpdateStats DynamicDocument::Insert(size_t pos, Label l) {
   TREENUM_CHECK(word_enc_ != nullptr, "Insert requires a word document");
+  PreEdit();
   return Dispatch(word_enc_->Insert(pos, l));
 }
 
 UpdateStats DynamicDocument::Erase(size_t pos) {
   TREENUM_CHECK(word_enc_ != nullptr, "Erase requires a word document");
+  PreEdit();
   return Dispatch(word_enc_->Erase(pos));
 }
 
 UpdateStats DynamicDocument::MoveRange(size_t begin, size_t end, size_t dst) {
   TREENUM_CHECK(word_enc_ != nullptr, "MoveRange requires a word document");
+  PreEdit();
   return Dispatch(word_enc_->MoveRange(begin, end, dst));
 }
 
 UpdateStats DynamicDocument::WordInsertAt(size_t pos, Label l,
                                           NodeId* new_node) {
+  PreEdit();
   UpdateStats stats = Dispatch(word_enc_->Insert(pos, l));
   if (new_node) *new_node = word_enc_->PositionId(pos);
   return stats;
@@ -359,6 +438,7 @@ UpdateStats DynamicDocument::WordInsertAt(size_t pos, Label l,
 
 void DynamicDocument::BeginBatch() {
   assert(!in_batch_ && "nested batches are not supported");
+  PreEdit();  // drain retired snapshots once for the whole transaction
   in_batch_ = true;
   SetPipelinesPending(true);
 }
@@ -418,6 +498,9 @@ UpdateStats DynamicDocument::CommitBatch() {
   batch_freed_.clear();
   batch_changed_.clear();
   SetPipelinesPending(false);
+  // One publish per transaction: readers never observe intermediate
+  // versions of a batch.
+  snapshots_->Publish();
   return stats;
 }
 

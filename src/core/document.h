@@ -22,7 +22,7 @@
 //     equality in the document's query registry, so textually different
 //     but automaton-identical queries map to one refcounted pipeline. The
 //     registry keeps refcount-zero pipelines warm for cheap re-admission
-//     and supports a configurable cap with LRU eviction (see
+//     and supports a configurable cap with cost-aware eviction (see
 //     set_pipeline_cap); DocumentStats exposes the registry state. The
 //     registry's own metadata is bounded too: handle and entry slots
 //     recycle through free lists (handles carry generation tags so stale
@@ -37,6 +37,17 @@
 //     no pool, or a pool of size 1, the fan-out runs inline in build
 //     order: the deterministic single-thread fallback, which also keeps
 //     the single-query steady state allocation-free.
+//   * Every committed edit publishes the new term root as an immutable
+//     snapshot (core/snapshot.h) over the copy-on-write term: reader
+//     threads pin the current snapshot (CurrentSnapshot) and enumerate it
+//     (EnumerateAt / MakeCursorAt) concurrently with writer edits — the
+//     writer path-copies the O(log n) edit spine instead of mutating
+//     pinned versions in place, so readers never see a torn term or a box
+//     rebuilt under them. Old snapshots keep answering with their
+//     pre-edit results until released (time-travel). Retired snapshots
+//     are drained before the next edit, recycling their node versions and
+//     boxes through the arena free lists — steady state stays
+//     allocation-free.
 //
 // TreeEnumerator and WordEnumerator are thin views over a private document
 // with one registered query; multi-query servers hold a DynamicDocument
@@ -55,6 +66,7 @@
 #include "automata/wva.h"
 #include "core/engine.h"
 #include "core/pipeline.h"
+#include "core/snapshot.h"
 #include "falgebra/update.h"
 #include "falgebra/word_avl.h"
 #include "trees/unranked_tree.h"
@@ -162,7 +174,8 @@ class DynamicDocument {
   /// pipeline lives on while other handles reference it; at refcount zero
   /// it is kept *warm* — still refreshed on every edit, so re-registering
   /// the same query is a cheap re-admission instead of an O(size) rebuild
-  /// — until the pipeline cap evicts it (LRU order).
+  /// — until the pipeline cap evicts it (cheapest-to-rebuild / stalest
+  /// first; see set_pipeline_cap).
   void Unregister(QueryHandle handle);
   /// True iff `handle` was returned by Register and not yet unregistered.
   bool IsRegistered(QueryHandle handle) const;
@@ -184,13 +197,19 @@ class DynamicDocument {
 
   /// Caps the number of built pipelines. When an admission (or this call,
   /// or an unregistration) pushes num_pipelines() above the cap, warm
-  /// refcount-zero pipelines are evicted in LRU order — least recently
-  /// registered-or-released first — until the cap holds or only actively
-  /// referenced pipelines remain. Active pipelines are never evicted, so
-  /// num_pipelines() may exceed the cap while more than `cap` distinct
-  /// queries are live. An evicted entry keeps its canonical automaton;
-  /// re-registering rebuilds the pipeline over the current term without
-  /// re-homogenizing. Not allowed mid-batch.
+  /// refcount-zero pipelines are evicted — cost-aware, not plain LRU: the
+  /// victim is the one minimizing accumulated refresh cost (the
+  /// DocumentStats boxes_refreshed counter, a proxy for how expensive the
+  /// pipeline is to keep rebuilt) divided by staleness (registrations/
+  /// releases since it was last used). A cheap-and-stale pipeline is
+  /// evicted before an expensive-and-recently-hot one, minimizing the
+  /// expected rebuild cost of keeping the cap — with equal costs this
+  /// degenerates to LRU. Eviction repeats until the cap holds or only
+  /// actively referenced pipelines remain; active pipelines are never
+  /// evicted, so num_pipelines() may exceed the cap while more than `cap`
+  /// distinct queries are live. An evicted entry keeps its canonical
+  /// automaton; re-registering rebuilds the pipeline over the current term
+  /// without re-homogenizing. Not allowed mid-batch.
   void set_pipeline_cap(size_t cap);
   /// Current cap (kDefaultPipelineCap unless overridden; kNoPipelineCap
   /// disables eviction entirely).
@@ -218,6 +237,35 @@ class DynamicDocument {
   void set_pool(ThreadPool* pool) { pool_ = pool; }
   /// The attached pool (null = inline, deterministic fan-out).
   ThreadPool* pool() const { return pool_; }
+
+  // ---- Concurrent snapshot reads ----
+  //
+  // The single-writer / multi-reader surface. Reader threads pin the
+  // current snapshot and evaluate registered queries against it while the
+  // writer thread keeps editing (including mid-batch — the update_pending
+  // barrier does not apply to pinned versions, whose boxes are complete
+  // and frozen). Handles passed here must have been registered *before*
+  // the concurrent phase: Register/Unregister/set_pipeline_cap are
+  // writer-side and not synchronized against readers, and a query's
+  // pipeline can only serve snapshots published at or after its build
+  // (checked against the snapshot epoch). A SnapshotRef must be released
+  // before the document is destroyed.
+
+  /// Pins the most recently published snapshot. Any thread.
+  SnapshotRef CurrentSnapshot() const { return snapshots_->Current(); }
+  /// HasAnswer for `handle`'s query evaluated at `snap`. Any thread.
+  bool HasAnswerAt(const SnapshotRef& snap, QueryHandle handle) const;
+  /// All satisfying assignments of `handle`'s query at `snap`. Any thread.
+  std::vector<Assignment> EnumerateAt(const SnapshotRef& snap,
+                                      QueryHandle handle) const;
+  /// Cursor over `handle`'s assignments at `snap`; the cursor co-owns the
+  /// pin, so the version outlives it even after `snap` is released.
+  std::unique_ptr<Engine::Cursor> MakeCursorAt(SnapshotRef snap,
+                                               QueryHandle handle) const;
+  /// Lifetime number of published snapshots.
+  uint64_t snapshots_published() const { return snapshots_->published(); }
+  /// Snapshots currently pinned (current + reader-held + not yet drained).
+  size_t live_snapshots() const { return snapshots_->live_snapshots(); }
 
   // ---- Tree edits (Definition 7.1), O(log n * poly(Q)) + fan-out ----
   // UpdateStats totals are summed across built pipelines (distinct live
@@ -297,6 +345,15 @@ class DynamicDocument {
     return static_cast<uint32_t>(h >> 32);
   }
 
+  /// The encoding's term, writable — for the snapshot layer's pin/epoch
+  /// bookkeeping (the pipelines still see it const).
+  Term& mutable_term() {
+    return tree_enc_ ? tree_enc_->mutable_term() : word_enc_->mutable_term();
+  }
+  /// Runs before every edit (once per batch): drains retired snapshots,
+  /// reclaiming their node versions, and releases the freed boxes in every
+  /// pipeline — so the edit's path copies can recycle those ids and spans.
+  void PreEdit();
   /// Broadcasts one UpdateResult (outside a batch) or records it (inside).
   UpdateStats Dispatch(const UpdateResult& result);
   /// Runs fn(pipeline) on every built pipeline — on the pool when parallel
@@ -316,6 +373,11 @@ class DynamicDocument {
   std::unique_ptr<DynamicEncoding> tree_enc_;
   std::unique_ptr<WordEncoding> word_enc_;
   const Term* term_;
+  // Declared after the encodings: destroyed first, while the term it
+  // unpins from still exists.
+  std::unique_ptr<TermSnapshots> snapshots_;
+  // PreEdit drain scratch (clear() keeps capacity).
+  std::vector<TermNodeId> drained_freed_;
 
   // The query registry. Entry slots recycle through entry_free_ once an
   // evicted entry's metadata is reclaimed (homog == nullptr marks a free

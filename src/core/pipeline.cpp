@@ -12,7 +12,11 @@ EnumerationPipeline::EnumerationPipeline(
       homog_(std::move(homog)),
       circuit_(term, &homog_->tva, &homog_->kind),
       index_(&circuit_),
-      mode_(mode) {
+      mode_(mode),
+      // The snapshot current at build time captured epoch() - 1 (Publish
+      // captures, then bumps); it and everything newer is servable. Epoch 0
+      // means no snapshot layer is attached (bare-term pipelines in tests).
+      min_snapshot_epoch_(term->epoch() == 0 ? 0 : term->epoch() - 1) {
   circuit_.BuildAll();
   if (mode_ == BoxEnumMode::kIndexed) index_.BuildAll();
 }
@@ -65,29 +69,22 @@ UpdateStats EnumerationPipeline::ApplyCoalesced(
   return stats;
 }
 
+void EnumerationPipeline::ReleaseBoxes(const std::vector<TermNodeId>& freed) {
+  for (TermNodeId id : freed) ReleaseBox(id);
+}
+
 bool EnumerationPipeline::EmptyAssignmentSatisfies() const {
   assert(!update_pending_ && "querying during an open batch is unsupported");
   // Release-mode safety: boxes of term nodes created mid-batch do not
   // exist until commit, so reading the root box would be out of bounds.
   if (update_pending_) return false;
-  const Box box = circuit_.box(term_->root());
-  for (State q : homog_->tva.final_states()) {
-    if (homog_->kind[q] == 0 && box.gamma(q) == GateKind::kTop) return true;
-  }
-  return false;
+  return EmptyAssignmentSatisfiesAt(term_->root());
 }
 
 std::vector<uint32_t> EnumerationPipeline::FinalGamma() const {
   assert(!update_pending_ && "querying during an open batch is unsupported");
-  std::vector<uint32_t> gamma;
-  if (update_pending_) return gamma;
-  const Box box = circuit_.box(term_->root());
-  for (State q : homog_->tva.final_states()) {
-    if (homog_->kind[q] == 1 && box.gamma(q) == GateKind::kUnion) {
-      gamma.push_back(static_cast<uint32_t>(box.union_idx(q)));
-    }
-  }
-  return gamma;
+  if (update_pending_) return {};
+  return FinalGammaAt(term_->root());
 }
 
 bool EnumerationPipeline::HasAnswer() const {
@@ -96,13 +93,58 @@ bool EnumerationPipeline::HasAnswer() const {
 }
 
 std::unique_ptr<AssignmentCursor> EnumerationPipeline::MakeRootCursor() const {
-  std::vector<uint32_t> gamma = FinalGamma();
-  if (gamma.empty()) return nullptr;
-  return std::make_unique<AssignmentCursor>(&circuit_, &index_, mode_,
-                                            term_->root(), std::move(gamma));
+  assert(!update_pending_ && "querying during an open batch is unsupported");
+  if (update_pending_) return nullptr;
+  return MakeRootCursorAt(term_->root());
 }
 
 std::unique_ptr<Engine::Cursor> EnumerationPipeline::MakeEngineCursor() const {
+  assert(!update_pending_ && "querying during an open batch is unsupported");
+  return MakeEngineCursorAt(term_->root());
+}
+
+std::vector<Assignment> EnumerationPipeline::EnumerateAll() const {
+  assert(!update_pending_ && "querying during an open batch is unsupported");
+  return EnumerateAllAt(term_->root());
+}
+
+// ---- Snapshot (At-) query surface ----
+
+bool EnumerationPipeline::EmptyAssignmentSatisfiesAt(TermNodeId root) const {
+  const Box box = circuit_.box(root);
+  for (State q : homog_->tva.final_states()) {
+    if (homog_->kind[q] == 0 && box.gamma(q) == GateKind::kTop) return true;
+  }
+  return false;
+}
+
+std::vector<uint32_t> EnumerationPipeline::FinalGammaAt(
+    TermNodeId root) const {
+  std::vector<uint32_t> gamma;
+  const Box box = circuit_.box(root);
+  for (State q : homog_->tva.final_states()) {
+    if (homog_->kind[q] == 1 && box.gamma(q) == GateKind::kUnion) {
+      gamma.push_back(static_cast<uint32_t>(box.union_idx(q)));
+    }
+  }
+  return gamma;
+}
+
+bool EnumerationPipeline::HasAnswerAt(TermNodeId root) const {
+  if (EmptyAssignmentSatisfiesAt(root)) return true;
+  return !FinalGammaAt(root).empty();
+}
+
+std::unique_ptr<AssignmentCursor> EnumerationPipeline::MakeRootCursorAt(
+    TermNodeId root) const {
+  std::vector<uint32_t> gamma = FinalGammaAt(root);
+  if (gamma.empty()) return nullptr;
+  return std::make_unique<AssignmentCursor>(&circuit_, &index_, mode_, root,
+                                            std::move(gamma));
+}
+
+std::unique_ptr<Engine::Cursor> EnumerationPipeline::MakeEngineCursorAt(
+    TermNodeId root) const {
   class Cursor : public Engine::Cursor {
    public:
     Cursor(bool emit_empty, std::unique_ptr<AssignmentCursor> inner)
@@ -124,13 +166,14 @@ std::unique_ptr<Engine::Cursor> EnumerationPipeline::MakeEngineCursor() const {
     bool emit_empty_;
     std::unique_ptr<AssignmentCursor> inner_;
   };
-  return std::make_unique<Cursor>(EmptyAssignmentSatisfies(),
-                                  MakeRootCursor());
+  return std::make_unique<Cursor>(EmptyAssignmentSatisfiesAt(root),
+                                  MakeRootCursorAt(root));
 }
 
-std::vector<Assignment> EnumerationPipeline::EnumerateAll() const {
+std::vector<Assignment> EnumerationPipeline::EnumerateAllAt(
+    TermNodeId root) const {
   std::vector<Assignment> out;
-  std::unique_ptr<Engine::Cursor> cursor = MakeEngineCursor();
+  std::unique_ptr<Engine::Cursor> cursor = MakeEngineCursorAt(root);
   Assignment a;
   while (cursor->Next(&a)) out.push_back(std::move(a));
   std::sort(out.begin(), out.end());

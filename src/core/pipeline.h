@@ -130,6 +130,39 @@ class EnumerationPipeline {
   /// All satisfying assignments (sorted), including the empty one.
   std::vector<Assignment> EnumerateAll() const;
 
+  // ---- Snapshot query surface ----
+  //
+  // The same queries evaluated at an explicit root — the pinned root of a
+  // published Snapshot (core/snapshot.h) — instead of the term's current
+  // root. No update_pending gate: a pinned version is frozen, its node
+  // versions are never mutated or freed and its boxes are never rebuilt in
+  // place, so these run safely on reader threads *concurrently with writer
+  // edits and the refresh fan-out*. The root must be a pinned snapshot root
+  // published no earlier than this pipeline was built (the document checks
+  // the snapshot epoch against min_snapshot_epoch()).
+
+  /// EmptyAssignmentSatisfies at a pinned snapshot root.
+  bool EmptyAssignmentSatisfiesAt(TermNodeId root) const;
+  /// FinalGamma at a pinned snapshot root.
+  std::vector<uint32_t> FinalGammaAt(TermNodeId root) const;
+  /// HasAnswer at a pinned snapshot root.
+  bool HasAnswerAt(TermNodeId root) const;
+  /// MakeRootCursor at a pinned snapshot root.
+  std::unique_ptr<AssignmentCursor> MakeRootCursorAt(TermNodeId root) const;
+  /// MakeEngineCursor at a pinned snapshot root.
+  std::unique_ptr<Engine::Cursor> MakeEngineCursorAt(TermNodeId root) const;
+  /// EnumerateAll at a pinned snapshot root.
+  std::vector<Assignment> EnumerateAllAt(TermNodeId root) const;
+
+  /// Oldest snapshot epoch this pipeline can serve: the one current when it
+  /// was built (older versions contain node ids it never built boxes for).
+  uint64_t min_snapshot_epoch() const { return min_snapshot_epoch_; }
+
+  /// Releases the boxes of term-node versions reclaimed when a retired
+  /// snapshot was drained — the deferred counterpart of an UpdateResult's
+  /// freed list, broadcast by the document before the next edit.
+  void ReleaseBoxes(const std::vector<TermNodeId>& freed);
+
  private:
   void RefreshBox(TermNodeId id);
   void ReleaseBox(TermNodeId id);
@@ -140,6 +173,7 @@ class EnumerationPipeline {
   EnumIndex index_;
   BoxEnumMode mode_;
   std::unique_ptr<RunCounter> counter_;
+  uint64_t min_snapshot_epoch_ = 0;
   bool update_pending_ = false;
 };
 

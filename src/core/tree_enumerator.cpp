@@ -7,7 +7,8 @@ namespace treenum {
 TreeEnumerator::TreeEnumerator(UnrankedTree tree, const UnrankedTva& query,
                                BoxEnumMode mode)
     : doc_(std::move(tree), query.num_labels()),
-      pipe_(&doc_.pipeline(doc_.Register(query, mode))) {}
+      handle_(doc_.Register(query, mode)),
+      pipe_(&doc_.pipeline(handle_)) {}
 
 TreeEnumerator::Cursor TreeEnumerator::Enumerate() const {
   Cursor c;

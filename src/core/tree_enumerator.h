@@ -23,6 +23,7 @@
 #define TREENUM_CORE_TREE_ENUMERATOR_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "automata/unranked_tva.h"
@@ -72,6 +73,25 @@ class TreeEnumerator : public Engine {
   /// assignment on the current tree?
   bool HasAnswer() const override { return pipe_->HasAnswer(); }
 
+  // ---- Concurrent snapshot reads (see core/document.h) ----
+
+  /// Pins the most recently committed version. Any thread.
+  SnapshotRef CurrentSnapshot() const { return doc_.CurrentSnapshot(); }
+  /// All satisfying assignments at a pinned snapshot — runs on reader
+  /// threads concurrently with writer edits; old snapshots keep answering
+  /// with their pre-edit results (time-travel).
+  std::vector<Assignment> EnumerateAt(const SnapshotRef& snap) const {
+    return doc_.EnumerateAt(snap, handle_);
+  }
+  /// HasAnswer at a pinned snapshot. Any thread.
+  bool HasAnswerAt(const SnapshotRef& snap) const {
+    return doc_.HasAnswerAt(snap, handle_);
+  }
+  /// Cursor at a pinned snapshot; the cursor co-owns the pin.
+  std::unique_ptr<Engine::Cursor> MakeCursorAt(SnapshotRef snap) const {
+    return doc_.MakeCursorAt(std::move(snap), handle_);
+  }
+
   // ---- Dynamic counting (optional; see counting/run_count.h) ----
 
   /// Enables maintenance of accepting-run counts (O(|T| * poly(w)) once;
@@ -118,6 +138,7 @@ class TreeEnumerator : public Engine {
 
  private:
   DynamicDocument doc_;
+  DynamicDocument::QueryHandle handle_;
   EnumerationPipeline* pipe_;
 };
 

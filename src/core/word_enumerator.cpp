@@ -7,7 +7,8 @@ namespace treenum {
 WordEnumerator::WordEnumerator(const Word& w, const Wva& query,
                                BoxEnumMode mode)
     : doc_(w, query.num_labels()),
-      pipe_(&doc_.pipeline(doc_.Register(query, mode))) {}
+      handle_(doc_.Register(query, mode)),
+      pipe_(&doc_.pipeline(handle_)) {}
 
 std::vector<Assignment> WordEnumerator::EnumerateAll() const {
   return pipe_->EnumerateAll();

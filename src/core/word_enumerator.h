@@ -14,6 +14,7 @@
 #define TREENUM_CORE_WORD_ENUMERATOR_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "automata/wva.h"
@@ -47,6 +48,25 @@ class WordEnumerator : public Engine {
 
   /// Like EnumerateAll but with singletons rewritten to current positions.
   std::vector<Assignment> EnumerateAllByPosition() const;
+
+  // ---- Concurrent snapshot reads (see core/document.h) ----
+
+  /// Pins the most recently committed version. Any thread.
+  SnapshotRef CurrentSnapshot() const { return doc_.CurrentSnapshot(); }
+  /// All satisfying assignments at a pinned snapshot (stable position ids)
+  /// — runs on reader threads concurrently with writer edits; old
+  /// snapshots keep answering with their pre-edit results (time-travel).
+  std::vector<Assignment> EnumerateAt(const SnapshotRef& snap) const {
+    return doc_.EnumerateAt(snap, handle_);
+  }
+  /// HasAnswer at a pinned snapshot. Any thread.
+  bool HasAnswerAt(const SnapshotRef& snap) const {
+    return doc_.HasAnswerAt(snap, handle_);
+  }
+  /// Cursor at a pinned snapshot; the cursor co-owns the pin.
+  std::unique_ptr<Engine::Cursor> MakeCursorAt(SnapshotRef snap) const {
+    return doc_.MakeCursorAt(std::move(snap), handle_);
+  }
 
   // ---- Word edits by logical position, worst-case O(log |w|) ----
   UpdateStats Replace(size_t pos, Label l) { return doc_.Replace(pos, l); }
@@ -83,6 +103,7 @@ class WordEnumerator : public Engine {
 
  private:
   DynamicDocument doc_;
+  DynamicDocument::QueryHandle handle_;
   EnumerationPipeline* pipe_;
 };
 

@@ -195,7 +195,8 @@ class EnumIndex {
   void FreeSpans(BoxIndexSpans& s);
 
   const AssignmentCircuit* circuit_;
-  std::vector<BoxIndexSpans> spans_;
+  // CowStore-backed so concurrent snapshot readers survive writer growth.
+  CowStore<BoxIndexSpans> spans_;
 
   // Flat pools (see file comment).
   SpanPool<CandRec> cand_pool_;

@@ -28,7 +28,6 @@
 #include <cstdint>
 
 #include "circuit/arena.h"
-#include "util/aligned_alloc.h"
 #include "util/bit_matrix.h"
 #include "util/check.h"
 
@@ -96,7 +95,7 @@ class BitMatrixPool {
     return words;
   }
 
-  SpanPool<uint64_t, AlignedAllocator<uint64_t, 64>> pool_;
+  SpanPool<uint64_t, 64> pool_;
 };
 
 }  // namespace treenum

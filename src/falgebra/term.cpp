@@ -12,13 +12,121 @@ TermNodeId Term::Alloc() {
     id = free_list_.back();
     free_list_.pop_back();
     nodes_[id] = TermNode{};
+    ++nodes_recycled_;
   } else {
     id = static_cast<TermNodeId>(nodes_.size());
-    nodes_.emplace_back();
+    nodes_.push_back(TermNode{});
   }
-  nodes_[id].alive = true;
+  TermNode& t = nodes_[id];
+  t.alive = true;
+  t.epoch = static_cast<uint32_t>(cur_epoch_);
   ++num_alive_;
   return id;
+}
+
+void Term::DecRef(TermNodeId id) {
+  TermNode& t = nodes_[id];
+  // Raw frees (FreeNode/FreeSubterm) zero the count of dead nodes; a stale
+  // parent slot pointing at one is tolerated outside snapshot mode.
+  assert(t.refs > 0 || !t.alive);
+  if (t.refs > 0 && --t.refs == 0) zero_pending_.push_back(id);
+}
+
+void Term::set_root(TermNodeId r) {
+  if (r == root_) {
+    if (r != kNoTerm) nodes_[r].parent = kNoTerm;
+    return;
+  }
+  TermNodeId old = root_;
+  root_ = r;
+  if (r != kNoTerm) {
+    IncRef(r);
+    nodes_[r].parent = kNoTerm;
+  }
+  if (old != kNoTerm) DecRef(old);
+}
+
+TermNodeId Term::EnsureMutable(TermNodeId id) {
+  if (id == kNoTerm || !frozen(id)) return id;
+  return CopyForWrite(id);
+}
+
+TermNodeId Term::CopyForWrite(TermNodeId id) {
+  TermNodeId nid = Alloc();
+  // Copy the source by value *after* Alloc (which may relocate storage).
+  TermNode src = nodes_[id];
+  {
+    TermNode& dst = nodes_[nid];
+    dst = src;
+    dst.refs = 0;
+    dst.epoch = static_cast<uint32_t>(cur_epoch_);
+    dst.alive = true;
+  }
+  if (src.left != kNoTerm) {
+    // The copy adds one parent edge to each child; the frozen original keeps
+    // its edges until it is reclaimed. Redirect the children's (writer-only)
+    // parent pointers to the copy — but only if they still pointed at the
+    // original (a child may have been re-linked elsewhere mid-edit).
+    IncRef(src.left);
+    IncRef(src.right);
+    if (nodes_[src.left].parent == id) nodes_[src.left].parent = nid;
+    if (nodes_[src.right].parent == id) nodes_[src.right].parent = nid;
+  }
+  ++path_copies_;
+  remap_log_.emplace_back(id, nid);
+  if (src.parent == kNoTerm) {
+    if (root_ == id) {
+      set_root(nid);
+    }
+    // Detached node: the caller owns the copy.
+  } else {
+    // Copy the spine: make the parent mutable, then swap its child slot
+    // from the original to the copy.
+    TermNodeId np = EnsureMutable(src.parent);
+    nodes_[nid].parent = np;
+    IncRef(nid);
+    if (nodes_[np].left == id) {
+      nodes_[np].left = nid;
+    } else {
+      assert(nodes_[np].right == id);
+      nodes_[np].right = nid;
+    }
+    DecRef(id);
+  }
+  return nid;
+}
+
+void Term::SweepZeros(std::vector<TermNodeId>* freed) {
+  while (!zero_pending_.empty()) {
+    TermNodeId id = zero_pending_.back();
+    zero_pending_.pop_back();
+    TermNode& t = nodes_[id];
+    // Transient zeros (rotations, splits) get re-referenced before the
+    // sweep; duplicates in the queue find the node already dead.
+    if (!t.alive || t.refs > 0) continue;
+    t.alive = false;
+    free_list_.push_back(id);
+    --num_alive_;
+    if (freed) freed->push_back(id);
+    if (t.left != kNoTerm) {
+      // Push left then right so the right subtree is reclaimed first —
+      // same DFS order as the historical FreeSubterm.
+      DecRef(t.left);
+      DecRef(t.right);
+    }
+  }
+}
+
+void Term::PinRoot(TermNodeId r) {
+  ++live_pins_;
+  IncRef(r);
+}
+
+void Term::UnpinRoot(TermNodeId r, std::vector<TermNodeId>* freed) {
+  assert(live_pins_ > 0);
+  --live_pins_;
+  DecRef(r);
+  SweepZeros(freed);
 }
 
 TermNodeId Term::NewLeaf(Label symbol, NodeId n) {
@@ -46,40 +154,63 @@ TermNodeId Term::NewNode(TermOp op, TermNodeId left, TermNodeId right) {
   t.is_context = OpYieldsContext(op);
   nodes_[left].parent = id;
   nodes_[right].parent = id;
+  IncRef(left);
+  IncRef(right);
   RecomputeNode(id);
   return id;
 }
 
 void Term::ReplaceChild(TermNodeId old_id, TermNodeId new_id) {
   TermNodeId p = nodes_[old_id].parent;
-  nodes_[old_id].parent = kNoTerm;
-  nodes_[new_id].parent = p;
   if (p == kNoTerm) {
-    root_ = new_id;
+    nodes_[new_id].parent = kNoTerm;
+    set_root(new_id);
     return;
   }
+  p = EnsureMutable(p);
+  nodes_[old_id].parent = kNoTerm;
+  nodes_[new_id].parent = p;
+  IncRef(new_id);
   if (nodes_[p].left == old_id) {
     nodes_[p].left = new_id;
   } else {
     assert(nodes_[p].right == old_id);
     nodes_[p].right = new_id;
   }
+  DecRef(old_id);
 }
 
 void Term::ClearParent(TermNodeId id) { nodes_[id].parent = kNoTerm; }
 
 void Term::SetChildSlot(TermNodeId parent, bool left_slot, TermNodeId child) {
-  if (left_slot) {
-    nodes_[parent].left = child;
-  } else {
-    nodes_[parent].right = child;
+  assert(!frozen(parent));
+  TermNodeId old = left_slot ? nodes_[parent].left : nodes_[parent].right;
+  if (old != child) {
+    IncRef(child);
+    if (left_slot) {
+      nodes_[parent].left = child;
+    } else {
+      nodes_[parent].right = child;
+    }
+    if (old != kNoTerm) DecRef(old);
   }
   nodes_[child].parent = parent;
 }
 
 void Term::SetChildrenRaw(TermNodeId id, TermNodeId l, TermNodeId r) {
-  nodes_[id].left = l;
-  nodes_[id].right = r;
+  assert(!frozen(id));
+  TermNodeId ol = nodes_[id].left;
+  TermNodeId orr = nodes_[id].right;
+  if (ol != l) {
+    IncRef(l);
+    nodes_[id].left = l;
+    if (ol != kNoTerm) DecRef(ol);
+  }
+  if (orr != r) {
+    IncRef(r);
+    nodes_[id].right = r;
+    if (orr != kNoTerm) DecRef(orr);
+  }
   nodes_[l].parent = id;
   nodes_[r].parent = id;
   RecomputeNode(id);
@@ -88,24 +219,39 @@ void Term::SetChildrenRaw(TermNodeId id, TermNodeId l, TermNodeId r) {
 TermNodeId Term::SpliceOp(TermOp op, TermNodeId existing, TermNodeId fresh,
                           bool fresh_on_left) {
   TermNodeId p = nodes_[existing].parent;
-  bool was_left = p != kNoTerm && nodes_[p].left == existing;
+  bool was_left = false;
+  if (p != kNoTerm) {
+    p = EnsureMutable(p);
+    was_left = nodes_[p].left == existing;
+  }
   nodes_[existing].parent = kNoTerm;
   TermNodeId nn = fresh_on_left ? NewNode(op, fresh, existing)
                                 : NewNode(op, existing, fresh);
-  nodes_[nn].parent = p;
   if (p == kNoTerm) {
-    root_ = nn;
-  } else if (was_left) {
-    nodes_[p].left = nn;
+    set_root(nn);
   } else {
-    nodes_[p].right = nn;
+    nodes_[nn].parent = p;
+    IncRef(nn);
+    if (was_left) {
+      nodes_[p].left = nn;
+    } else {
+      nodes_[p].right = nn;
+    }
+    DecRef(existing);
   }
   return nn;
 }
 
-void Term::SetLabel(TermNodeId id, Label label) { nodes_[id].label = label; }
-void Term::SetTreeNode(TermNodeId id, NodeId n) { nodes_[id].tree_node = n; }
+void Term::SetLabel(TermNodeId id, Label label) {
+  assert(!frozen(id));
+  nodes_[id].label = label;
+}
+void Term::SetTreeNode(TermNodeId id, NodeId n) {
+  assert(!frozen(id));
+  nodes_[id].tree_node = n;
+}
 void Term::SetContext(TermNodeId id, bool is_context) {
+  assert(!frozen(id));
   nodes_[id].is_context = is_context;
 }
 
@@ -132,7 +278,9 @@ void Term::RecomputeUp(TermNodeId id, std::vector<TermNodeId>* path) {
 
 void Term::FreeNode(TermNodeId id) {
   assert(IsAlive(id));
+  assert(live_pins_ == 0 && "raw free while snapshots are pinned");
   nodes_[id].alive = false;
+  nodes_[id].refs = 0;
   free_list_.push_back(id);
   --num_alive_;
 }
@@ -169,7 +317,12 @@ struct DForest {
 }  // namespace
 
 UnrankedTree Term::Decode(std::vector<NodeId>* term_to_tree) const {
-  if (root_ == kNoTerm) {
+  return DecodeAt(root_, term_to_tree);
+}
+
+UnrankedTree Term::DecodeAt(TermNodeId r,
+                            std::vector<NodeId>* term_to_tree) const {
+  if (r == kNoTerm) {
     throw std::logic_error("Decode: empty term");
   }
   std::deque<DNode> arena;
@@ -195,7 +348,7 @@ UnrankedTree Term::Decode(std::vector<NodeId>* term_to_tree) const {
       return DForest{{n}, nullptr};
     }
     DForest l = self(self, t.left);
-    DForest r = self(self, t.right);
+    DForest rr = self(self, t.right);
     TermOp op = alphabet_.OpOf(t.label);
     switch (op) {
       case TermOp::kConcatHH:
@@ -203,8 +356,8 @@ UnrankedTree Term::Decode(std::vector<NodeId>* term_to_tree) const {
       case TermOp::kConcatVH: {
         DForest out;
         out.roots = l.roots;
-        out.roots.insert(out.roots.end(), r.roots.begin(), r.roots.end());
-        out.hole = l.hole ? l.hole : r.hole;
+        out.roots.insert(out.roots.end(), rr.roots.begin(), rr.roots.end());
+        out.hole = l.hole ? l.hole : rr.hole;
         return out;
       }
       case TermOp::kApplyVV:
@@ -219,16 +372,16 @@ UnrankedTree Term::Decode(std::vector<NodeId>* term_to_tree) const {
         // roots and is flattened during conversion.
         hole->is_hole = false;
         hole->label = static_cast<Label>(-1);  // splice marker
-        hole->children = r.roots;
+        hole->children = rr.roots;
         DForest out;
         out.roots = l.roots;
-        out.hole = r.hole;
+        out.hole = rr.hole;
         return out;
       }
     }
     return {};
   };
-  DForest top = eval(eval, root_);
+  DForest top = eval(eval, r);
   if (top.hole != nullptr) {
     throw std::logic_error("Decode: term is context-typed");
   }

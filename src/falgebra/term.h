@@ -10,15 +10,27 @@
 // carried by its a_□ leaf. Equivalently, every context piece is of the form
 // "subtree of T rooted at u, with everything strictly below w removed", for
 // a node w in that subtree; the hole sits where w's children go.
+//
+// Versioning (copy-on-write snapshots): every node carries a reference count
+// and the edit epoch it was created in. While at least one snapshot root is
+// pinned (PinRoot), mutating an old-epoch node first path-copies it with
+// EnsureMutable — the copy gets the current epoch, the frozen original keeps
+// serving pinned snapshot readers. Reference counts track parent edges
+// across all live versions plus the root slot plus snapshot pins; a count
+// that drops to zero is queued and reclaimed by SweepZeros at the end of the
+// edit, cascading into unreachable children. With no pins the term behaves
+// exactly like the historical in-place encoding (no copies are ever made).
 #ifndef TREENUM_FALGEBRA_TERM_H_
 #define TREENUM_FALGEBRA_TERM_H_
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "falgebra/alphabet.h"
 #include "trees/unranked_tree.h"
+#include "util/cow_store.h"
 
 namespace treenum {
 
@@ -30,10 +42,12 @@ struct TermNode {
   Label label = 0;           ///< Symbol in Λ' (leaf symbol or operator).
   TermNodeId left = kNoTerm;
   TermNodeId right = kNoTerm;
-  TermNodeId parent = kNoTerm;
+  TermNodeId parent = kNoTerm;  ///< Current-version navigation (writer only).
   NodeId tree_node = kNoNode;  ///< For leaf symbols: the represented T-node.
   uint32_t size = 0;           ///< Number of leaf symbols below (incl. self).
   uint32_t height = 0;         ///< Height of the subterm (leaf = 0).
+  uint32_t refs = 0;   ///< Parent edges over all live versions + root + pins.
+  uint32_t epoch = 0;  ///< Edit epoch this node version was created in.
   bool is_context = false;     ///< Type: context vs. forest.
   bool alive = false;
 };
@@ -44,6 +58,12 @@ struct TermNode {
 /// circuit boxes are indexed by TermNodeId. All structural operations keep
 /// size/height of the affected nodes consistent (callers use RecomputeUp for
 /// path updates after splices).
+///
+/// Single-writer / multi-reader: all mutators run on one writer thread.
+/// Reader threads may concurrently call node()/IsLeaf()/IsAlive() on node
+/// ids reachable from a pinned snapshot root — those versions are frozen
+/// (never mutated, never freed) until the pin is released. Node storage is
+/// a CowStore, so writer growth never invalidates reader pointers.
 class Term {
  public:
   explicit Term(const TermAlphabet& alphabet) : alphabet_(alphabet) {}
@@ -51,10 +71,7 @@ class Term {
   const TermAlphabet& alphabet() const { return alphabet_; }
 
   TermNodeId root() const { return root_; }
-  void set_root(TermNodeId r) {
-    root_ = r;
-    if (r != kNoTerm) nodes_[r].parent = kNoTerm;
-  }
+  void set_root(TermNodeId r);
 
   const TermNode& node(TermNodeId id) const { return nodes_[id]; }
   bool IsAlive(TermNodeId id) const {
@@ -74,31 +91,37 @@ class Term {
   TermNodeId NewNode(TermOp op, TermNodeId left, TermNodeId right);
 
   /// Replaces subterm `old_id` by `new_id` in old's parent (or as root).
-  /// `old_id` keeps its subtree and becomes detached.
+  /// `old_id` keeps its subtree and becomes detached (its reference count
+  /// drops; if it reaches zero the subtree is reclaimed by SweepZeros).
+  /// Path-copies the parent first if it is frozen.
   void ReplaceChild(TermNodeId old_id, TermNodeId new_id);
 
   /// Replaces `existing` (in place, inside its parent) by a new operator
   /// node combining `existing` with the detached subterm `fresh`:
   /// op(fresh, existing) if fresh_on_left, else op(existing, fresh).
   /// Returns the new operator node. Does not recompute ancestor counters.
+  /// Path-copies the parent first if it is frozen.
   TermNodeId SpliceOp(TermOp op, TermNodeId existing, TermNodeId fresh,
                       bool fresh_on_left);
 
   /// Low-level re-linking used by AVL rotations on ⊕HH chains (word terms):
   /// sets both children of `id`, fixes parent pointers, and recomputes the
-  /// node's counters. Caller is responsible for type correctness.
+  /// node's counters. Caller is responsible for type correctness and for
+  /// `id` being mutable (EnsureMutable).
   void SetChildrenRaw(TermNodeId id, TermNodeId l, TermNodeId r);
 
   /// Sets one child slot of `parent` to `child` and fixes child's parent
-  /// pointer. Does not recompute counters.
+  /// pointer. Does not recompute counters. `parent` must be mutable.
   void SetChildSlot(TermNodeId parent, bool left_slot, TermNodeId child);
 
   /// Detaches `id` from its parent pointer (the parent's child slot is NOT
   /// updated — used when dismantling a node whose children move elsewhere).
+  /// Pointer-only: reference counts are adjusted when the parent's slot is
+  /// overwritten or the parent is reclaimed.
   void ClearParent(TermNodeId id);
 
   /// Changes the label of a node in place (used by relabelings and by the
-  /// context→forest retyping walk of leaf deletion).
+  /// context→forest retyping walk of leaf deletion). `id` must be mutable.
   void SetLabel(TermNodeId id, Label label);
   void SetTreeNode(TermNodeId id, NodeId n);
   void SetContext(TermNodeId id, bool is_context);
@@ -107,10 +130,64 @@ class Term {
   /// visited ids (bottom-up, starting at id) to `path` if non-null.
   void RecomputeUp(TermNodeId id, std::vector<TermNodeId>* path = nullptr);
 
-  /// Frees the node `id` only (not its subtree).
+  /// Frees the node `id` only (not its subtree). Raw primitive that bypasses
+  /// reference counts — must not be used while snapshots are pinned.
   void FreeNode(TermNodeId id);
   /// Frees the whole subtree rooted at `id`; appends freed ids if non-null.
+  /// Raw primitive bypassing reference counts (see FreeNode).
   void FreeSubterm(TermNodeId id, std::vector<TermNodeId>* freed = nullptr);
+
+  // ---- Copy-on-write snapshot support ----
+
+  /// True iff `id` must not be mutated in place: some snapshot is pinned and
+  /// this node version predates the current edit epoch. Conservative — the
+  /// node may not actually be reachable from any pinned root; useless copies
+  /// are reclaimed by the end-of-edit sweep.
+  bool frozen(TermNodeId id) const {
+    return live_pins_ > 0 &&
+           nodes_[id].epoch != static_cast<uint32_t>(cur_epoch_);
+  }
+
+  /// Returns a mutable version of `id`: `id` itself when not frozen, else a
+  /// path-copy (the copy's ancestors are copied too, up to the root / first
+  /// already-mutable ancestor). Records (old, new) pairs in remap_log().
+  TermNodeId EnsureMutable(TermNodeId id);
+
+  /// Starts an edit: clears the remap log. Each public edit operation of the
+  /// encodings calls this once on entry.
+  void BeginEdit() { remap_log_.clear(); }
+
+  /// (old, new) id pairs produced by EnsureMutable since BeginEdit — used by
+  /// the encodings to fix their leaf/position maps.
+  const std::vector<std::pair<TermNodeId, TermNodeId>>& remap_log() const {
+    return remap_log_;
+  }
+
+  /// Reclaims every queued zero-reference node, cascading into children
+  /// whose counts drop to zero; appends freed ids if non-null. Called at the
+  /// end of each edit operation and after UnpinRoot.
+  void SweepZeros(std::vector<TermNodeId>* freed = nullptr);
+
+  /// Pins `r` as a snapshot root: readers may traverse the version rooted at
+  /// `r` until UnpinRoot. Bumps r's reference count and the live-pin gauge.
+  void PinRoot(TermNodeId r);
+  /// Releases a snapshot pin and reclaims newly unreachable versions
+  /// (appended to `freed` if non-null). Writer thread only.
+  void UnpinRoot(TermNodeId r, std::vector<TermNodeId>* freed = nullptr);
+  /// Number of currently pinned snapshot roots.
+  size_t live_pins() const { return live_pins_; }
+
+  uint64_t epoch() const { return cur_epoch_; }
+  /// Advances the edit epoch — called by the snapshot layer right after
+  /// publishing, so nodes created before the publish freeze.
+  void BumpEpoch() { ++cur_epoch_; }
+
+  /// Lifetime number of path-copied nodes (perf gauge).
+  uint64_t path_copies() const { return path_copies_; }
+  /// Lifetime number of node slots recycled through the free list.
+  uint64_t nodes_recycled() const { return nodes_recycled_; }
+  /// Reference count of a node (tests).
+  uint32_t refs(TermNodeId id) const { return nodes_[id].refs; }
 
   /// Decodes the represented forest; requires the term to be well-formed and
   /// forest-typed with a single represented tree. Labels come from the leaf
@@ -118,6 +195,11 @@ class Term {
   /// (indexed by leaf TermNodeId) receives the new NodeId of each leaf
   /// symbol if non-null.
   UnrankedTree Decode(std::vector<NodeId>* term_to_tree = nullptr) const;
+
+  /// Decodes the version rooted at `r` instead of the current root
+  /// (time-travel test helper; `r` must be a pinned snapshot root).
+  UnrankedTree DecodeAt(TermNodeId r,
+                        std::vector<NodeId>* term_to_tree = nullptr) const;
 
   /// Validates structural invariants: typing of all five operators, leaf
   /// symbols, parent pointers, size/height counters. Returns an empty string
@@ -129,13 +211,23 @@ class Term {
 
  private:
   TermNodeId Alloc();
+  TermNodeId CopyForWrite(TermNodeId id);
   void RecomputeNode(TermNodeId id);
+  void IncRef(TermNodeId id) { ++nodes_[id].refs; }
+  void DecRef(TermNodeId id);
 
   TermAlphabet alphabet_;
-  std::vector<TermNode> nodes_;
+  CowStore<TermNode> nodes_;
   std::vector<TermNodeId> free_list_;
   TermNodeId root_ = kNoTerm;
   size_t num_alive_ = 0;
+
+  uint64_t cur_epoch_ = 0;
+  size_t live_pins_ = 0;
+  std::vector<TermNodeId> zero_pending_;
+  std::vector<std::pair<TermNodeId, TermNodeId>> remap_log_;
+  uint64_t path_copies_ = 0;
+  uint64_t nodes_recycled_ = 0;
 };
 
 }  // namespace treenum

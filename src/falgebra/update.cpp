@@ -30,9 +30,22 @@ void DynamicEncoding::EnsureLeafSlot(NodeId n) {
   if (enc_.leaf_of.size() <= n) enc_.leaf_of.resize(n + 1, kNoTerm);
 }
 
+void DynamicEncoding::ApplyRemap() {
+  const Term& term = enc_.term;
+  for (const auto& [old_id, new_id] : term.remap_log()) {
+    if (!term.IsAlive(new_id) || !term.IsLeaf(new_id)) continue;
+    NodeId n = term.node(new_id).tree_node;
+    if (n == kNoNode || n >= enc_.leaf_of.size()) continue;
+    if (enc_.leaf_of[n] == old_id) enc_.leaf_of[n] = new_id;
+  }
+}
+
 void DynamicEncoding::FinishStructural(TermNodeId from, UpdateResult& result) {
   Term& term = enc_.term;
   std::vector<TermNodeId> path;
+  // The splice that produced `from` already path-copied every frozen
+  // ancestor (EnsureMutable cascades to the root), so the recompute walk
+  // only touches current-version nodes.
   term.RecomputeUp(from, &path);
   result.changed_bottom_up.insert(result.changed_bottom_up.end(), path.begin(),
                                   path.end());
@@ -51,13 +64,16 @@ void DynamicEncoding::FinishStructural(TermNodeId from, UpdateResult& result) {
     result.rebuilt_size = term.node(viol).size;
     TermNodeId newsub = EncodePieces(term, enc_.tree, pieces, enc_.leaf_of,
                                      &result.changed_bottom_up);
+    // Detaching the violator drops its last current-version reference; the
+    // sweep below reclaims whatever no pinned snapshot still reaches.
     term.ReplaceChild(viol, newsub);
-    term.FreeSubterm(viol, &result.freed);
     std::vector<TermNodeId> path2;
     term.RecomputeUp(newsub, &path2);
     result.changed_bottom_up.insert(result.changed_bottom_up.end(),
                                     path2.begin(), path2.end());
   }
+  term.SweepZeros(&result.freed);
+  ApplyRemap();
   FilterChanged(term, result.changed_bottom_up);
 }
 
@@ -72,7 +88,9 @@ const UpdateResult& DynamicEncoding::Relabel(NodeId n, Label l) {
   UpdateResult& result = ResetResult();
   enc_.tree.Relabel(n, l);
   Term& term = enc_.term;
-  TermNodeId leaf = enc_.leaf_of[n];
+  term.BeginEdit();
+  TermNodeId leaf = term.EnsureMutable(enc_.leaf_of[n]);
+  enc_.leaf_of[n] = leaf;
   const TermAlphabet& alphabet = term.alphabet();
   Label sym = alphabet.IsContextLeaf(term.node(leaf).label)
                   ? alphabet.ContextLeaf(l)
@@ -81,6 +99,8 @@ const UpdateResult& DynamicEncoding::Relabel(NodeId n, Label l) {
   for (TermNodeId x = leaf; x != kNoTerm; x = term.node(x).parent) {
     result.changed_bottom_up.push_back(x);
   }
+  term.SweepZeros(&result.freed);
+  ApplyRemap();
   return result;
 }
 
@@ -91,6 +111,7 @@ const UpdateResult& DynamicEncoding::InsertRightSibling(NodeId n, Label l,
   if (new_node) *new_node = u;
   EnsureLeafSlot(u);
   Term& term = enc_.term;
+  term.BeginEdit();
   const TermAlphabet& alphabet = term.alphabet();
 
   TermNodeId leaf_n = enc_.leaf_of[n];
@@ -113,6 +134,7 @@ const UpdateResult& DynamicEncoding::InsertFirstChild(NodeId n, Label l,
   if (new_node) *new_node = u;
   EnsureLeafSlot(u);
   Term& term = enc_.term;
+  term.BeginEdit();
   const TermAlphabet& alphabet = term.alphabet();
 
   TermNodeId leaf_u = term.NewLeaf(alphabet.TreeLeaf(l), u);
@@ -122,7 +144,8 @@ const UpdateResult& DynamicEncoding::InsertFirstChild(NodeId n, Label l,
   TermNodeId nn;
   if (was_leaf) {
     // a_t(n) becomes a context over the new single-child forest.
-    TermNodeId leaf_n = enc_.leaf_of[n];
+    TermNodeId leaf_n = term.EnsureMutable(enc_.leaf_of[n]);
+    enc_.leaf_of[n] = leaf_n;
     term.SetLabel(leaf_n, alphabet.ContextLeaf(enc_.tree.label(n)));
     term.SetContext(leaf_n, true);
     result.changed_bottom_up.push_back(leaf_n);
@@ -143,6 +166,7 @@ const UpdateResult& DynamicEncoding::InsertFirstChild(NodeId n, Label l,
 const UpdateResult& DynamicEncoding::DeleteLeaf(NodeId n) {
   UpdateResult& result = ResetResult();
   Term& term = enc_.term;
+  term.BeginEdit();
   const TermAlphabet& alphabet = term.alphabet();
 
   NodeId m = enc_.tree.parent(n);
@@ -161,10 +185,15 @@ const UpdateResult& DynamicEncoding::DeleteLeaf(NodeId n) {
     // whose hole parent is m. Close the hole: retype the hole path from
     // a_□(m) up to sib (context → forest).
     assert(term.node(p).right == leaf);
-    TermNodeId leaf_m = enc_.leaf_of[m];
+    TermNodeId leaf_m = term.EnsureMutable(enc_.leaf_of[m]);
+    enc_.leaf_of[m] = leaf_m;
     term.SetLabel(leaf_m, alphabet.TreeLeaf(enc_.tree.label(m)));
     term.SetContext(leaf_m, false);
     result.changed_bottom_up.push_back(leaf_m);
+    // The path-copy cascade above may have replaced p and sib; re-resolve
+    // them through leaf's (redirected) parent pointer before walking.
+    p = term.node(leaf).parent;
+    sib = term.node(p).left == leaf ? term.node(p).right : term.node(p).left;
     for (TermNodeId x = term.node(leaf_m).parent; x != p;
          x = term.node(x).parent) {
       TermOp xop = alphabet.OpOf(term.node(x).label);
@@ -188,16 +217,16 @@ const UpdateResult& DynamicEncoding::DeleteLeaf(NodeId n) {
     }
   }
 
+  // Detach p (and with it leaf); the end-of-edit sweep reclaims both unless
+  // a pinned snapshot still reaches them.
   term.ReplaceChild(p, sib);
   TermNodeId above = term.node(sib).parent;
-  term.FreeNode(p);
-  term.FreeNode(leaf);
-  result.freed.push_back(p);
-  result.freed.push_back(leaf);
 
   if (above != kNoTerm) {
     FinishStructural(above, result);
   } else {
+    term.SweepZeros(&result.freed);
+    ApplyRemap();
     FilterChangedPublic(result);
   }
   return result;
@@ -209,10 +238,17 @@ void DynamicEncoding::FilterChangedPublic(UpdateResult& result) const {
 
 bool DynamicEncoding::CheckBalanced() const {
   const Term& term = enc_.term;
-  for (TermNodeId id = 0; id < term.id_bound(); ++id) {
-    if (!term.IsAlive(id)) continue;
+  if (term.root() == kNoTerm) return true;
+  std::vector<TermNodeId> stack{term.root()};
+  while (!stack.empty()) {
+    TermNodeId id = stack.back();
+    stack.pop_back();
     const TermNode& t = term.node(id);
     if (t.height > MaxAllowedHeight(t.size)) return false;
+    if (t.left != kNoTerm) {
+      stack.push_back(t.left);
+      stack.push_back(t.right);
+    }
   }
   return true;
 }

@@ -64,11 +64,18 @@ class DynamicEncoding {
                                          NodeId* new_node = nullptr);
   const UpdateResult& DeleteLeaf(NodeId n);
 
-  /// Test hook: true iff every alive subterm respects the height envelope.
+  /// Test hook: true iff every subterm of the current version respects the
+  /// height envelope (frozen snapshot versions may legitimately keep the
+  /// pre-rebuild shape and are not checked).
   bool CheckBalanced() const;
+
+  /// Writable term access for the snapshot layer (pin/publish/drain).
+  Term& mutable_term() { return enc_.term; }
 
  private:
   void EnsureLeafSlot(NodeId n);
+  /// Re-points leaf_of at path-copied leaves (term remap log of this edit).
+  void ApplyRemap();
   /// Recomputes counters from `from` to the root, rebalances if needed, and
   /// fills result.changed_bottom_up / freed / rebuilt_size.
   void FinishStructural(TermNodeId from, UpdateResult& result);

@@ -44,6 +44,15 @@ NodeId WordEncoding::AllocPosition(Label l) {
   return id;
 }
 
+void WordEncoding::ApplyRemap() {
+  for (const auto& [old_id, new_id] : term_.remap_log()) {
+    if (!term_.IsAlive(new_id) || !term_.IsLeaf(new_id)) continue;
+    NodeId n = term_.node(new_id).tree_node;
+    if (n == kNoNode || n >= pos_leaf_.size()) continue;
+    if (pos_leaf_[n] == old_id) pos_leaf_[n] = new_id;
+  }
+}
+
 TermNodeId WordEncoding::LeafAt(size_t pos) const {
   assert(pos < size_);
   TermNodeId x = term_.root();
@@ -96,18 +105,24 @@ Word WordEncoding::Current() const {
 
 UpdateResult WordEncoding::Replace(size_t pos, Label l) {
   UpdateResult result;
-  TermNodeId leaf = LeafAt(pos);
-  letters_[term_.node(leaf).tree_node] = l;
+  term_.BeginEdit();
+  TermNodeId leaf = term_.EnsureMutable(LeafAt(pos));
+  NodeId id = term_.node(leaf).tree_node;
+  letters_[id] = l;
+  pos_leaf_[id] = leaf;
   term_.SetLabel(leaf, term_.alphabet().TreeLeaf(l));
   for (TermNodeId x = leaf; x != kNoTerm; x = term_.node(x).parent) {
     result.changed_bottom_up.push_back(x);
   }
+  term_.SweepZeros(&result.freed);
+  ApplyRemap();
   return result;
 }
 
 UpdateResult WordEncoding::Insert(size_t pos, Label l) {
   assert(pos <= size_);
   UpdateResult result;
+  term_.BeginEdit();
   NodeId id = AllocPosition(l);
   TermNodeId fresh = term_.NewLeaf(term_.alphabet().TreeLeaf(l), id);
   pos_leaf_[id] = fresh;
@@ -119,6 +134,8 @@ UpdateResult WordEncoding::Insert(size_t pos, Label l) {
                                  /*fresh_on_left=*/!at_end);
   ++size_;
   RebalanceUp(nn, result);
+  term_.SweepZeros(&result.freed);
+  ApplyRemap();
   return result;
 }
 
@@ -127,21 +144,22 @@ UpdateResult WordEncoding::Erase(size_t pos) {
     throw std::invalid_argument("Erase: word must keep at least one letter");
   }
   UpdateResult result;
+  term_.BeginEdit();
   TermNodeId leaf = LeafAt(pos);
   NodeId id = term_.node(leaf).tree_node;
   TermNodeId p = term_.node(leaf).parent;
   TermNodeId sib = term_.node(p).left == leaf ? term_.node(p).right
                                               : term_.node(p).left;
+  // Detaching p drops its last current-version reference; the end-of-edit
+  // sweep reclaims p and leaf unless a pinned snapshot still reaches them.
   term_.ReplaceChild(p, sib);
   TermNodeId above = term_.node(sib).parent;
-  term_.FreeNode(p);
-  term_.FreeNode(leaf);
-  result.freed.push_back(p);
-  result.freed.push_back(leaf);
   pos_leaf_[id] = kNoTerm;
   free_ids_.push_back(id);
   --size_;
   if (above != kNoTerm) RebalanceUp(above, result);
+  term_.SweepZeros(&result.freed);
+  ApplyRemap();
   return result;
 }
 
@@ -157,7 +175,8 @@ int WordEncoding::BalanceFactor(TermNodeId x) const {
 }
 
 TermNodeId WordEncoding::RotateRight(TermNodeId x, UpdateResult& result) {
-  TermNodeId y = term_.node(x).left;
+  x = term_.EnsureMutable(x);
+  TermNodeId y = term_.EnsureMutable(term_.node(x).left);
   TermNodeId b = term_.node(y).right;
   TermNodeId p = term_.node(x).parent;
   bool was_left = p != kNoTerm && term_.node(p).left == x;
@@ -176,7 +195,8 @@ TermNodeId WordEncoding::RotateRight(TermNodeId x, UpdateResult& result) {
 }
 
 TermNodeId WordEncoding::RotateLeft(TermNodeId x, UpdateResult& result) {
-  TermNodeId y = term_.node(x).right;
+  x = term_.EnsureMutable(x);
+  TermNodeId y = term_.EnsureMutable(term_.node(x).right);
   TermNodeId b = term_.node(y).left;
   TermNodeId p = term_.node(x).parent;
   bool was_left = p != kNoTerm && term_.node(p).left == x;
@@ -195,6 +215,7 @@ TermNodeId WordEncoding::RotateLeft(TermNodeId x, UpdateResult& result) {
 }
 
 TermNodeId WordEncoding::RebalanceNode(TermNodeId x, UpdateResult& result) {
+  x = term_.EnsureMutable(x);
   term_.SetChildrenRaw(x, term_.node(x).left, term_.node(x).right);
   int bf = BalanceFactor(x);
   if (bf > 1) {
@@ -222,7 +243,9 @@ TermNodeId WordEncoding::JoinTerms(TermNodeId a, TermNodeId b,
     return nn;
   }
   if (ha > hb) {
-    // Descend the right spine of a until the join site balances.
+    // Descend the right spine of a until the join site balances. The spine
+    // node is about to be re-linked, so path-copy it first if frozen.
+    a = term_.EnsureMutable(a);
     TermNodeId r = term_.node(a).right;
     term_.ClearParent(r);
     TermNodeId nr = JoinTerms(r, b, result);
@@ -231,6 +254,7 @@ TermNodeId WordEncoding::JoinTerms(TermNodeId a, TermNodeId b,
     result.changed_bottom_up.push_back(nx);
     return nx;
   }
+  b = term_.EnsureMutable(b);
   TermNodeId l = term_.node(b).left;
   term_.ClearParent(l);
   TermNodeId nl = JoinTerms(a, l, result);
@@ -246,13 +270,13 @@ std::pair<TermNodeId, TermNodeId> WordEncoding::SplitAt(
   assert(k <= sz);
   if (k == 0) return {kNoTerm, t};
   if (k == sz) return {t, kNoTerm};
-  // t must be internal.
+  // t must be internal. It is detached and dismantled here: its children are
+  // cut loose (pointer-only) and t itself is reclaimed by the end-of-edit
+  // sweep once nothing references it.
   TermNodeId l = term_.node(t).left;
   TermNodeId r = term_.node(t).right;
   term_.ClearParent(l);
   term_.ClearParent(r);
-  term_.FreeNode(t);
-  result.freed.push_back(t);
   size_t ls = term_.node(l).size;
   if (k < ls) {
     auto [a, b] = SplitAt(l, k, result);
@@ -267,6 +291,7 @@ UpdateResult WordEncoding::MoveRange(size_t begin, size_t end, size_t dst) {
   assert(begin < end && end <= size_);
   assert(dst <= size_ - (end - begin));
   UpdateResult result;
+  term_.BeginEdit();
   TermNodeId whole = term_.root();
   term_.set_root(kNoTerm);
   auto [a, bc] = SplitAt(whole, begin, result);
@@ -280,6 +305,9 @@ UpdateResult WordEncoding::MoveRange(size_t begin, size_t end, size_t dst) {
     root = JoinTerms(JoinTerms(r1, b, result), r2, result);
   }
   term_.set_root(root);
+  // Reclaim dismantled split/join scaffolding before filtering on liveness.
+  term_.SweepZeros(&result.freed);
+  ApplyRemap();
   // Drop freed-then-dead ids and duplicates from the changed list.
   std::vector<TermNodeId> filtered;
   std::vector<char> seen(term_.id_bound(), 0);
@@ -297,6 +325,7 @@ UpdateResult WordEncoding::MoveRange(size_t begin, size_t end, size_t dst) {
 void WordEncoding::RebalanceUp(TermNodeId from, UpdateResult& result) {
   TermNodeId x = from;
   while (x != kNoTerm) {
+    x = term_.EnsureMutable(x);
     if (!term_.IsLeaf(x)) {
       term_.SetChildrenRaw(x, term_.node(x).left, term_.node(x).right);
       int bf = BalanceFactor(x);
@@ -316,10 +345,16 @@ void WordEncoding::RebalanceUp(TermNodeId from, UpdateResult& result) {
 }
 
 bool WordEncoding::CheckBalanced() const {
-  for (TermNodeId id = 0; id < term_.id_bound(); ++id) {
-    if (!term_.IsAlive(id) || term_.IsLeaf(id)) continue;
+  if (term_.root() == kNoTerm) return true;
+  std::vector<TermNodeId> stack{term_.root()};
+  while (!stack.empty()) {
+    TermNodeId id = stack.back();
+    stack.pop_back();
+    if (term_.IsLeaf(id)) continue;
     int bf = BalanceFactor(id);
     if (bf < -1 || bf > 1) return false;
+    stack.push_back(term_.node(id).left);
+    stack.push_back(term_.node(id).right);
   }
   return true;
 }

@@ -49,11 +49,17 @@ class WordEncoding {
   /// structural changes; position ids are preserved.
   UpdateResult MoveRange(size_t begin, size_t end, size_t dst);
 
-  /// Test hook: AVL balance factors in {-1, 0, 1} everywhere.
+  /// Test hook: AVL balance factors in {-1, 0, 1} everywhere on the current
+  /// version (frozen snapshot versions are not checked).
   bool CheckBalanced() const;
+
+  /// Writable term access for the snapshot layer (pin/publish/drain).
+  Term& mutable_term() { return term_; }
 
  private:
   TermNodeId LeafAt(size_t pos) const;
+  /// Re-points pos_leaf_ at path-copied leaves (term remap log of this edit).
+  void ApplyRemap();
   uint32_t HeightOf(TermNodeId x) const;
   int BalanceFactor(TermNodeId x) const;
   /// AVL rebalancing walk from `from` to the root; records changed nodes.

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "util/check.h"
 #include "util/simd_kernels.h"
 
 namespace treenum {
@@ -14,6 +15,17 @@ const BitKernels& K() {
   static const BitKernels& k = ActiveKernels();
   return k;
 }
+
+#ifndef NDEBUG
+// Debug check for the ComposeIntoWords aliasing precondition: the blocked
+// kernel re-reads operand rows after writing `out`, so an overlapping
+// destination silently corrupts the composition. Empty ranges never overlap.
+bool WordRangesOverlap(const uint64_t* a, size_t a_words, const uint64_t* b,
+                       size_t b_words) {
+  if (a_words == 0 || b_words == 0) return false;
+  return a < b + b_words && b < a + a_words;
+}
+#endif
 
 }  // namespace
 
@@ -41,6 +53,16 @@ void BitMatrixView::NonEmptyRowsInto(std::vector<uint32_t>* out) const {
 void BitMatrixView::ComposeIntoWords(const BitMatrixView& a,
                                      const BitMatrixView& b, uint64_t* out) {
   assert(a.cols() == b.rows());
+#ifndef NDEBUG
+  const size_t out_words = a.rows_ * b.words_per_row();
+  TREENUM_CHECK(
+      !WordRangesOverlap(out, out_words, a.words_, a.rows_ * a.words_per_row_),
+      "ComposeIntoWords destination overlaps the left operand");
+  TREENUM_CHECK(
+      !WordRangesOverlap(out, out_words, b.words_,
+                         b.rows_ * b.words_per_row_),
+      "ComposeIntoWords destination overlaps the right operand");
+#endif
   K().compose(a.words_, a.rows_, a.words_per_row_, b.words_, b.words_per_row(),
               out);
 }

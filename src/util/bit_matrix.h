@@ -68,7 +68,8 @@ class BitMatrixView {
 
   /// Low-level composition kernel: `out` must point at
   /// a.rows() * b.words_per_row() words that do NOT alias either operand's
-  /// storage (the blocked kernel re-reads operand rows after writing `out`).
+  /// storage (the blocked kernel re-reads operand rows after writing `out`;
+  /// the precondition is TREENUM_CHECKed in debug builds).
   /// OVERWRITE semantics: every word of `out` is written — accumulators
   /// start at zero inside the kernel — so callers need not pre-zero the
   /// block. Used by the index arena to compose directly into pooled storage.

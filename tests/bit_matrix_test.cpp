@@ -205,5 +205,22 @@ TEST(BitMatrix, AssignReshapesAndZeroes) {
   EXPECT_EQ(m, BitMatrix(4, 4));
 }
 
+#ifndef NDEBUG
+// The blocked compose kernel re-reads operand rows after writing `out`,
+// so an aliased destination silently corrupts the composition. Debug
+// builds TREENUM_CHECK the precondition; both operand overlaps must trip.
+TEST(BitMatrixDeathTest, ComposeIntoWordsRejectsAliasedDestination) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<uint64_t> left(4, 0), right(4, 0), out(4, 0);
+  BitMatrixView a(left.data(), 4, 3);
+  BitMatrixView b(right.data(), 3, 5);
+  BitMatrixView::ComposeIntoWords(a, b, out.data());  // disjoint: fine
+  EXPECT_DEATH(BitMatrixView::ComposeIntoWords(a, b, left.data() + 1),
+               "overlaps the left operand");
+  EXPECT_DEATH(BitMatrixView::ComposeIntoWords(a, b, right.data() + 2),
+               "overlaps the right operand");
+}
+#endif
+
 }  // namespace
 }  // namespace treenum

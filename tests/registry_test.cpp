@@ -2,9 +2,10 @@
 // canonical-form / fingerprint API it is built on (automata/homogenize.h):
 // duplicate and state-renumbered queries share one refcounted pipeline,
 // unregistering keeps survivors correct, warm refcount-zero pipelines are
-// re-admitted without a rebuild, and the pipeline cap evicts in LRU order
-// with eviction + re-admission round-tripping against a StaticEngine
-// oracle.
+// re-admitted without a rebuild, and the pipeline cap evicts cost-aware
+// (cheapest-to-rebuild / stalest first, degenerating to LRU on equal
+// costs) with eviction + re-admission round-tripping against a
+// StaticEngine oracle.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -297,6 +298,45 @@ TEST(QueryRegistry, EvictionAndReadmissionRoundTripAgainstOracle) {
     oracle_drop.ApplyEdit(e);
   }
   EXPECT_EQ(doc.pipeline(again).EnumerateAll(), oracle_drop.EnumerateAll());
+}
+
+// The cost-aware policy keeps the pipeline that is expensive to lose: A
+// accumulated refresh cost over many edits, B was registered afterwards
+// and never refreshed a box. A is released *before* B, so pure LRU would
+// evict A — the policy must evict cheap-stale B and keep expensive A warm.
+TEST(QueryRegistry, CapEvictsCheapStaleBeforeExpensiveHot) {
+  Rng rng(73);
+  UnrankedTree tree = RandomTree(40, 3, rng);
+  DynamicDocument doc(tree, 3);
+
+  QueryHandle ha = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  ScriptedEditor script(tree, 911, 3);
+  for (int i = 0; i < 60; ++i) doc.ApplyEdit(script.NextEdit());
+  ASSERT_GT(doc.stats().pipelines[0].boxes_refreshed, 0u);
+
+  QueryHandle hb = doc.Register(QuerySelectLabel(3, 1));
+  doc.Unregister(ha);  // older LRU stamp than B
+  doc.Unregister(hb);
+  EXPECT_EQ(doc.num_pipelines(), 2u);
+
+  doc.set_pipeline_cap(1);
+  EXPECT_EQ(doc.num_pipelines(), 1u);
+  EXPECT_EQ(doc.stats().evictions, 1u);
+
+  // A survived (warm readmission); B was the victim (rebuild).
+  QueryHandle ha2 = doc.Register(QueryMarkedAncestor(3, 1, 2));
+  DocumentStats stats = doc.stats();
+  EXPECT_EQ(stats.readmissions, 1u) << "expensive-hot A must stay warm";
+  EXPECT_EQ(stats.rebuilds, 0u);
+  QueryHandle hb2 = doc.Register(QuerySelectLabel(3, 1));
+  EXPECT_EQ(doc.stats().rebuilds, 1u) << "cheap-stale B must be evicted";
+
+  // Both answer correctly over the edited tree.
+  UnrankedTree current = doc.tree();
+  StaticEngine oracle_a(current, QueryMarkedAncestor(3, 1, 2));
+  StaticEngine oracle_b(current, QuerySelectLabel(3, 1));
+  EXPECT_EQ(doc.pipeline(ha2).EnumerateAll(), oracle_a.EnumerateAll());
+  EXPECT_EQ(doc.pipeline(hb2).EnumerateAll(), oracle_b.EnumerateAll());
 }
 
 TEST(QueryRegistry, CapEvictsWarmPipelinesInLruOrder) {
