@@ -1,6 +1,7 @@
 #include "automata/homogenize.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <tuple>
 
@@ -133,18 +134,14 @@ size_t CountDistinct(std::vector<uint64_t> colors) {
       std::unique(colors.begin(), colors.end()) - colors.begin());
 }
 
-// Deterministic state ordering by iterated signature refinement: the color
-// of a state folds in the colors of every iota/delta entry it appears in
-// (in each role), so two states get equal colors only if their local
-// neighborhoods look alike. Ties after the fixpoint fall back to the
-// incoming numbering.
-std::vector<State> CanonicalStateOrder(const HomogenizedTva& a) {
+// Iterated signature refinement: the color of a state folds in the colors
+// of every iota/delta entry it appears in (in each role), so two states get
+// equal colors only if their local neighborhoods look alike. Refines
+// `color` in place to the stable partition; returns its class count.
+size_t RefineToFixpoint(const HomogenizedTva& a, std::vector<uint64_t>& color) {
   const BinaryTva& tva = a.tva;
   size_t n = tva.num_states();
-  std::vector<uint64_t> color(n), next(n);
-  for (State q = 0; q < n; ++q) {
-    color[q] = Mix64(1 + (a.kind[q] ? 2u : 0u) + (tva.IsFinal(q) ? 4u : 0u));
-  }
+  std::vector<uint64_t> next(n);
   std::vector<std::vector<uint64_t>> sigs(n);
   size_t distinct = CountDistinct(color);
   for (size_t round = 0; round < n; ++round) {
@@ -172,6 +169,119 @@ std::vector<State> CanonicalStateOrder(const HomogenizedTva& a) {
     size_t nd = CountDistinct(color);
     if (nd == distinct) break;  // partition stable (or fully discrete)
     distinct = nd;
+  }
+  return distinct;
+}
+
+// Serialized relabeling of the whole automaton under `order` (order[new] =
+// old). Two orderings yield equal keys iff the renumbered automata are
+// identical, so lexicographic comparison of keys picks a numbering-invariant
+// representative among candidate orderings.
+std::vector<uint64_t> CanonicalKey(const HomogenizedTva& a,
+                                   const std::vector<State>& order) {
+  const BinaryTva& tva = a.tva;
+  size_t n = tva.num_states();
+  std::vector<State> new_of_old(n);
+  for (State nq = 0; nq < n; ++nq) new_of_old[order[nq]] = nq;
+  std::vector<uint64_t> key;
+  key.reserve(n + 3 * tva.leaf_inits().size() + 4 * tva.transitions().size() +
+              tva.final_states().size());
+  for (State nq = 0; nq < n; ++nq) key.push_back(a.kind[order[nq]]);
+  std::vector<std::array<uint64_t, 3>> inits;
+  inits.reserve(tva.leaf_inits().size());
+  for (const LeafInit& li : tva.leaf_inits()) {
+    inits.push_back({li.label, li.vars, new_of_old[li.state]});
+  }
+  std::sort(inits.begin(), inits.end());
+  for (const auto& e : inits) key.insert(key.end(), e.begin(), e.end());
+  std::vector<std::array<uint64_t, 4>> trans;
+  trans.reserve(tva.transitions().size());
+  for (const Transition& t : tva.transitions()) {
+    trans.push_back({t.label, new_of_old[t.left], new_of_old[t.right],
+                     new_of_old[t.state]});
+  }
+  std::sort(trans.begin(), trans.end());
+  for (const auto& e : trans) key.insert(key.end(), e.begin(), e.end());
+  std::vector<uint64_t> finals;
+  finals.reserve(tva.final_states().size());
+  for (State q : tva.final_states()) finals.push_back(new_of_old[q]);
+  std::sort(finals.begin(), finals.end());
+  key.insert(key.end(), finals.begin(), finals.end());
+  return key;
+}
+
+// Individualization-refinement search (the completeness half of canonical
+// labeling, as in nauty-style algorithms): whenever refinement stabilizes
+// with a non-discrete partition — the automaton has a nontrivial
+// automorphism or a hash-coincidence — pick the class with the smallest
+// color value (numbering-invariant), individualize each member in turn,
+// re-refine, and recurse; keep the ordering whose fully-relabeled automaton
+// is lexicographically smallest. `budget` caps explored discrete leaves so
+// pathological symmetry cannot blow up; on exhaustion the best ordering
+// found so far is kept (still deterministic for a fixed input numbering).
+void SearchOrder(const HomogenizedTva& a, std::vector<uint64_t> color,
+                 size_t distinct, std::vector<uint64_t>& best_key,
+                 std::vector<State>& best_order, size_t& budget) {
+  size_t n = a.tva.num_states();
+  if (budget == 0) return;
+  if (distinct == n) {
+    --budget;
+    std::vector<State> order(n);
+    for (State q = 0; q < n; ++q) order[q] = q;
+    std::sort(order.begin(), order.end(),
+              [&](State x, State y) { return color[x] < color[y]; });
+    std::vector<uint64_t> key = CanonicalKey(a, order);
+    if (best_key.empty() || key < best_key) {
+      best_key = std::move(key);
+      best_order = std::move(order);
+    }
+    return;
+  }
+  // Target class: smallest color value occurring at least twice.
+  std::vector<uint64_t> sorted(color);
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t target = 0;
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i + 1]) {
+      target = sorted[i];
+      break;
+    }
+  }
+  for (State q = 0; q < n; ++q) {
+    if (color[q] != target) continue;
+    std::vector<uint64_t> child(color);
+    child[q] = Mix64(Combine(child[q], 0x494e444956ULL));  // individualize q
+    size_t nd = RefineToFixpoint(a, child);
+    SearchOrder(a, std::move(child), nd, best_key, best_order, budget);
+    if (budget == 0) return;
+  }
+}
+
+// Deterministic state ordering: signature refinement, then — if the stable
+// partition is not discrete — individualization-refinement to break ties in
+// a numbering-invariant way. Automata too large for the search (n > 512)
+// fall back to breaking ties by the incoming numbering, which is complete
+// for automata whose refinement is already discrete.
+std::vector<State> CanonicalStateOrder(const HomogenizedTva& a) {
+  const BinaryTva& tva = a.tva;
+  size_t n = tva.num_states();
+  std::vector<uint64_t> color(n);
+  for (State q = 0; q < n; ++q) {
+    color[q] = Mix64(1 + (a.kind[q] ? 2u : 0u) + (tva.IsFinal(q) ? 4u : 0u));
+  }
+  size_t distinct = RefineToFixpoint(a, color);
+
+  if (distinct < n && n <= 512) {
+    std::vector<uint64_t> best_key;
+    std::vector<State> best_order;
+    size_t budget = 4096;
+    SearchOrder(a, std::move(color), distinct, best_key, best_order, budget);
+    if (!best_order.empty()) return best_order;  // order[new_id] = old_id
+    color.assign(n, 0);
+    for (State q = 0; q < n; ++q) {
+      color[q] = Mix64(1 + (a.kind[q] ? 2u : 0u) + (tva.IsFinal(q) ? 4u : 0u));
+    }
+    RefineToFixpoint(a, color);
   }
 
   std::vector<State> order(n);

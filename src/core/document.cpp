@@ -420,10 +420,94 @@ UpdateStats DynamicDocument::Erase(size_t pos) {
   return Dispatch(word_enc_->Erase(pos));
 }
 
+UpdateStats DynamicDocument::DispatchTransaction(const UpdateResult& result) {
+  UpdateStats stats;
+  stats.edits_applied = 1;
+  stats.rebuilt_size = result.rebuilt_size;
+  if (in_batch_) {
+    batch_freed_.insert(batch_freed_.end(), result.freed.begin(),
+                        result.freed.end());
+    batch_changed_.insert(batch_changed_.end(),
+                          result.changed_bottom_up.begin(),
+                          result.changed_bottom_up.end());
+    return stats;  // coalesced with the rest of the batch at CommitBatch
+  }
+  // A transaction's freed list may still hold ids pinned by live snapshots;
+  // only the dead ones release their spans now (the rest drain at PreEdit
+  // once the last pinning snapshot retires).
+  dead_freed_.clear();
+  for (TermNodeId id : result.freed) {
+    if (!term_->IsAlive(id)) dead_freed_.push_back(id);
+  }
+  FanOut([this, &result](EnumerationPipeline& p) {
+    p.ApplyCoalesced(dead_freed_, result.changed_bottom_up);
+  });
+  stats.boxes_recomputed =
+      result.changed_bottom_up.size() * built_entries_.size();
+  ChargeRefresh(result.changed_bottom_up.size());
+  snapshots_->Publish();  // one epoch per transaction
+  return stats;
+}
+
+// ---- Tree structural transactions ----
+
+UpdateStats DynamicDocument::SubtreeMove(NodeId v, NodeId dst,
+                                         AttachWhere where) {
+  TREENUM_CHECK(tree_enc_ != nullptr, "SubtreeMove requires a tree document");
+  PreEdit();
+  return DispatchTransaction(
+      tree_enc_->SubtreeMove(v, dst, where == AttachWhere::kFirstChild));
+}
+
+UpdateStats DynamicDocument::SubtreeDelete(NodeId v) {
+  TREENUM_CHECK(tree_enc_ != nullptr, "SubtreeDelete requires a tree document");
+  PreEdit();
+  return DispatchTransaction(tree_enc_->SubtreeDelete(v));
+}
+
+UpdateStats DynamicDocument::SubtreeExtract(NodeId v,
+                                            UnrankedTree* extracted) {
+  TREENUM_CHECK(tree_enc_ != nullptr,
+                "SubtreeExtract requires a tree document");
+  PreEdit();
+  return DispatchTransaction(tree_enc_->SubtreeExtract(v, extracted));
+}
+
+UpdateStats DynamicDocument::GraftSubtree(const UnrankedTree& src,
+                                          NodeId src_root, NodeId dst,
+                                          AttachWhere where,
+                                          NodeId* new_root) {
+  TREENUM_CHECK(tree_enc_ != nullptr, "GraftSubtree requires a tree document");
+  PreEdit();
+  return DispatchTransaction(tree_enc_->GraftSubtree(
+      src, src_root, dst, where == AttachWhere::kFirstChild, new_root));
+}
+
+// ---- Word structural transactions ----
+
 UpdateStats DynamicDocument::MoveRange(size_t begin, size_t end, size_t dst) {
   TREENUM_CHECK(word_enc_ != nullptr, "MoveRange requires a word document");
   PreEdit();
-  return Dispatch(word_enc_->MoveRange(begin, end, dst));
+  return DispatchTransaction(word_enc_->MoveRange(begin, end, dst));
+}
+
+UpdateStats DynamicDocument::EraseRange(size_t begin, size_t end) {
+  TREENUM_CHECK(word_enc_ != nullptr, "EraseRange requires a word document");
+  PreEdit();
+  return DispatchTransaction(word_enc_->EraseRange(begin, end));
+}
+
+UpdateStats DynamicDocument::ExtractRange(size_t begin, size_t end,
+                                          Word* extracted) {
+  TREENUM_CHECK(word_enc_ != nullptr, "ExtractRange requires a word document");
+  PreEdit();
+  return DispatchTransaction(word_enc_->ExtractRange(begin, end, extracted));
+}
+
+UpdateStats DynamicDocument::Concat(const Word& w) {
+  TREENUM_CHECK(word_enc_ != nullptr, "Concat requires a word document");
+  PreEdit();
+  return DispatchTransaction(word_enc_->Concat(w));
 }
 
 UpdateStats DynamicDocument::WordInsertAt(size_t pos, Label l,

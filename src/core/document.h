@@ -74,6 +74,13 @@
 
 namespace treenum {
 
+/// Where a structural transaction attaches the moved/grafted subtree
+/// relative to its destination anchor.
+enum class AttachWhere {
+  kFirstChild,    ///< becomes the first child of the anchor
+  kRightSibling,  ///< becomes the right sibling of the anchor (non-root)
+};
+
 /// Registry observability snapshot (see DynamicDocument::stats()): how many
 /// queries and pipelines are live, how registrations were served, and the
 /// accumulated per-pipeline refresh cost.
@@ -282,6 +289,26 @@ class DynamicDocument {
   /// Deletes leaf `n`.
   UpdateStats DeleteLeaf(NodeId n);
 
+  // ---- Tree structural transactions ----
+  // Each call is ONE transaction: the term region covering the subtree is
+  // re-encoded once, every surviving box is rebuilt once per pipeline
+  // (ApplyCoalesced — arena spans recycle instead of free/realloc), and
+  // one snapshot epoch is published. Inside a batch the transaction
+  // coalesces with the other recorded edits as usual.
+
+  /// Moves the subtree at `v` to `dst` (which must be outside the subtree).
+  UpdateStats SubtreeMove(NodeId v, NodeId dst,
+                          AttachWhere where = AttachWhere::kFirstChild);
+  /// Deletes the whole subtree at `v` (non-root).
+  UpdateStats SubtreeDelete(NodeId v);
+  /// Deletes the subtree at `v`, assigning a fresh-id copy to `*extracted`.
+  UpdateStats SubtreeExtract(NodeId v, UnrankedTree* extracted);
+  /// Inserts a copy of `src`'s subtree at `src_root` next to `dst`.
+  UpdateStats GraftSubtree(const UnrankedTree& src, NodeId src_root,
+                           NodeId dst,
+                           AttachWhere where = AttachWhere::kFirstChild,
+                           NodeId* new_root = nullptr);
+
   // ---- Word edits by logical position, worst-case O(log |w|) ----
 
   /// Replaces the letter at position `pos`.
@@ -290,9 +317,17 @@ class DynamicDocument {
   UpdateStats Insert(size_t pos, Label l);
   /// Erases the letter at position `pos`.
   UpdateStats Erase(size_t pos);
+  // ---- Word structural transactions (AVL split/join) ----
+
   /// Moves the factor [begin, end) so it starts at `dst` of the remaining
   /// word (AVL split/join; position ids are preserved).
   UpdateStats MoveRange(size_t begin, size_t end, size_t dst);
+  /// Erases the factor [begin, end); at least one letter must remain.
+  UpdateStats EraseRange(size_t begin, size_t end);
+  /// Erases the factor [begin, end), assigning it to `*extracted`.
+  UpdateStats ExtractRange(size_t begin, size_t end, Word* extracted);
+  /// Appends the non-empty word `w` (one balanced subterm, one join).
+  UpdateStats Concat(const Word& w);
 
   // ---- Batched updates ----
 
@@ -356,6 +391,12 @@ class DynamicDocument {
   void PreEdit();
   /// Broadcasts one UpdateResult (outside a batch) or records it (inside).
   UpdateStats Dispatch(const UpdateResult& result);
+  /// Dispatch for structural transactions: the result's changed set is
+  /// already coalesced (children-first, deduplicated), so every pipeline
+  /// consumes it through ApplyCoalesced — each surviving box rebuilt once,
+  /// circuit/index spans reserved and recycled up front. Records like
+  /// Dispatch when a batch is open.
+  UpdateStats DispatchTransaction(const UpdateResult& result);
   /// Runs fn(pipeline) on every built pipeline — on the pool when parallel
   /// fan-out is enabled, else inline in build order.
   template <typename Fn>

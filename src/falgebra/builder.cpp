@@ -1,7 +1,7 @@
 #include "falgebra/builder.h"
 
+#include <algorithm>
 #include <cassert>
-#include <unordered_map>
 
 namespace treenum {
 
@@ -10,32 +10,52 @@ namespace {
 class PieceEncoder {
  public:
   PieceEncoder(Term& term, const UnrankedTree& tree,
-               std::vector<TermNodeId>& leaf_of,
+               std::vector<TermNodeId>& leaf_of, EncodeScratch& scratch,
                std::vector<TermNodeId>* created)
-      : term_(term), tree_(tree), leaf_of_(leaf_of), created_(created) {}
+      : term_(term),
+        tree_(tree),
+        leaf_of_(leaf_of),
+        sc_(scratch),
+        created_(created) {}
 
-  TermNodeId Encode(const std::vector<Piece>& pieces) {
-    for (const Piece& p : pieces) SizeDfs(p.root, p.hole_parent);
-    return EncForest(pieces);
+  TermNodeId Encode(const Piece* pieces, size_t num_pieces) {
+    // New epoch invalidates all cached sizes without clearing.
+    if (sc_.csize.size() < tree_.id_bound()) {
+      sc_.csize.resize(tree_.id_bound(), 0);
+      sc_.stamp.resize(tree_.id_bound(), 0);
+    }
+    if (++sc_.epoch == 0) {
+      std::fill(sc_.stamp.begin(), sc_.stamp.end(), 0);
+      sc_.epoch = 1;
+    }
+    for (size_t i = 0; i < num_pieces; ++i) {
+      SizeDfs(pieces[i].root, pieces[i].hole_parent);
+    }
+    size_t b = sc_.forest.size();
+    sc_.forest.insert(sc_.forest.end(), pieces, pieces + num_pieces);
+    TermNodeId r = EncForest(b, sc_.forest.size());
+    sc_.forest.resize(b);
+    return r;
   }
 
  private:
-  // csize_[n] = number of fragment nodes in n's subtree, where "fragment"
+  // Csize(n) = number of fragment nodes in n's subtree, where "fragment"
   // excludes everything strictly below the enclosing piece's hole parent.
-  std::unordered_map<NodeId, uint32_t> csize_;
+  uint32_t Csize(NodeId n) const {
+    assert(sc_.stamp[n] == sc_.epoch);
+    return sc_.csize[n];
+  }
 
   void SizeDfs(NodeId root, NodeId hole_parent) {
-    struct F {
-      NodeId n;
-      size_t ci;
-      uint32_t acc;
-    };
-    std::vector<F> st{{root, 0, 1}};
+    auto& st = sc_.dfs;
+    assert(st.empty());
+    st.push_back({root, 0, 1});
     while (!st.empty()) {
-      F& f = st.back();
+      EncodeScratch::DfsFrame& f = st.back();
       const auto& ch = tree_.children(f.n);
       if (f.n == hole_parent || f.ci >= ch.size()) {
-        csize_[f.n] = f.acc;
+        sc_.csize[f.n] = f.acc;
+        sc_.stamp[f.n] = sc_.epoch;
         uint32_t a = f.acc;
         st.pop_back();
         if (!st.empty()) st.back().acc += a;
@@ -47,9 +67,9 @@ class PieceEncoder {
   }
 
   uint64_t PieceSize(const Piece& p) const {
-    uint32_t r = csize_.at(p.root);
+    uint32_t r = Csize(p.root);
     if (!p.IsContext()) return r;
-    return r - csize_.at(p.hole_parent) + 1;
+    return r - Csize(p.hole_parent) + 1;
   }
 
   TermNodeId MakeLeaf(bool ctx, NodeId n) {
@@ -70,48 +90,45 @@ class PieceEncoder {
 
   /// Concatenation with the operator dictated by operand types.
   TermNodeId Combine(TermNodeId l, TermNodeId r) {
-    bool lc = term_.node(l).is_context;
-    bool rc = term_.node(r).is_context;
-    assert(!(lc && rc));
-    TermOp op = lc ? TermOp::kConcatVH
-                   : (rc ? TermOp::kConcatHV : TermOp::kConcatHH);
-    return MakeNode(op, l, r);
+    TermNodeId id = term_.JoinDetached(l, r);
+    if (created_) created_->push_back(id);
+    return id;
   }
 
-  TermNodeId EncForest(const std::vector<Piece>& pieces) {
-    assert(!pieces.empty());
-    if (pieces.size() == 1) return EncPiece(pieces[0]);
+  // Encodes sc_.forest[begin, end). The recursion only ever splits the range
+  // into contiguous subranges, so no piece list is ever copied; EncTree /
+  // EncContext append their child forests past `end` and truncate on return.
+  // sc_.forest may reallocate during nested appends, so pieces are copied
+  // out before recursing.
+  TermNodeId EncForest(size_t begin, size_t end) {
+    assert(begin < end);
+    if (end - begin == 1) {
+      Piece p = sc_.forest[begin];
+      return EncPiece(p);
+    }
 
     uint64_t s = 0;
-    for (const Piece& p : pieces) s += PieceSize(p);
+    for (size_t i = begin; i < end; ++i) s += PieceSize(sc_.forest[i]);
 
     // Isolate a piece exceeding half the total (at most one exists).
-    for (size_t i = 0; i < pieces.size(); ++i) {
-      if (2 * PieceSize(pieces[i]) <= s) continue;
-      TermNodeId mid = EncPiece(pieces[i]);
-      if (i > 0) {
-        std::vector<Piece> left(pieces.begin(), pieces.begin() + i);
-        mid = Combine(EncForest(left), mid);
-      }
-      if (i + 1 < pieces.size()) {
-        std::vector<Piece> right(pieces.begin() + i + 1, pieces.end());
-        mid = Combine(mid, EncForest(right));
-      }
+    for (size_t i = begin; i < end; ++i) {
+      if (2 * PieceSize(sc_.forest[i]) <= s) continue;
+      Piece p = sc_.forest[i];
+      TermNodeId mid = EncPiece(p);
+      if (i > begin) mid = Combine(EncForest(begin, i), mid);
+      if (i + 1 < end) mid = Combine(mid, EncForest(i + 1, end));
       return mid;
     }
 
     // All pieces ≤ s/2: crossing split; both sides land in [s/4, 3s/4].
     uint64_t cum = 0;
-    size_t j = 0;
-    for (; j < pieces.size(); ++j) {
+    for (size_t j = begin; j < end; ++j) {
       uint64_t prev = cum;
-      cum += PieceSize(pieces[j]);
+      cum += PieceSize(sc_.forest[j]);
       if (2 * cum >= s) {
         size_t split = (4 * prev >= s) ? j : j + 1;  // before or after j
-        assert(split > 0 && split < pieces.size());
-        std::vector<Piece> left(pieces.begin(), pieces.begin() + split);
-        std::vector<Piece> right(pieces.begin() + split, pieces.end());
-        return Combine(EncForest(left), EncForest(right));
+        assert(split > begin && split < end);
+        return Combine(EncForest(begin, split), EncForest(split, end));
       }
     }
     assert(false && "crossing point must exist");
@@ -124,14 +141,14 @@ class PieceEncoder {
   }
 
   TermNodeId EncTree(NodeId root) {
-    uint64_t s = csize_.at(root);
+    uint64_t s = Csize(root);
     if (s == 1) return MakeLeaf(/*ctx=*/false, root);
     // v = deepest node with subtree size > s/2 (start at root, descend).
     NodeId v = root;
     while (true) {
       NodeId next = kNoNode;
       for (NodeId c : tree_.children(v)) {
-        if (2 * static_cast<uint64_t>(csize_.at(c)) > s) {
+        if (2 * static_cast<uint64_t>(Csize(c)) > s) {
           next = c;
           break;
         }
@@ -141,23 +158,24 @@ class PieceEncoder {
     }
     TermNodeId ctx = (v == root) ? MakeLeaf(/*ctx=*/true, root)
                                  : EncContext(root, v);
-    std::vector<Piece> kids;
-    kids.reserve(tree_.children(v).size());
-    for (NodeId c : tree_.children(v)) kids.push_back(Piece{c, kNoNode});
-    assert(!kids.empty());
-    return MakeNode(TermOp::kApplyVH, ctx, EncForest(kids));
+    size_t b = sc_.forest.size();
+    for (NodeId c : tree_.children(v)) sc_.forest.push_back(Piece{c, kNoNode});
+    assert(sc_.forest.size() > b);
+    TermNodeId f = EncForest(b, sc_.forest.size());
+    sc_.forest.resize(b);
+    return MakeNode(TermOp::kApplyVH, ctx, f);
   }
 
   TermNodeId EncContext(NodeId u, NodeId w) {
     if (u == w) return MakeLeaf(/*ctx=*/true, u);
-    uint64_t m = csize_.at(u) - csize_.at(w) + 1;
+    uint64_t m = Csize(u) - Csize(w) + 1;
     // x = deepest node on the hole path u→w whose child forest (within the
     // piece) exceeds m/2; y = x's child on the path.
     NodeId x = kNoNode;
     NodeId y_path = kNoNode;
     NodeId child = w;  // path-child of the node currently scanned
     for (NodeId y = tree_.parent(w);; y = tree_.parent(y)) {
-      uint64_t cf = csize_.at(y) - csize_.at(w);
+      uint64_t cf = Csize(y) - Csize(w);
       if (2 * cf > m) {
         x = y;
         y_path = child;
@@ -174,36 +192,48 @@ class PieceEncoder {
     }
     TermNodeId c1 =
         (x == u) ? MakeLeaf(/*ctx=*/true, u) : EncContext(u, x);
-    std::vector<Piece> kids;
-    kids.reserve(tree_.children(x).size());
+    size_t b = sc_.forest.size();
     for (NodeId c : tree_.children(x)) {
       if (c == y_path) {
-        kids.push_back(Piece{c, w});
+        sc_.forest.push_back(Piece{c, w});
       } else {
-        kids.push_back(Piece{c, kNoNode});
+        sc_.forest.push_back(Piece{c, kNoNode});
       }
     }
-    assert(!kids.empty());
-    return MakeNode(TermOp::kApplyVV, c1, EncForest(kids));
+    assert(sc_.forest.size() > b);
+    TermNodeId f = EncForest(b, sc_.forest.size());
+    sc_.forest.resize(b);
+    return MakeNode(TermOp::kApplyVV, c1, f);
   }
 
   Term& term_;
   const UnrankedTree& tree_;
   std::vector<TermNodeId>& leaf_of_;
+  EncodeScratch& sc_;
   std::vector<TermNodeId>* created_;
 };
 
 }  // namespace
 
 TermNodeId EncodePieces(Term& term, const UnrankedTree& tree,
-                        const std::vector<Piece>& pieces,
+                        const Piece* pieces, size_t num_pieces,
                         std::vector<TermNodeId>& leaf_of,
+                        EncodeScratch& scratch,
                         std::vector<TermNodeId>* created) {
   if (leaf_of.size() < tree.id_bound()) {
     leaf_of.resize(tree.id_bound(), kNoTerm);
   }
-  PieceEncoder enc(term, tree, leaf_of, created);
-  return enc.Encode(pieces);
+  PieceEncoder enc(term, tree, leaf_of, scratch, created);
+  return enc.Encode(pieces, num_pieces);
+}
+
+TermNodeId EncodePieces(Term& term, const UnrankedTree& tree,
+                        const std::vector<Piece>& pieces,
+                        std::vector<TermNodeId>& leaf_of,
+                        std::vector<TermNodeId>* created) {
+  EncodeScratch scratch;
+  return EncodePieces(term, tree, pieces.data(), pieces.size(), leaf_of,
+                      scratch, created);
 }
 
 Encoding EncodeTree(UnrankedTree tree, size_t num_base_labels) {
@@ -221,46 +251,56 @@ uint32_t MaxAllowedHeight(uint32_t size) {
   return kBalanceC * lg + kBalanceK;
 }
 
-std::vector<Piece> CollectPieces(const Term& term, TermNodeId id) {
+void CollectPiecesInto(const Term& term, TermNodeId id,
+                       std::vector<Piece>& out) {
   const TermNode& t = term.node(id);
   const TermAlphabet& alphabet = term.alphabet();
   if (t.left == kNoTerm) {
     if (alphabet.IsContextLeaf(t.label)) {
-      return {Piece{t.tree_node, t.tree_node}};
+      out.push_back(Piece{t.tree_node, t.tree_node});
+    } else {
+      out.push_back(Piece{t.tree_node, kNoNode});
     }
-    return {Piece{t.tree_node, kNoNode}};
+    return;
   }
-  std::vector<Piece> left = CollectPieces(term, t.left);
+  size_t b = out.size();
+  CollectPiecesInto(term, t.left, out);
   TermOp op = alphabet.OpOf(t.label);
   if (op == TermOp::kConcatHH || op == TermOp::kConcatHV ||
       op == TermOp::kConcatVH) {
-    std::vector<Piece> right = CollectPieces(term, t.right);
-    left.insert(left.end(), right.begin(), right.end());
-    return left;
+    CollectPiecesInto(term, t.right, out);
+    return;
   }
   // Apply (⊙VV / ⊙VH): the left context's hole is filled by the right term;
   // its pieces are absorbed below the hole parent. For ⊙VV the combined
   // piece keeps the right side's hole.
-  size_t ctx_idx = left.size();
-  for (size_t i = 0; i < left.size(); ++i) {
-    if (left[i].IsContext()) {
+  size_t ctx_idx = out.size();
+  for (size_t i = b; i < out.size(); ++i) {
+    if (out[i].IsContext()) {
       ctx_idx = i;
       break;
     }
   }
-  assert(ctx_idx < left.size());
+  assert(ctx_idx < out.size());
   if (op == TermOp::kApplyVV) {
-    std::vector<Piece> right = CollectPieces(term, t.right);
+    size_t b2 = out.size();
+    CollectPiecesInto(term, t.right, out);
     NodeId inner_hole = kNoNode;
-    for (const Piece& p : right) {
-      if (p.IsContext()) inner_hole = p.hole_parent;
+    for (size_t i = b2; i < out.size(); ++i) {
+      if (out[i].IsContext()) inner_hole = out[i].hole_parent;
     }
     assert(inner_hole != kNoNode);
-    left[ctx_idx].hole_parent = inner_hole;
+    out.resize(b2);
+    out[ctx_idx].hole_parent = inner_hole;
   } else {
-    left[ctx_idx].hole_parent = kNoNode;
+    out[ctx_idx].hole_parent = kNoNode;
   }
-  return left;
+}
+
+std::vector<Piece> CollectPieces(const Term& term, TermNodeId id) {
+  std::vector<Piece> out;
+  CollectPiecesInto(term, id, out);
+  return out;
 }
 
 }  // namespace treenum

@@ -32,11 +32,37 @@ struct Piece {
   bool IsContext() const { return hole_parent != kNoNode; }
 };
 
+/// Reusable workspace for EncodePieces. Holding one of these across calls
+/// makes steady-state re-encoding allocation-free: the dense size arrays are
+/// invalidated by epoch stamping instead of clearing, and the recursion
+/// shares one piece buffer (forest splits are contiguous subranges, and
+/// child forests are appended at the end and truncated on return).
+struct EncodeScratch {
+  std::vector<uint32_t> csize;  ///< fragment sizes; valid iff stamp==epoch
+  std::vector<uint32_t> stamp;
+  uint32_t epoch = 0;
+  std::vector<Piece> forest;  ///< shared piece work buffer
+  struct DfsFrame {
+    NodeId n;
+    uint32_t ci;
+    uint32_t acc;
+  };
+  std::vector<DfsFrame> dfs;
+};
+
 /// Encodes the pieces (in sibling order, at most one context piece) into a
 /// fresh subterm of `term`. Returns the new subterm's root (detached: no
 /// parent). Updates `leaf_of[n]` for every covered tree node n and appends
 /// all created term node ids to `created` (children before parents) if
-/// non-null.
+/// non-null. `pieces` must not alias `scratch.forest`.
+TermNodeId EncodePieces(Term& term, const UnrankedTree& tree,
+                        const Piece* pieces, size_t num_pieces,
+                        std::vector<TermNodeId>& leaf_of,
+                        EncodeScratch& scratch,
+                        std::vector<TermNodeId>* created = nullptr);
+
+/// Convenience overload with a call-local scratch (allocates; fine for
+/// one-shot encodes like the static builder).
 TermNodeId EncodePieces(Term& term, const UnrankedTree& tree,
                         const std::vector<Piece>& pieces,
                         std::vector<TermNodeId>& leaf_of,
@@ -68,6 +94,11 @@ uint32_t MaxAllowedHeight(uint32_t size);
 /// Collects the piece decomposition represented by the subterm `id` (used
 /// before rebuilding it). Inverse of EncodePieces up to re-balancing.
 std::vector<Piece> CollectPieces(const Term& term, TermNodeId id);
+
+/// Appends the decomposition to `out` instead of returning a fresh vector;
+/// allocation-free once `out` has warmed-up capacity.
+void CollectPiecesInto(const Term& term, TermNodeId id,
+                       std::vector<Piece>& out);
 
 }  // namespace treenum
 

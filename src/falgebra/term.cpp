@@ -242,6 +242,29 @@ TermNodeId Term::SpliceOp(TermOp op, TermNodeId existing, TermNodeId fresh,
   return nn;
 }
 
+TermNodeId Term::JoinDetached(TermNodeId left, TermNodeId right) {
+  bool lc = nodes_[left].is_context;
+  bool rc = nodes_[right].is_context;
+  assert(!(lc && rc) && "cannot concatenate two contexts");
+  TermOp op = lc ? TermOp::kConcatVH
+                 : (rc ? TermOp::kConcatHV : TermOp::kConcatHH);
+  return NewNode(op, left, right);
+}
+
+std::pair<TermNodeId, TermNodeId> Term::SplitChildren(TermNodeId t) {
+  assert(!IsLeaf(t));
+  TermNodeId l = nodes_[t].left;
+  TermNodeId r = nodes_[t].right;
+  ClearParent(l);
+  ClearParent(r);
+  return {l, r};
+}
+
+void Term::ReleaseDetached(TermNodeId id) {
+  assert(IsAlive(id) && nodes_[id].parent == kNoTerm);
+  if (nodes_[id].refs == 0) zero_pending_.push_back(id);
+}
+
 void Term::SetLabel(TermNodeId id, Label label) {
   assert(!frozen(id));
   nodes_[id].label = label;
@@ -462,6 +485,65 @@ std::string Term::Validate() const {
   walk(walk, root_);
   if (err.empty() && nodes_[root_].parent != kNoTerm) err = "root has parent";
   return err;
+}
+
+std::string Term::ValidateStructure(uint32_t (*max_height)(uint32_t)) const {
+  std::string err = Validate();
+  if (!err.empty()) return err;
+  if (!zero_pending_.empty()) {
+    return "zero-pending queue not swept (" +
+           std::to_string(zero_pending_.size()) + " entries)";
+  }
+  // Balance envelope on the current version.
+  if (max_height != nullptr) {
+    std::vector<TermNodeId> stack{root_};
+    while (!stack.empty()) {
+      TermNodeId id = stack.back();
+      stack.pop_back();
+      const TermNode& t = nodes_[id];
+      if (t.height > max_height(t.size)) {
+        return "node " + std::to_string(id) + ": height " +
+               std::to_string(t.height) + " exceeds envelope for size " +
+               std::to_string(t.size);
+      }
+      if (t.left != kNoTerm) {
+        stack.push_back(t.left);
+        stack.push_back(t.right);
+      }
+    }
+  }
+  // Global reference-count audit over every alive version (current and
+  // frozen): in-degree from alive child slots plus the root slot must be
+  // covered by each node's count, and the global surplus is exactly the
+  // live snapshot pins. A deficit means a future double free; a surplus
+  // mismatch means a leaked detached subterm (dangling splice scaffolding).
+  std::vector<uint32_t> indeg(nodes_.size(), 0);
+  for (TermNodeId id = 0; id < nodes_.size(); ++id) {
+    const TermNode& t = nodes_[id];
+    if (!t.alive || t.left == kNoTerm) continue;
+    if (!IsAlive(t.left) || !IsAlive(t.right)) {
+      return "node " + std::to_string(id) + ": dead child";
+    }
+    ++indeg[t.left];
+    ++indeg[t.right];
+  }
+  if (root_ != kNoTerm) ++indeg[root_];
+  uint64_t surplus = 0;
+  for (TermNodeId id = 0; id < nodes_.size(); ++id) {
+    const TermNode& t = nodes_[id];
+    if (!t.alive) continue;
+    if (t.refs < indeg[id]) {
+      return "node " + std::to_string(id) + ": refs " +
+             std::to_string(t.refs) + " below in-degree " +
+             std::to_string(indeg[id]);
+    }
+    surplus += t.refs - indeg[id];
+  }
+  if (surplus != live_pins_) {
+    return "reference surplus " + std::to_string(surplus) +
+           " does not match live pins " + std::to_string(live_pins_);
+  }
+  return "";
 }
 
 std::string Term::ToString(TermNodeId id) const {

@@ -104,6 +104,30 @@ class Term {
   TermNodeId SpliceOp(TermOp op, TermNodeId existing, TermNodeId fresh,
                       bool fresh_on_left);
 
+  // ---- Join/split primitives (structural transactions) ----
+
+  /// Joins two detached subterms under the concatenation operator dictated
+  /// by their types (⊕HH / ⊕HV / ⊕VH; at most one operand may be a
+  /// context). Returns the new detached operator node. This is the base
+  /// step of every join-based bulk operation: the word AVL join, the piece
+  /// encoder's forest concatenation, and the tree subtree transactions all
+  /// funnel through it.
+  TermNodeId JoinDetached(TermNodeId left, TermNodeId right);
+
+  /// Splits a detached internal node into its two children: detaches both
+  /// child parent pointers (pointer-only) and returns {left, right}. The
+  /// dismantled node `t` keeps its child references until it is reclaimed
+  /// by SweepZeros (or kept alive by a pinned snapshot), exactly like the
+  /// scaffolding nodes of the word AVL split.
+  std::pair<TermNodeId, TermNodeId> SplitChildren(TermNodeId t);
+
+  /// Queues a detached subterm the caller no longer wants (e.g. the middle
+  /// factor of an erase-range) for the end-of-edit sweep. A freshly built
+  /// subterm has a zero reference count and would otherwise never enter the
+  /// sweep queue; a subterm still referenced by dismantled scaffolding or a
+  /// pinned snapshot is left to the normal cascade.
+  void ReleaseDetached(TermNodeId id);
+
   /// Low-level re-linking used by AVL rotations on ⊕HH chains (word terms):
   /// sets both children of `id`, fixes parent pointers, and recomputes the
   /// node's counters. Caller is responsible for type correctness and for
@@ -205,6 +229,18 @@ class Term {
   /// symbols, parent pointers, size/height counters. Returns an empty string
   /// if valid, else a description of the first violation. (Test helper.)
   std::string Validate() const;
+
+  /// Deep validation for the transaction tests, mirroring ValidateStorage
+  /// in circuit/arena.h: everything Validate() checks, plus the balance
+  /// envelope on every node reachable from the current root, a global
+  /// reference-count audit (each alive node's count covers its alive parent
+  /// edges plus the root slot, and the global surplus equals the live
+  /// snapshot pins — so no version leaks and no dangling splice scaffolding
+  /// survives an edit), and an empty zero-pending queue (every transaction
+  /// must end with a sweep). `max_height(size)` is the envelope to enforce
+  /// (pass MaxAllowedHeight for tree terms; word AVL terms satisfy it too).
+  /// Returns "" if valid. Call only between edits, on the writer thread.
+  std::string ValidateStructure(uint32_t (*max_height)(uint32_t)) const;
 
   /// Renders the subterm rooted at `id` (debugging).
   std::string ToString(TermNodeId id) const;

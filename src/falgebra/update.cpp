@@ -1,27 +1,43 @@
 #include "falgebra/update.h"
 
+#include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <stdexcept>
 
 namespace treenum {
 
 namespace {
 
-// Keeps the last occurrence of each id, preserving relative order, and drops
-// ids that are not alive (e.g. splice-path nodes freed by a later rebuild in
-// the same update).
-void FilterChanged(const Term& term, std::vector<TermNodeId>& v) {
-  std::unordered_map<TermNodeId, size_t> last;
-  for (size_t i = 0; i < v.size(); ++i) last[v[i]] = i;
-  std::vector<TermNodeId> out;
-  out.reserve(v.size());
-  for (size_t i = 0; i < v.size(); ++i) {
-    if (last[v[i]] == i && term.IsAlive(v[i])) out.push_back(v[i]);
-  }
-  v = std::move(out);
+// True iff id's parent chain reaches the current root (rebalance candidates
+// must be skipped once a region swap detached them, even though they stay
+// alive until the sweep for the sake of pinned snapshots).
+bool AttachedToRoot(const Term& term, TermNodeId id) {
+  while (term.node(id).parent != kNoTerm) id = term.node(id).parent;
+  return id == term.root();
 }
 
 }  // namespace
+
+// Keeps the last occurrence of each id, preserving relative order, and drops
+// ids that are not alive (e.g. splice-path nodes freed by a later rebuild in
+// the same update).
+void DynamicEncoding::FilterChanged(std::vector<TermNodeId>& v) {
+  const Term& term = enc_.term;
+  if (seen_stamp_.size() < term.id_bound()) {
+    seen_stamp_.resize(term.id_bound(), 0);
+  }
+  if (++seen_epoch_ == 0) {
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    seen_epoch_ = 1;
+  }
+  filter_out_.clear();
+  for (auto it = v.rbegin(); it != v.rend(); ++it) {
+    if (seen_stamp_[*it] == seen_epoch_) continue;
+    seen_stamp_[*it] = seen_epoch_;
+    if (term.IsAlive(*it)) filter_out_.push_back(*it);
+  }
+  v.assign(filter_out_.rbegin(), filter_out_.rend());
+}
 
 DynamicEncoding::DynamicEncoding(UnrankedTree tree, size_t num_base_labels)
     : enc_(EncodeTree(std::move(tree), num_base_labels)) {}
@@ -42,39 +58,56 @@ void DynamicEncoding::ApplyRemap() {
 
 void DynamicEncoding::FinishStructural(TermNodeId from, UpdateResult& result) {
   Term& term = enc_.term;
-  std::vector<TermNodeId> path;
+  path_scratch_.clear();
   // The splice that produced `from` already path-copied every frozen
   // ancestor (EnsureMutable cascades to the root), so the recompute walk
   // only touches current-version nodes.
-  term.RecomputeUp(from, &path);
-  result.changed_bottom_up.insert(result.changed_bottom_up.end(), path.begin(),
-                                  path.end());
+  term.RecomputeUp(from, &path_scratch_);
+  result.changed_bottom_up.insert(result.changed_bottom_up.end(),
+                                  path_scratch_.begin(), path_scratch_.end());
+  FinishTransaction(result);
+}
 
-  // Highest node on the path violating the height envelope.
-  TermNodeId viol = kNoTerm;
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    const TermNode& t = term.node(*it);
-    if (t.height > MaxAllowedHeight(t.size)) {
-      viol = *it;
-      break;
+void DynamicEncoding::RebalanceLoop(UpdateResult& result) {
+  Term& term = enc_.term;
+  while (true) {
+    // Root-most violator: every changed node's ancestors are in the list
+    // too, so the violator of maximal size is topmost.
+    TermNodeId viol = kNoTerm;
+    uint32_t best = 0;
+    for (TermNodeId id : result.changed_bottom_up) {
+      if (!term.IsAlive(id)) continue;
+      const TermNode& t = term.node(id);
+      if (t.height > MaxAllowedHeight(t.size) && t.size >= best &&
+          AttachedToRoot(term, id)) {
+        best = t.size;
+        viol = id;
+      }
     }
-  }
-  if (viol != kNoTerm) {
-    std::vector<Piece> pieces = CollectPieces(term, viol);
-    result.rebuilt_size = term.node(viol).size;
-    TermNodeId newsub = EncodePieces(term, enc_.tree, pieces, enc_.leaf_of,
-                                     &result.changed_bottom_up);
+    if (viol == kNoTerm) break;
+    pieces_.clear();
+    CollectPiecesInto(term, viol, pieces_);
+    result.rebuilt_size += term.node(viol).size;
+    TermNodeId newsub =
+        EncodePieces(term, enc_.tree, pieces_.data(), pieces_.size(),
+                     enc_.leaf_of, enc_scratch_, &result.changed_bottom_up);
     // Detaching the violator drops its last current-version reference; the
-    // sweep below reclaims whatever no pinned snapshot still reaches.
+    // end-of-transaction sweep reclaims whatever no pinned snapshot still
+    // reaches.
     term.ReplaceChild(viol, newsub);
-    std::vector<TermNodeId> path2;
-    term.RecomputeUp(newsub, &path2);
+    path_scratch_.clear();
+    term.RecomputeUp(newsub, &path_scratch_);
     result.changed_bottom_up.insert(result.changed_bottom_up.end(),
-                                    path2.begin(), path2.end());
+                                    path_scratch_.begin(),
+                                    path_scratch_.end());
   }
-  term.SweepZeros(&result.freed);
+}
+
+void DynamicEncoding::FinishTransaction(UpdateResult& result) {
+  RebalanceLoop(result);
+  enc_.term.SweepZeros(&result.freed);
   ApplyRemap();
-  FilterChanged(term, result.changed_bottom_up);
+  FilterChanged(result.changed_bottom_up);
 }
 
 UpdateResult& DynamicEncoding::ResetResult() {
@@ -232,8 +265,225 @@ const UpdateResult& DynamicEncoding::DeleteLeaf(NodeId n) {
   return result;
 }
 
-void DynamicEncoding::FilterChangedPublic(UpdateResult& result) const {
-  FilterChanged(enc_.term, result.changed_bottom_up);
+void DynamicEncoding::FilterChangedPublic(UpdateResult& result) {
+  FilterChanged(result.changed_bottom_up);
+}
+
+void DynamicEncoding::MarkSubtree(NodeId v) {
+  assert(enc_.tree.IsAlive(v));
+  if (tree_stamp_.size() < enc_.tree.id_bound()) {
+    tree_stamp_.resize(enc_.tree.id_bound(), 0);
+  }
+  if (++tree_epoch_ == 0) {
+    std::fill(tree_stamp_.begin(), tree_stamp_.end(), 0);
+    tree_epoch_ = 1;
+  }
+  sub_nodes_.clear();
+  sub_nodes_.push_back(v);
+  tree_stamp_[v] = tree_epoch_;
+  // sub_nodes_ doubles as the DFS worklist: entries before `i` are final.
+  for (size_t i = 0; i < sub_nodes_.size(); ++i) {
+    for (NodeId c : enc_.tree.children(sub_nodes_[i])) {
+      tree_stamp_[c] = tree_epoch_;
+      sub_nodes_.push_back(c);
+    }
+  }
+}
+
+void DynamicEncoding::CutRegion(NodeId v, UpdateResult& result) {
+  Term& term = enc_.term;
+  const UnrankedTree& tree = enc_.tree;
+  NodeId w = tree.parent(v);
+  bool sole_child = tree.children(w).size() == 1;
+
+  // X = the lowest term node covering every leaf of subtree(v) — plus
+  // a_(w)'s leaf when v is w's only child, so the region re-encode retypes
+  // w's symbol (its hole closes). Found by walking each leaf's root path;
+  // visited nodes cache the index where they meet the first leaf's path.
+  if (term_stamp_.size() < term.id_bound()) {
+    term_stamp_.resize(term.id_bound(), 0);
+    term_reach_.resize(term.id_bound(), 0);
+  }
+  if (++term_epoch_ == 0) {
+    std::fill(term_stamp_.begin(), term_stamp_.end(), 0);
+    term_epoch_ = 1;
+  }
+  lca_path_.clear();
+  for (TermNodeId x = enc_.leaf_of[v]; x != kNoTerm; x = term.node(x).parent) {
+    term_stamp_[x] = term_epoch_;
+    term_reach_[x] = static_cast<uint32_t>(lca_path_.size());
+    lca_path_.push_back(x);
+  }
+  size_t max_idx = 0;
+  size_t num_cover = sub_nodes_.size() + (sole_child ? 1 : 0);
+  for (size_t i = 1; i < num_cover; ++i) {
+    NodeId n = i < sub_nodes_.size() ? sub_nodes_[i] : w;
+    TermNodeId x = enc_.leaf_of[n];
+    size_t walk_begin = path_scratch_.size();
+    while (term_stamp_[x] != term_epoch_) {
+      path_scratch_.push_back(x);
+      x = term.node(x).parent;
+      assert(x != kNoTerm);
+    }
+    uint32_t idx = term_reach_[x];
+    if (idx > max_idx) max_idx = idx;
+    // Cache the meet point for the walked prefix so later leaves passing
+    // through it stop immediately.
+    for (size_t j = walk_begin; j < path_scratch_.size(); ++j) {
+      term_stamp_[path_scratch_[j]] = term_epoch_;
+      term_reach_[path_scratch_[j]] = idx;
+    }
+    path_scratch_.resize(walk_begin);
+  }
+
+  // Collect X's pieces and drop the ones rooted inside subtree(v); climb
+  // while nothing survives (the subtree's leaves may form a whole subterm).
+  TermNodeId X;
+  while (true) {
+    X = lca_path_[max_idx];
+    pieces_.clear();
+    CollectPiecesInto(term, X, pieces_);
+    remaining_.clear();
+    for (const Piece& p : pieces_) {
+      if (!InSubtree(p.root)) remaining_.push_back(p);
+    }
+    if (!remaining_.empty()) break;
+    ++max_idx;
+    assert(max_idx < lca_path_.size() &&
+           "the tree root's piece survives at the term root");
+  }
+
+  // From here on the term region is rebuilt over the post-detach tree: the
+  // surviving pieces' traversals skip the detached nodes automatically.
+  enc_.tree.DetachSubtree(v);
+  TermNodeId region =
+      EncodePieces(term, tree, remaining_.data(), remaining_.size(),
+                   enc_.leaf_of, enc_scratch_, &result.changed_bottom_up);
+  term.ReplaceChild(X, region);
+  path_scratch_.clear();
+  term.RecomputeUp(region, &path_scratch_);
+  result.changed_bottom_up.insert(result.changed_bottom_up.end(),
+                                  path_scratch_.begin(), path_scratch_.end());
+}
+
+TermNodeId DynamicEncoding::SpliceDetached(TermNodeId sub, NodeId dst,
+                                           bool as_first_child,
+                                           bool dst_was_leaf,
+                                           UpdateResult& result) {
+  Term& term = enc_.term;
+  const TermAlphabet& alphabet = term.alphabet();
+  if (as_first_child) {
+    if (dst_was_leaf) {
+      // a_t(dst) becomes a context over the new single-child forest.
+      TermNodeId leaf_d = term.EnsureMutable(enc_.leaf_of[dst]);
+      enc_.leaf_of[dst] = leaf_d;
+      term.SetLabel(leaf_d, alphabet.ContextLeaf(enc_.tree.label(dst)));
+      term.SetContext(leaf_d, true);
+      result.changed_bottom_up.push_back(leaf_d);
+      return term.SpliceOp(TermOp::kApplyVH, leaf_d, sub,
+                           /*fresh_on_left=*/false);
+    }
+    // Splice immediately left of dst's old first child c.
+    NodeId c = enc_.tree.children(dst)[1];
+    TermNodeId leaf_c = enc_.leaf_of[c];
+    TermOp op = term.node(leaf_c).is_context ? TermOp::kConcatHV
+                                             : TermOp::kConcatHH;
+    return term.SpliceOp(op, leaf_c, sub, /*fresh_on_left=*/true);
+  }
+  // Right sibling: splice at dst's root symbol, subtree forest on the right.
+  TermNodeId leaf_d = enc_.leaf_of[dst];
+  TermOp op = term.node(leaf_d).is_context ? TermOp::kConcatVH
+                                           : TermOp::kConcatHH;
+  return term.SpliceOp(op, leaf_d, sub, /*fresh_on_left=*/false);
+}
+
+const UpdateResult& DynamicEncoding::SubtreeMove(NodeId v, NodeId dst,
+                                                 bool as_first_child) {
+  UpdateResult& result = ResetResult();
+  UnrankedTree& tree = enc_.tree;
+  if (v == tree.root()) {
+    throw std::invalid_argument("SubtreeMove: cannot move the root");
+  }
+  MarkSubtree(v);
+  if (InSubtree(dst)) {
+    throw std::invalid_argument("SubtreeMove: dst inside the moved subtree");
+  }
+  if (!as_first_child && tree.parent(dst) == kNoNode) {
+    throw std::invalid_argument(
+        "SubtreeMove: cannot attach a sibling of the root");
+  }
+  Term& term = enc_.term;
+  term.BeginEdit();
+  CutRegion(v, result);
+  // Re-encode the detached subtree as one balanced subterm.
+  Piece sub_piece{v, kNoNode};
+  TermNodeId sub = EncodePieces(term, tree, &sub_piece, 1, enc_.leaf_of,
+                                enc_scratch_, &result.changed_bottom_up);
+  bool dst_was_leaf = tree.IsLeaf(dst);
+  if (as_first_child) {
+    tree.AttachSubtreeFirstChild(v, dst);
+  } else {
+    tree.AttachSubtreeRightSibling(v, dst);
+  }
+  TermNodeId nn = SpliceDetached(sub, dst, as_first_child, dst_was_leaf,
+                                 result);
+  FinishStructural(nn, result);
+  return result;
+}
+
+const UpdateResult& DynamicEncoding::SubtreeDelete(NodeId v) {
+  UpdateResult& result = ResetResult();
+  UnrankedTree& tree = enc_.tree;
+  if (v == tree.root()) {
+    throw std::invalid_argument("SubtreeDelete: cannot delete the root");
+  }
+  MarkSubtree(v);
+  enc_.term.BeginEdit();
+  CutRegion(v, result);
+  for (NodeId n : sub_nodes_) enc_.leaf_of[n] = kNoTerm;
+  tree.FreeDetached(v);
+  FinishTransaction(result);
+  return result;
+}
+
+const UpdateResult& DynamicEncoding::SubtreeExtract(NodeId v,
+                                                    UnrankedTree* extracted) {
+  assert(extracted != nullptr);
+  UnrankedTree& tree = enc_.tree;
+  if (v == tree.root()) {
+    throw std::invalid_argument("SubtreeExtract: cannot extract the root");
+  }
+  *extracted = tree.CopySubtree(v);
+  return SubtreeDelete(v);
+}
+
+const UpdateResult& DynamicEncoding::GraftSubtree(const UnrankedTree& src,
+                                                  NodeId src_root, NodeId dst,
+                                                  bool as_first_child,
+                                                  NodeId* new_root) {
+  UpdateResult& result = ResetResult();
+  UnrankedTree& tree = enc_.tree;
+  if (!as_first_child && tree.parent(dst) == kNoNode) {
+    throw std::invalid_argument(
+        "GraftSubtree: cannot attach a sibling of the root");
+  }
+  NodeId v = tree.CopyDetachedFrom(src, src_root);
+  if (new_root) *new_root = v;
+  Term& term = enc_.term;
+  term.BeginEdit();
+  Piece sub_piece{v, kNoNode};
+  TermNodeId sub = EncodePieces(term, tree, &sub_piece, 1, enc_.leaf_of,
+                                enc_scratch_, &result.changed_bottom_up);
+  bool dst_was_leaf = tree.IsLeaf(dst);
+  if (as_first_child) {
+    tree.AttachSubtreeFirstChild(v, dst);
+  } else {
+    tree.AttachSubtreeRightSibling(v, dst);
+  }
+  TermNodeId nn = SpliceDetached(sub, dst, as_first_child, dst_was_leaf,
+                                 result);
+  FinishStructural(nn, result);
+  return result;
 }
 
 bool DynamicEncoding::CheckBalanced() const {

@@ -64,6 +64,35 @@ class DynamicEncoding {
                                          NodeId* new_node = nullptr);
   const UpdateResult& DeleteLeaf(NodeId n);
 
+  // ---- Structural transactions ----
+  //
+  // Each transaction is the join-based bulk counterpart of a leaf-edit
+  // script: the minimal term region covering the subtree's leaves is cut
+  // out and re-encoded once, the detached subtree is re-encoded as one
+  // balanced subterm and spliced at its destination, and a single coalesced
+  // UpdateResult reports the changed-box set for the whole operation.
+  // Steady-state transactions reuse member scratch and perform no heap
+  // allocations.
+
+  /// Moves the subtree rooted at `v` (which must not contain `dst` and must
+  /// not be the root) so it becomes the first child of `dst`
+  /// (`as_first_child`) or the right sibling of `dst` (`dst` non-root).
+  const UpdateResult& SubtreeMove(NodeId v, NodeId dst, bool as_first_child);
+
+  /// Deletes the whole subtree rooted at `v` (non-root).
+  const UpdateResult& SubtreeDelete(NodeId v);
+
+  /// Deletes the subtree rooted at `v` (non-root) and assigns a copy of it
+  /// (fresh ids, preorder) to `*extracted`.
+  const UpdateResult& SubtreeExtract(NodeId v, UnrankedTree* extracted);
+
+  /// Inserts a copy of `src`'s subtree at `src_root` as the first child /
+  /// right sibling of `dst`. Reports the new subtree root through
+  /// `*new_root` if non-null.
+  const UpdateResult& GraftSubtree(const UnrankedTree& src, NodeId src_root,
+                                   NodeId dst, bool as_first_child,
+                                   NodeId* new_root = nullptr);
+
   /// Test hook: true iff every subterm of the current version respects the
   /// height envelope (frozen snapshot versions may legitimately keep the
   /// pre-rebuild shape and are not checked).
@@ -80,12 +109,54 @@ class DynamicEncoding {
   /// fills result.changed_bottom_up / freed / rebuilt_size.
   void FinishStructural(TermNodeId from, UpdateResult& result);
   /// Deduplicates / drops dead ids from result.changed_bottom_up.
-  void FilterChangedPublic(UpdateResult& result) const;
+  void FilterChangedPublic(UpdateResult& result);
   /// Clears and returns the scratch result (capacity preserved).
   UpdateResult& ResetResult();
 
+  // -- transaction machinery --
+  /// DFS-lists subtree(v) into sub_nodes_ and stamps every member in
+  /// tree_stamp_ (query with InSubtree until the next MarkSubtree).
+  void MarkSubtree(NodeId v);
+  bool InSubtree(NodeId n) const {
+    return n < tree_stamp_.size() && tree_stamp_[n] == tree_epoch_;
+  }
+  /// Cuts subtree(v)'s leaves out of the term: finds the minimal covering
+  /// region X, detaches v in the tree, re-encodes X's surviving pieces and
+  /// swaps the region. Requires MarkSubtree(v) and term.BeginEdit() first.
+  /// Leaves leaf_of[] of subtree nodes stale (caller re-encodes or clears).
+  void CutRegion(NodeId v, UpdateResult& result);
+  /// Splices the detached tree-typed subterm `sub` (encoding the already
+  /// tree-attached subtree whose destination anchor is `dst`) into the term;
+  /// returns the new splice node. `dst_was_leaf` is dst's leaf-ness before
+  /// the tree attach.
+  TermNodeId SpliceDetached(TermNodeId sub, NodeId dst, bool as_first_child,
+                            bool dst_was_leaf, UpdateResult& result);
+  /// Rebuilds envelope-violating changed subterms (root-most first) until
+  /// the current version is balanced again.
+  void RebalanceLoop(UpdateResult& result);
+  /// RebalanceLoop + sweep + leaf remap + changed-list filtering.
+  void FinishTransaction(UpdateResult& result);
+  /// Keeps the last occurrence of each id, preserving order, drops dead ids.
+  void FilterChanged(std::vector<TermNodeId>& v);
+
   Encoding enc_;
   UpdateResult result_;
+
+  // Scratch reused across transactions (steady state allocates nothing).
+  EncodeScratch enc_scratch_;
+  std::vector<Piece> pieces_;     ///< region decomposition (CollectPieces)
+  std::vector<Piece> remaining_;  ///< pieces surviving the cut
+  std::vector<NodeId> sub_nodes_;
+  std::vector<uint32_t> tree_stamp_;
+  uint32_t tree_epoch_ = 0;
+  std::vector<TermNodeId> lca_path_;
+  std::vector<uint32_t> term_stamp_;  ///< marks nodes with known meet point
+  std::vector<uint32_t> term_reach_;  ///< index into lca_path_ of that meet
+  uint32_t term_epoch_ = 0;
+  std::vector<uint32_t> seen_stamp_;  ///< FilterChanged dedupe marks
+  uint32_t seen_epoch_ = 0;
+  std::vector<TermNodeId> filter_out_;
+  std::vector<TermNodeId> path_scratch_;
 };
 
 }  // namespace treenum

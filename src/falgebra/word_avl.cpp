@@ -103,8 +103,32 @@ Word WordEncoding::Current() const {
   return w;
 }
 
-UpdateResult WordEncoding::Replace(size_t pos, Label l) {
-  UpdateResult result;
+UpdateResult& WordEncoding::ResetResult() {
+  result_.freed.clear();
+  result_.changed_bottom_up.clear();
+  result_.rebuilt_size = 0;
+  return result_;
+}
+
+void WordEncoding::FilterChanged(std::vector<TermNodeId>& v) {
+  if (seen_stamp_.size() < term_.id_bound()) {
+    seen_stamp_.resize(term_.id_bound(), 0);
+  }
+  if (++seen_epoch_ == 0) {
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    seen_epoch_ = 1;
+  }
+  filter_out_.clear();
+  for (auto it = v.rbegin(); it != v.rend(); ++it) {
+    if (seen_stamp_[*it] == seen_epoch_) continue;
+    seen_stamp_[*it] = seen_epoch_;
+    if (term_.IsAlive(*it)) filter_out_.push_back(*it);
+  }
+  v.assign(filter_out_.rbegin(), filter_out_.rend());
+}
+
+const UpdateResult& WordEncoding::Replace(size_t pos, Label l) {
+  UpdateResult& result = ResetResult();
   term_.BeginEdit();
   TermNodeId leaf = term_.EnsureMutable(LeafAt(pos));
   NodeId id = term_.node(leaf).tree_node;
@@ -119,9 +143,9 @@ UpdateResult WordEncoding::Replace(size_t pos, Label l) {
   return result;
 }
 
-UpdateResult WordEncoding::Insert(size_t pos, Label l) {
+const UpdateResult& WordEncoding::Insert(size_t pos, Label l) {
   assert(pos <= size_);
-  UpdateResult result;
+  UpdateResult& result = ResetResult();
   term_.BeginEdit();
   NodeId id = AllocPosition(l);
   TermNodeId fresh = term_.NewLeaf(term_.alphabet().TreeLeaf(l), id);
@@ -139,11 +163,11 @@ UpdateResult WordEncoding::Insert(size_t pos, Label l) {
   return result;
 }
 
-UpdateResult WordEncoding::Erase(size_t pos) {
+const UpdateResult& WordEncoding::Erase(size_t pos) {
   if (size_ <= 1) {
     throw std::invalid_argument("Erase: word must keep at least one letter");
   }
-  UpdateResult result;
+  UpdateResult& result = ResetResult();
   term_.BeginEdit();
   TermNodeId leaf = LeafAt(pos);
   NodeId id = term_.node(leaf).tree_node;
@@ -238,7 +262,7 @@ TermNodeId WordEncoding::JoinTerms(TermNodeId a, TermNodeId b,
   int ha = static_cast<int>(term_.node(a).height);
   int hb = static_cast<int>(term_.node(b).height);
   if (ha - hb >= -1 && ha - hb <= 1) {
-    TermNodeId nn = term_.NewNode(TermOp::kConcatHH, a, b);
+    TermNodeId nn = term_.JoinDetached(a, b);
     result.changed_bottom_up.push_back(nn);
     return nn;
   }
@@ -273,10 +297,7 @@ std::pair<TermNodeId, TermNodeId> WordEncoding::SplitAt(
   // t must be internal. It is detached and dismantled here: its children are
   // cut loose (pointer-only) and t itself is reclaimed by the end-of-edit
   // sweep once nothing references it.
-  TermNodeId l = term_.node(t).left;
-  TermNodeId r = term_.node(t).right;
-  term_.ClearParent(l);
-  term_.ClearParent(r);
+  auto [l, r] = term_.SplitChildren(t);
   size_t ls = term_.node(l).size;
   if (k < ls) {
     auto [a, b] = SplitAt(l, k, result);
@@ -287,38 +308,116 @@ std::pair<TermNodeId, TermNodeId> WordEncoding::SplitAt(
   return {JoinTerms(l, a, result), b};
 }
 
-UpdateResult WordEncoding::MoveRange(size_t begin, size_t end, size_t dst) {
+WordEncoding::SplitOut WordEncoding::SplitOutRange(size_t begin, size_t end,
+                                                  UpdateResult& result) {
   assert(begin < end && end <= size_);
-  assert(dst <= size_ - (end - begin));
-  UpdateResult result;
-  term_.BeginEdit();
   TermNodeId whole = term_.root();
   term_.set_root(kNoTerm);
   auto [a, bc] = SplitAt(whole, begin, result);
   auto [b, c] = SplitAt(bc, end - begin, result);
-  TermNodeId rest = JoinTerms(a, c, result);
+  return SplitOut{a, b, c};
+}
+
+const UpdateResult& WordEncoding::MoveRange(size_t begin, size_t end,
+                                            size_t dst) {
+  assert(dst <= size_ - (end - begin));
+  UpdateResult& result = ResetResult();
+  term_.BeginEdit();
+  SplitOut s = SplitOutRange(begin, end, result);
+  TermNodeId rest = JoinTerms(s.prefix, s.suffix, result);
   TermNodeId root;
   if (rest == kNoTerm) {
-    root = b;  // the moved factor is the whole word
+    root = s.factor;  // the moved factor is the whole word
   } else {
     auto [r1, r2] = SplitAt(rest, dst, result);
-    root = JoinTerms(JoinTerms(r1, b, result), r2, result);
+    root = JoinTerms(JoinTerms(r1, s.factor, result), r2, result);
   }
   term_.set_root(root);
   // Reclaim dismantled split/join scaffolding before filtering on liveness.
   term_.SweepZeros(&result.freed);
   ApplyRemap();
-  // Drop freed-then-dead ids and duplicates from the changed list.
-  std::vector<TermNodeId> filtered;
-  std::vector<char> seen(term_.id_bound(), 0);
-  for (auto it = result.changed_bottom_up.rbegin();
-       it != result.changed_bottom_up.rend(); ++it) {
-    if (!term_.IsAlive(*it) || seen[*it]) continue;
-    seen[*it] = 1;
-    filtered.push_back(*it);
+  FilterChanged(result.changed_bottom_up);
+  return result;
+}
+
+void WordEncoding::FreePositions(TermNodeId t) {
+  walk_scratch_.clear();
+  walk_scratch_.push_back(t);
+  while (!walk_scratch_.empty()) {
+    TermNodeId x = walk_scratch_.back();
+    walk_scratch_.pop_back();
+    if (term_.IsLeaf(x)) {
+      NodeId id = term_.node(x).tree_node;
+      pos_leaf_[id] = kNoTerm;
+      free_ids_.push_back(id);
+      continue;
+    }
+    walk_scratch_.push_back(term_.node(x).left);
+    walk_scratch_.push_back(term_.node(x).right);
   }
-  std::reverse(filtered.begin(), filtered.end());
-  result.changed_bottom_up = std::move(filtered);
+}
+
+const UpdateResult& WordEncoding::EraseRange(size_t begin, size_t end) {
+  return ExtractRange(begin, end, nullptr);
+}
+
+const UpdateResult& WordEncoding::ExtractRange(size_t begin, size_t end,
+                                               Word* extracted) {
+  if (end - begin >= size_) {
+    throw std::invalid_argument(
+        "ExtractRange: word must keep at least one letter");
+  }
+  UpdateResult& result = ResetResult();
+  term_.BeginEdit();
+  if (extracted) {
+    extracted->clear();
+    extracted->reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) extracted->push_back(LetterAt(i));
+  }
+  SplitOut s = SplitOutRange(begin, end, result);
+  term_.set_root(JoinTerms(s.prefix, s.suffix, result));
+  size_ -= end - begin;
+  FreePositions(s.factor);
+  // The factor's root may be a join node created this edit (refs == 0, so
+  // no DecRef will ever queue it); hand it to the sweep explicitly.
+  term_.ReleaseDetached(s.factor);
+  term_.SweepZeros(&result.freed);
+  ApplyRemap();
+  FilterChanged(result.changed_bottom_up);
+  return result;
+}
+
+TermNodeId WordEncoding::BuildDetached(const Word& w, size_t lo, size_t hi,
+                                       UpdateResult& result) {
+  if (hi - lo == 1) {
+    NodeId id = AllocPosition(w[lo]);
+    TermNodeId leaf = term_.NewLeaf(term_.alphabet().TreeLeaf(w[lo]), id);
+    pos_leaf_[id] = leaf;
+    result.changed_bottom_up.push_back(leaf);
+    return leaf;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  TermNodeId left = BuildDetached(w, lo, mid, result);
+  TermNodeId right = BuildDetached(w, mid, hi, result);
+  TermNodeId nn = term_.JoinDetached(left, right);
+  result.changed_bottom_up.push_back(nn);
+  return nn;
+}
+
+const UpdateResult& WordEncoding::Concat(const Word& w) {
+  if (w.empty()) {
+    throw std::invalid_argument("Concat: appended word must be non-empty");
+  }
+  UpdateResult& result = ResetResult();
+  term_.BeginEdit();
+  TermNodeId fresh = BuildDetached(w, 0, w.size(), result);
+  TermNodeId whole = term_.root();
+  term_.set_root(kNoTerm);
+  term_.set_root(JoinTerms(whole, fresh, result));
+  size_ += w.size();
+  term_.SweepZeros(&result.freed);
+  ApplyRemap();
+  FilterChanged(result.changed_bottom_up);
   return result;
 }
 

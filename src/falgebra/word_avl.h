@@ -35,19 +35,37 @@ class WordEncoding {
   Word Current() const;
 
   /// Replaces the letter at `pos`.
-  UpdateResult Replace(size_t pos, Label l);
+  ///
+  /// Like the tree-side DynamicEncoding, every edit below returns a
+  /// reference to an internal scratch UpdateResult that the next edit
+  /// overwrites (vectors keep their capacity, so steady-state edits and
+  /// structural transactions perform zero heap allocations). Copy it if it
+  /// must outlive the next call.
+  const UpdateResult& Replace(size_t pos, Label l);
   /// Inserts a letter so that it ends up at logical position `pos`
   /// (0 ≤ pos ≤ size()).
-  UpdateResult Insert(size_t pos, Label l);
+  const UpdateResult& Insert(size_t pos, Label l);
   /// Deletes the letter at `pos`. The word must keep at least one letter.
-  UpdateResult Erase(size_t pos);
+  const UpdateResult& Erase(size_t pos);
+
+  // ---- Structural transactions (AVL split/join) ----
 
   /// Bulk update (the "move part of the text" operation from the paper's
   /// conclusion, implemented via AVL split/join): removes the factor
   /// [begin, end) and reinserts it so that it starts at position `dst` of
   /// the remaining word (0 ≤ dst ≤ size() - (end - begin)). O(log n)
   /// structural changes; position ids are preserved.
-  UpdateResult MoveRange(size_t begin, size_t end, size_t dst);
+  const UpdateResult& MoveRange(size_t begin, size_t end, size_t dst);
+
+  /// Deletes the factor [begin, end); at least one letter must remain.
+  const UpdateResult& EraseRange(size_t begin, size_t end);
+
+  /// Deletes the factor [begin, end) and assigns it to `*extracted`.
+  const UpdateResult& ExtractRange(size_t begin, size_t end, Word* extracted);
+
+  /// Appends the non-empty word `w`, encoded as one balanced detached
+  /// subterm and joined at the right end (O(|w| + log n)).
+  const UpdateResult& Concat(const Word& w);
 
   /// Test hook: AVL balance factors in {-1, 0, 1} everywhere on the current
   /// version (frozen snapshot versions are not checked).
@@ -75,12 +93,34 @@ class WordEncoding {
   TermNodeId RotateLeft(TermNodeId x, UpdateResult& result);
   TermNodeId RotateRight(TermNodeId x, UpdateResult& result);
   NodeId AllocPosition(Label l);
+  /// Clears and returns the scratch result (capacity preserved).
+  UpdateResult& ResetResult();
+  /// Keeps the last occurrence of each id, preserving order, drops dead ids.
+  void FilterChanged(std::vector<TermNodeId>& v);
+  /// Builds a balanced detached subterm over fresh positions for `w`
+  /// (records created ids in `result.changed_bottom_up`).
+  TermNodeId BuildDetached(const Word& w, size_t lo, size_t hi,
+                           UpdateResult& result);
+  /// Splits out the detached factor [begin, end) of the whole (rootless)
+  /// term and returns {prefix, factor, suffix} roots (sides may be kNoTerm).
+  /// Shared front half of MoveRange / EraseRange / ExtractRange.
+  struct SplitOut {
+    TermNodeId prefix, factor, suffix;
+  };
+  SplitOut SplitOutRange(size_t begin, size_t end, UpdateResult& result);
+  /// Frees the position ids of every leaf under `t` (pre-sweep walk).
+  void FreePositions(TermNodeId t);
 
   Term term_;
   std::vector<Label> letters_;        // by stable position id
   std::vector<TermNodeId> pos_leaf_;  // stable position id -> leaf term id
   std::vector<NodeId> free_ids_;
   size_t size_ = 0;
+  UpdateResult result_;
+  std::vector<uint32_t> seen_stamp_;  ///< FilterChanged dedupe marks
+  uint32_t seen_epoch_ = 0;
+  std::vector<TermNodeId> filter_out_;
+  std::vector<TermNodeId> walk_scratch_;
 };
 
 }  // namespace treenum

@@ -79,6 +79,113 @@ NodeId UnrankedTree::AppendChild(NodeId n, Label l) {
   return id;
 }
 
+size_t UnrankedTree::SubtreeSize(NodeId v) const {
+  assert(IsAlive(v));
+  size_t m = 0;
+  walk_scratch_.clear();
+  walk_scratch_.push_back(v);
+  while (!walk_scratch_.empty()) {
+    NodeId n = walk_scratch_.back();
+    walk_scratch_.pop_back();
+    ++m;
+    for (NodeId c : nodes_[n].children) walk_scratch_.push_back(c);
+  }
+  return m;
+}
+
+size_t UnrankedTree::DetachSubtree(NodeId v) {
+  assert(IsAlive(v));
+  if (v == root_) {
+    throw std::invalid_argument("DetachSubtree: cannot detach the root");
+  }
+  NodeId p = nodes_[v].parent;
+  auto& ch = nodes_[p].children;
+  ch.erase(std::find(ch.begin(), ch.end(), v));
+  nodes_[v].parent = kNoNode;
+  size_t m = SubtreeSize(v);
+  size_ -= m;
+  return m;
+}
+
+void UnrankedTree::AttachSubtreeFirstChild(NodeId v, NodeId p) {
+  assert(IsAlive(v) && nodes_[v].parent == kNoNode && v != root_);
+  assert(IsAlive(p));
+  nodes_[v].parent = p;
+  auto& ch = nodes_[p].children;
+  ch.insert(ch.begin(), v);
+  size_ += SubtreeSize(v);
+}
+
+void UnrankedTree::AttachSubtreeRightSibling(NodeId v, NodeId n) {
+  assert(IsAlive(v) && nodes_[v].parent == kNoNode && v != root_);
+  assert(IsAlive(n));
+  NodeId p = nodes_[n].parent;
+  if (p == kNoNode) {
+    throw std::invalid_argument(
+        "AttachSubtreeRightSibling: anchor must not be the root");
+  }
+  nodes_[v].parent = p;
+  auto& ch = nodes_[p].children;
+  auto it = std::find(ch.begin(), ch.end(), n);
+  assert(it != ch.end());
+  ch.insert(it + 1, v);
+  size_ += SubtreeSize(v);
+}
+
+void UnrankedTree::FreeDetached(NodeId v) {
+  assert(IsAlive(v) && nodes_[v].parent == kNoNode && v != root_);
+  walk_scratch_.clear();
+  walk_scratch_.push_back(v);
+  while (!walk_scratch_.empty()) {
+    NodeId n = walk_scratch_.back();
+    walk_scratch_.pop_back();
+    for (NodeId c : nodes_[n].children) walk_scratch_.push_back(c);
+    nodes_[n].alive = false;
+    nodes_[n].children.clear();
+    free_list_.push_back(n);
+  }
+}
+
+namespace {
+
+void CopySubtreeRec(const UnrankedTree& src, NodeId sn, UnrankedTree& dst,
+                    NodeId dn) {
+  for (NodeId c : src.children(sn)) {
+    CopySubtreeRec(src, c, dst, dst.AppendChild(dn, src.label(c)));
+  }
+}
+
+}  // namespace
+
+UnrankedTree UnrankedTree::CopySubtree(NodeId v) const {
+  assert(IsAlive(v));
+  UnrankedTree out(label(v));
+  CopySubtreeRec(*this, v, out, out.root());
+  return out;
+}
+
+NodeId UnrankedTree::CopyDetachedFrom(const UnrankedTree& src,
+                                      NodeId src_root) {
+  assert(src.IsAlive(src_root));
+  // AllocNode bumps size_; detached nodes must not count, so undo below.
+  NodeId nv = AllocNode(src.label(src_root), kNoNode);
+  size_t copied = 1;
+  // Pairs of (src node, dst node) still to expand.
+  std::vector<std::pair<NodeId, NodeId>> stack{{src_root, nv}};
+  while (!stack.empty()) {
+    auto [sn, dn] = stack.back();
+    stack.pop_back();
+    for (NodeId c : src.children(sn)) {
+      NodeId dc = AllocNode(src.label(c), dn);
+      nodes_[dn].children.push_back(dc);
+      ++copied;
+      stack.emplace_back(c, dc);
+    }
+  }
+  size_ -= copied;
+  return nv;
+}
+
 std::vector<NodeId> UnrankedTree::PreorderNodes() const {
   std::vector<NodeId> out;
   out.reserve(size_);

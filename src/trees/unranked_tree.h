@@ -71,6 +71,44 @@ class UnrankedTree {
   /// Appends an l-node as the last child of n. Returns the new node id.
   NodeId AppendChild(NodeId n, Label l);
 
+  // ---- Structural transactions (whole-subtree operations) ----
+  //
+  // The bulk counterparts of the Definition 7.1 edits: a subtree is cut
+  // loose in one step instead of one leaf at a time. Detached subtrees stay
+  // alive and navigable (children/label/IsLeaf all work) but no longer
+  // count towards size() and are unreachable from the root — the term
+  // layer re-encodes them while detached. A detached subtree must be
+  // either re-attached or freed before the next detach of the same nodes.
+
+  /// Cuts the subtree rooted at `v` out of the tree. `v` must be alive and
+  /// not the root. All subtree nodes stay alive; size() drops by the
+  /// subtree size. Returns the number of detached nodes.
+  size_t DetachSubtree(NodeId v);
+
+  /// Re-attaches the detached subtree `v` as the first child of `p`.
+  void AttachSubtreeFirstChild(NodeId v, NodeId p);
+
+  /// Re-attaches the detached subtree `v` as the right sibling of `n`
+  /// (`n` must not be the root).
+  void AttachSubtreeRightSibling(NodeId v, NodeId n);
+
+  /// Frees every node of the detached subtree `v` (slots recycle through
+  /// the free list). size() is unaffected — DetachSubtree already
+  /// subtracted the nodes.
+  void FreeDetached(NodeId v);
+
+  /// Deep-copies the subtree rooted at `v` (attached or detached) into a
+  /// fresh tree with fresh ids (preorder allocation order).
+  UnrankedTree CopySubtree(NodeId v) const;
+
+  /// Copies the subtree of `src` rooted at `src_root` into this tree as a
+  /// *detached* subtree with fresh ids; attach it with the methods above.
+  /// Returns the new detached root's id.
+  NodeId CopyDetachedFrom(const UnrankedTree& src, NodeId src_root);
+
+  /// Number of nodes in the subtree rooted at `v` (attached or detached).
+  size_t SubtreeSize(NodeId v) const;
+
   // ---- Traversal / inspection ----
 
   /// All alive node ids in document (preorder) order.
@@ -106,6 +144,9 @@ class UnrankedTree {
   std::vector<NodeId> free_list_;
   NodeId root_;
   size_t size_ = 0;
+  /// DFS worklist reused by SubtreeSize / FreeDetached so steady-state
+  /// structural transactions stay allocation-free.
+  mutable std::vector<NodeId> walk_scratch_;
 };
 
 /// Generates a uniformly random tree shape with n nodes and labels drawn

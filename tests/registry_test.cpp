@@ -58,6 +58,42 @@ TEST(CanonicalForm, InvariantUnderRenumberingAndDeclarationOrder) {
   }
 }
 
+// A directed 6-cycle of states: vertex-transitive, so every state has the
+// same refinement color at the fixpoint and signature refinement alone
+// cannot order them. The individualization-refinement tie-break must still
+// canonicalize every renumbered copy to the same automaton.
+HomogenizedTva CyclicTva(const std::vector<State>& perm) {
+  size_t n = perm.size();
+  BinaryTva tva(n, /*num_labels=*/1, /*num_vars=*/1);
+  for (size_t i = 0; i < n; ++i) {
+    tva.AddLeafInit(0, 0, perm[i]);
+    tva.AddTransition(0, perm[i], perm[i], perm[(i + 1) % n]);
+  }
+  HomogenizedTva out{std::move(tva), {}};
+  out.kind.assign(n, 0);
+  return out;
+}
+
+TEST(CanonicalForm, BreaksTiesOfVertexTransitiveAutomaton) {
+  HomogenizedTva h1 = CyclicTva({0, 1, 2, 3, 4, 5});
+  CanonicalizeHomogenizedTva(&h1);
+  // Idempotent on the symmetric automaton too.
+  HomogenizedTva again = h1;
+  CanonicalizeHomogenizedTva(&again);
+  EXPECT_TRUE(HomogenizedTvaEqual(h1, again));
+  const std::vector<std::vector<State>> perms = {
+      {1, 2, 3, 4, 5, 0},  // rotation (an automorphism of the cycle)
+      {2, 4, 0, 5, 1, 3},  // arbitrary renumbering
+      {5, 4, 3, 2, 1, 0},  // reversal
+  };
+  for (const std::vector<State>& perm : perms) {
+    HomogenizedTva h2 = CyclicTva(perm);
+    CanonicalizeHomogenizedTva(&h2);
+    EXPECT_TRUE(HomogenizedTvaEqual(h1, h2));
+    EXPECT_EQ(FingerprintHomogenizedTva(h1), FingerprintHomogenizedTva(h2));
+  }
+}
+
 TEST(CanonicalForm, IsIdempotent) {
   HomogenizedTva h = Prepare(QueryMarkedAncestor(3, 1, 2));
   CanonicalizeHomogenizedTva(&h);
