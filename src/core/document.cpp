@@ -172,6 +172,38 @@ const EnumerationPipeline& DynamicDocument::pipeline(
 
 // ---- Concurrent snapshot reads ----
 
+bool DynamicDocument::ReaderView::HasAnswerAt(const SnapshotRef& snap) const {
+  TREENUM_CHECK(snap && snap.epoch() >= pipeline_->min_snapshot_epoch(),
+                "snapshot predates this query's pipeline");
+  return pipeline_->HasAnswerAt(snap.root());
+}
+
+std::vector<Assignment> DynamicDocument::ReaderView::EnumerateAt(
+    const SnapshotRef& snap) const {
+  TREENUM_CHECK(snap && snap.epoch() >= pipeline_->min_snapshot_epoch(),
+                "snapshot predates this query's pipeline");
+  return pipeline_->EnumerateAllAt(snap.root());
+}
+
+std::unique_ptr<Engine::Cursor> DynamicDocument::ReaderView::MakeCursorAt(
+    SnapshotRef snap) const {
+  TREENUM_CHECK(snap && snap.epoch() >= pipeline_->min_snapshot_epoch(),
+                "snapshot predates this query's pipeline");
+  class PinnedCursor : public Engine::Cursor {
+   public:
+    PinnedCursor(SnapshotRef s, std::unique_ptr<Engine::Cursor> inner)
+        : snap_(std::move(s)), inner_(std::move(inner)) {}
+    bool Next(Assignment* out) override { return inner_->Next(out); }
+
+   private:
+    SnapshotRef snap_;
+    std::unique_ptr<Engine::Cursor> inner_;
+  };
+  std::unique_ptr<Engine::Cursor> inner =
+      pipeline_->MakeEngineCursorAt(snap.root());
+  return std::make_unique<PinnedCursor>(std::move(snap), std::move(inner));
+}
+
 bool DynamicDocument::HasAnswerAt(const SnapshotRef& snap,
                                   QueryHandle handle) const {
   const EnumerationPipeline& p = pipeline(handle);

@@ -258,6 +258,48 @@ class DynamicDocument {
   // (checked against the snapshot epoch). A SnapshotRef must be released
   // before the document is destroyed.
 
+  /// Pre-resolved read surface for one registration, safe to use from
+  /// reader threads *even while the writer thread mutates the query
+  /// registry* (Register/Unregister/set_pipeline_cap). EnumerateAt &
+  /// friends resolve handle → pipeline through the registry tables on
+  /// every call, which is fine when registrations are quiesced during the
+  /// concurrent phase — but a shard server interleaves registrations with
+  /// reads, and the tables reallocate. A ReaderView captures the pipeline
+  /// pointer once, on the writer side, and afterwards touches only the
+  /// immutable pipeline + the pinned snapshot version.
+  ///
+  /// Contract: create the view on the writer thread (no concurrent
+  /// registry mutation), and keep the underlying registration live for as
+  /// long as any thread uses the view — the pipeline is never evicted
+  /// while its refcount is non-zero, so a live handle is exactly what
+  /// keeps the view's pointer valid. The serving layer (serving/
+  /// shard_server.h) enforces this by resolving views on the shard worker
+  /// at registration time and invalidating them before the unregister
+  /// command commits.
+  class ReaderView {
+   public:
+    ReaderView() = default;
+    /// True when bound to a registration.
+    explicit operator bool() const { return pipeline_ != nullptr; }
+    /// HasAnswer at `snap`. Any thread (see the class contract).
+    bool HasAnswerAt(const SnapshotRef& snap) const;
+    /// All satisfying assignments at `snap`. Any thread.
+    std::vector<Assignment> EnumerateAt(const SnapshotRef& snap) const;
+    /// Cursor at `snap`; co-owns the pin like MakeCursorAt. Any thread.
+    std::unique_ptr<Engine::Cursor> MakeCursorAt(SnapshotRef snap) const;
+
+   private:
+    friend class DynamicDocument;
+    explicit ReaderView(const EnumerationPipeline* p) : pipeline_(p) {}
+    const EnumerationPipeline* pipeline_ = nullptr;
+  };
+
+  /// Resolves `handle` into a ReaderView (writer thread only; see the
+  /// ReaderView contract above).
+  ReaderView reader_view(QueryHandle handle) const {
+    return ReaderView(&pipeline(handle));
+  }
+
   /// Pins the most recently published snapshot. Any thread.
   SnapshotRef CurrentSnapshot() const { return snapshots_->Current(); }
   /// HasAnswer for `handle`'s query evaluated at `snap`. Any thread.

@@ -1,0 +1,505 @@
+#include "serving/shard_server.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/check.h"
+
+namespace treenum {
+namespace serving {
+
+namespace {
+
+/// splitmix64 finalizer — the document-placement hash. Sequential ids map
+/// to well-scattered shards, so tenants added in order don't all land on
+/// shard 0.
+uint64_t Splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+/// Completion slot for the synchronous commands (register / remove): the
+/// submitter waits, the shard worker fills the result and completes. The
+/// mutex/cv pair publishes the worker-resolved handle and ReaderView to the
+/// waiting thread.
+class DocumentShardServer::Ticket {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+  }
+  void Complete() {
+    // Notify while holding the mutex: the ticket lives on the submitter's
+    // stack and is destroyed as soon as Wait() returns, so the broadcast
+    // must be sequenced before the waiter can re-acquire mu_ and leave.
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    cv_.notify_all();
+  }
+
+  // Filled by the shard worker before Complete() (register only).
+  DynamicDocument::QueryHandle handle = 0;
+  DynamicDocument::ReaderView view;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+/// One queued unit of work for a document, applied in FIFO order by
+/// whichever shard worker drains the document.
+struct DocumentShardServer::Command {
+  enum class Kind : uint8_t {
+    kEdit,        ///< One leaf edit.
+    kStructural,  ///< One subtree move/delete transaction.
+    kRegister,    ///< Synchronous query registration (ticket != nullptr).
+    kUnregister,  ///< Asynchronous query unregistration.
+    kRemoveDoc,   ///< Synchronous document destruction (last command).
+  };
+
+  Kind kind = Kind::kEdit;
+  Edit edit{};
+  StructuralOp structural{};
+  /// kRegister payload; shared_ptr so Command stays cheaply movable.
+  std::shared_ptr<const UnrankedTva> query;
+  BoxEnumMode mode = BoxEnumMode::kIndexed;
+  DynamicDocument::QueryHandle handle = 0;  ///< kUnregister target.
+  uint64_t submit_ns = 0;                   ///< NowNs() at submission.
+  Ticket* ticket = nullptr;                 ///< Sync completion, if any.
+};
+
+/// Per-document serving state. The pointer identity is the DocRef; the
+/// struct outlives the DynamicDocument (which dies at kRemoveDoc) and is
+/// freed only at server destruction.
+struct DocumentShardServer::DocRef::DocState {
+  DocState(UnrankedTree tree, size_t num_labels)
+      : doc(std::make_unique<DynamicDocument>(std::move(tree), num_labels)) {}
+
+  std::unique_ptr<DynamicDocument> doc;
+  uint64_t id = 0;
+  size_t home = 0;
+
+  /// Guards `queue` and `scheduled`. `scheduled` is the single-drainer
+  /// token: true while the document sits in some shard's run queue / inbox
+  /// or is being drained, so at most one worker ever touches `doc`.
+  std::mutex mu;
+  std::vector<Command> queue;
+  bool scheduled = false;
+};
+
+/// One shard: a worker thread, its MPSC inbox (newly scheduled documents,
+/// mutex-protected — pushes are rare, one per document wakeup, not one per
+/// command), its single-owner run deque that thieves steal from, and its
+/// slice of the serving counters.
+struct DocumentShardServer::Shard {
+  WorkStealingDeque<DocRef::DocState*> run_queue;
+
+  std::mutex inbox_mu;
+  std::condition_variable cv;
+  std::vector<DocRef::DocState*> inbox;
+  bool stop = false;  // under inbox_mu
+
+  std::thread worker;
+
+  LatencyHistogram edit_latency;
+  std::atomic<uint64_t> edits{0};
+  std::atomic<uint64_t> structural{0};
+  std::atomic<uint64_t> registers{0};
+  std::atomic<uint64_t> unregisters{0};
+  std::atomic<uint64_t> removes{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> commands{0};
+  std::atomic<uint64_t> steals{0};
+  std::atomic<uint64_t> doc_runs{0};
+};
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+DocumentShardServer::DocumentShardServer(const Options& options)
+    : opts_(options) {
+  TREENUM_CHECK(opts_.shards >= 1, "DocumentShardServer: need >= 1 shard");
+  if (opts_.max_group_commit == 0) opts_.max_group_commit = 1;
+  if (opts_.max_commands_per_run == 0) opts_.max_commands_per_run = 1;
+  shards_.reserve(opts_.shards);
+  for (size_t i = 0; i < opts_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Workers start only after every Shard exists: they scan neighbours.
+  for (size_t i = 0; i < opts_.shards; ++i) {
+    shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+DocumentShardServer::~DocumentShardServer() {
+  Drain();
+  for (auto& s : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(s->inbox_mu);
+      s->stop = true;
+    }
+    s->cv.notify_all();
+  }
+  for (auto& s : shards_) s->worker.join();
+}
+
+// ---------------------------------------------------------------------------
+// Document lifecycle
+// ---------------------------------------------------------------------------
+
+DocumentShardServer::DocRef DocumentShardServer::AddDocument(
+    UnrankedTree tree, size_t num_labels) {
+  auto state = std::make_unique<DocState>(std::move(tree), num_labels);
+  DocState* d = state.get();
+  {
+    std::lock_guard<std::mutex> lock(docs_mu_);
+    d->id = docs_.size();
+    docs_.push_back(std::move(state));
+  }
+  d->home = static_cast<size_t>(Splitmix64(d->id) % shards_.size());
+  return DocRef(d);
+}
+
+size_t DocumentShardServer::shard_of(DocRef doc) const {
+  TREENUM_CHECK(doc, "shard_of: null DocRef");
+  return doc.doc_->home;
+}
+
+void DocumentShardServer::RemoveDocument(DocRef doc) {
+  TREENUM_CHECK(doc, "RemoveDocument: null DocRef");
+  Ticket ticket;
+  Command c;
+  c.kind = Command::Kind::kRemoveDoc;
+  c.submit_ns = NowNs();
+  c.ticket = &ticket;
+  Enqueue(doc.doc_, std::move(c));
+  ticket.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+DocumentShardServer::QueryRef DocumentShardServer::RegisterQuery(
+    DocRef doc, const UnrankedTva& query, BoxEnumMode mode) {
+  TREENUM_CHECK(doc, "RegisterQuery: null DocRef");
+  Ticket ticket;
+  Command c;
+  c.kind = Command::Kind::kRegister;
+  c.query = std::make_shared<const UnrankedTva>(query);
+  c.mode = mode;
+  c.submit_ns = NowNs();
+  c.ticket = &ticket;
+  Enqueue(doc.doc_, std::move(c));
+  ticket.Wait();
+  return QueryRef{ticket.handle, ticket.view};
+}
+
+void DocumentShardServer::UnregisterQuery(DocRef doc,
+                                          DynamicDocument::QueryHandle handle) {
+  TREENUM_CHECK(doc, "UnregisterQuery: null DocRef");
+  Command c;
+  c.kind = Command::Kind::kUnregister;
+  c.handle = handle;
+  c.submit_ns = NowNs();
+  Enqueue(doc.doc_, std::move(c));
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void DocumentShardServer::SubmitEdit(DocRef doc, const Edit& edit) {
+  TREENUM_CHECK(doc, "SubmitEdit: null DocRef");
+  Command c;
+  c.kind = Command::Kind::kEdit;
+  c.edit = edit;
+  c.submit_ns = NowNs();
+  Enqueue(doc.doc_, std::move(c));
+}
+
+void DocumentShardServer::SubmitStructural(DocRef doc,
+                                           const StructuralOp& op) {
+  TREENUM_CHECK(doc, "SubmitStructural: null DocRef");
+  Command c;
+  c.kind = Command::Kind::kStructural;
+  c.structural = op;
+  c.submit_ns = NowNs();
+  Enqueue(doc.doc_, std::move(c));
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+SnapshotRef DocumentShardServer::Pin(DocRef doc) const {
+  TREENUM_CHECK(doc, "Pin: null DocRef");
+  // CurrentSnapshot() is the lock-free publication point TermSnapshots
+  // maintains for exactly this cross-thread pin (PR 7); safe concurrent
+  // with the shard worker committing.
+  return doc.doc_->doc->CurrentSnapshot();
+}
+
+const DynamicDocument& DocumentShardServer::document(DocRef doc) const {
+  TREENUM_CHECK(doc, "document: null DocRef");
+  TREENUM_CHECK(doc.doc_->doc != nullptr, "document: document was removed");
+  return *doc.doc_->doc;
+}
+
+// ---------------------------------------------------------------------------
+// Quiesce / observability
+// ---------------------------------------------------------------------------
+
+void DocumentShardServer::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return pending_docs_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+DocumentShardServer::Stats DocumentShardServer::stats() const {
+  Stats total;
+  for (const auto& s : shards_) {
+    total.edits_applied += s->edits.load(std::memory_order_relaxed);
+    total.structural_applied += s->structural.load(std::memory_order_relaxed);
+    total.registers += s->registers.load(std::memory_order_relaxed);
+    total.unregisters += s->unregisters.load(std::memory_order_relaxed);
+    total.removes += s->removes.load(std::memory_order_relaxed);
+    total.commits += s->commits.load(std::memory_order_relaxed);
+    total.commands += s->commands.load(std::memory_order_relaxed);
+    total.steals += s->steals.load(std::memory_order_relaxed);
+    total.doc_runs += s->doc_runs.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void DocumentShardServer::MergeEditLatency(LatencyHistogram* out) const {
+  for (const auto& s : shards_) out->MergeFrom(s->edit_latency);
+}
+
+void DocumentShardServer::ResetEditLatency() {
+  for (auto& s : shards_) s->edit_latency.Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling core
+// ---------------------------------------------------------------------------
+
+void DocumentShardServer::Enqueue(DocState* d, Command cmd) {
+  bool need_schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(d->mu);
+    TREENUM_CHECK(d->doc != nullptr || !d->queue.empty() || d->scheduled,
+                  "Enqueue: command submitted after RemoveDocument");
+    d->queue.push_back(std::move(cmd));
+    if (!d->scheduled) {
+      d->scheduled = true;
+      need_schedule = true;
+    }
+  }
+  if (!need_schedule) return;  // already queued/draining; FIFO picks it up
+  pending_docs_.fetch_add(1, std::memory_order_acq_rel);
+  Shard& home = *shards_[d->home];
+  {
+    std::lock_guard<std::mutex> lock(home.inbox_mu);
+    home.inbox.push_back(d);
+  }
+  home.cv.notify_one();
+}
+
+void DocumentShardServer::NoteUnscheduled() {
+  if (pending_docs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last scheduled document went idle: wake drainers. Taking drain_mu_
+    // closes the race with a Drain() that just evaluated the predicate.
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void DocumentShardServer::WorkerLoop(size_t shard_index) {
+  Shard& self = *shards_[shard_index];
+  const size_t num_shards = shards_.size();
+  std::vector<Command> scratch;
+  scratch.reserve(opts_.max_commands_per_run);
+
+  for (;;) {
+    // 1. Adopt newly scheduled documents from the MPSC inbox into the
+    //    single-owner run deque (only this worker pushes it).
+    {
+      std::lock_guard<std::mutex> lock(self.inbox_mu);
+      for (DocState* d : self.inbox) self.run_queue.PushBottom(d);
+      self.inbox.clear();
+    }
+
+    // 2. Own work first, newest-first (LIFO keeps the hot document hot).
+    DocState* d = nullptr;
+    if (self.run_queue.PopBottom(&d)) {
+      RunDoc(self, d, &scratch);
+      continue;
+    }
+
+    // 3. Idle: steal a whole document from a loaded neighbour — oldest
+    //    entry of their deque first (FIFO end, least contention with the
+    //    owner), falling back to their unadopted inbox.
+    if (opts_.stealing && num_shards > 1) {
+      DocState* stolen = nullptr;
+      for (size_t k = 1; k < num_shards && stolen == nullptr; ++k) {
+        Shard& victim = *shards_[(shard_index + k) % num_shards];
+        if (victim.run_queue.StealTop(&stolen)) break;
+        std::lock_guard<std::mutex> lock(victim.inbox_mu);
+        if (!victim.inbox.empty()) {
+          stolen = victim.inbox.back();
+          victim.inbox.pop_back();
+        }
+      }
+      if (stolen != nullptr) {
+        self.steals.fetch_add(1, std::memory_order_relaxed);
+        RunDoc(self, stolen, &scratch);
+        continue;
+      }
+    }
+
+    // 4. Nothing anywhere: park briefly. The timeout doubles as the steal
+    //    retry period — a neighbour's backlog has no edge to notify us on.
+    std::unique_lock<std::mutex> lock(self.inbox_mu);
+    if (!self.inbox.empty()) continue;
+    if (self.stop) return;
+    self.cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+}
+
+void DocumentShardServer::RunDoc(Shard& self, DocState* d,
+                                 std::vector<Command>* scratch) {
+  self.doc_runs.fetch_add(1, std::memory_order_relaxed);
+  size_t budget = opts_.max_commands_per_run;
+  for (;;) {
+    scratch->clear();
+    {
+      std::lock_guard<std::mutex> lock(d->mu);
+      if (d->queue.empty()) {
+        d->scheduled = false;
+        break;
+      }
+      if (d->queue.size() <= budget) {
+        scratch->swap(d->queue);  // common path: take everything, O(1)
+      } else {
+        auto split = d->queue.begin() + static_cast<ptrdiff_t>(budget);
+        scratch->assign(std::make_move_iterator(d->queue.begin()),
+                        std::make_move_iterator(split));
+        d->queue.erase(d->queue.begin(), split);
+      }
+    }
+    ApplyCommands(self, d, *scratch);
+    budget -= std::min(budget, scratch->size());
+    if (budget == 0) {
+      // Fairness: this document used its slice. If it still has work,
+      // requeue it behind this worker's other documents (it stays
+      // `scheduled`, so pending_docs_ is untouched); otherwise idle it.
+      bool more;
+      {
+        std::lock_guard<std::mutex> lock(d->mu);
+        more = !d->queue.empty();
+        if (!more) d->scheduled = false;
+      }
+      if (more) {
+        self.run_queue.PushBottom(d);
+        return;
+      }
+      break;
+    }
+  }
+  NoteUnscheduled();
+}
+
+void DocumentShardServer::ApplyCommands(Shard& self, DocState* d,
+                                        std::vector<Command>& cmds) {
+  const size_t n = cmds.size();
+  self.commands.fetch_add(n, std::memory_order_relaxed);
+  size_t i = 0;
+  while (i < n) {
+    DynamicDocument* doc = d->doc.get();
+    TREENUM_CHECK(doc != nullptr,
+                  "ApplyCommands: command after document removal");
+    Command& c = cmds[i];
+    switch (c.kind) {
+      case Command::Kind::kEdit:
+      case Command::Kind::kStructural: {
+        // Group commit: find the run of consecutive mutation commands
+        // (capped), apply them under one batch, publish one snapshot.
+        size_t j = i + 1;
+        const size_t limit = std::min(n, i + opts_.max_group_commit);
+        while (j < limit && (cmds[j].kind == Command::Kind::kEdit ||
+                             cmds[j].kind == Command::Kind::kStructural)) {
+          ++j;
+        }
+        const bool batched = (j - i) > 1;
+        if (batched) doc->BeginBatch();
+        uint64_t edits = 0, txns = 0;
+        for (size_t k = i; k < j; ++k) {
+          if (cmds[k].kind == Command::Kind::kEdit) {
+            doc->ApplyEdit(cmds[k].edit);
+            ++edits;
+          } else {
+            const StructuralOp& op = cmds[k].structural;
+            if (op.kind == StructuralOp::Kind::kSubtreeMove) {
+              doc->SubtreeMove(op.v, op.dst, op.where);
+            } else {
+              doc->SubtreeDelete(op.v);
+            }
+            ++txns;
+          }
+        }
+        if (batched) doc->CommitBatch();
+        self.commits.fetch_add(1, std::memory_order_relaxed);
+        self.edits.fetch_add(edits, std::memory_order_relaxed);
+        self.structural.fetch_add(txns, std::memory_order_relaxed);
+        // Every command in the group becomes durable (snapshot published,
+        // pipelines refreshed) at this commit: that is its served latency.
+        const uint64_t now = NowNs();
+        for (size_t k = i; k < j; ++k) {
+          self.edit_latency.Record(now - std::min(now, cmds[k].submit_ns));
+        }
+        i = j;
+        break;
+      }
+      case Command::Kind::kRegister: {
+        c.ticket->handle = doc->Register(*c.query, c.mode);
+        // Resolve the any-thread read surface here, on the worker: the
+        // submitter must never touch registry internals itself (they may
+        // reallocate under a later Register on this shard).
+        c.ticket->view = doc->reader_view(c.ticket->handle);
+        self.registers.fetch_add(1, std::memory_order_relaxed);
+        c.ticket->Complete();
+        ++i;
+        break;
+      }
+      case Command::Kind::kUnregister: {
+        doc->Unregister(c.handle);
+        self.unregisters.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+        break;
+      }
+      case Command::Kind::kRemoveDoc: {
+        TREENUM_CHECK(i + 1 == n, "RemoveDocument must be the last command");
+        d->doc.reset();
+        self.removes.fetch_add(1, std::memory_order_relaxed);
+        c.ticket->Complete();
+        ++i;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace serving
+}  // namespace treenum

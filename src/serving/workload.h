@@ -1,0 +1,102 @@
+// Serving-layer workload generation, shared by bench_serving and
+// serving_test.
+//
+// CommandScript is the multi-tenant cousin of the test suite's mirror-tree
+// ScriptedEditor: it owns a mirror UnrankedTree per document and emits a
+// reproducible mixed stream of serving commands — leaf edits, structural
+// subtree moves/deletes, and query register/unregister churn markers — each
+// already validated against the mirror, so the same seed drives any number
+// of replica documents (S=1 vs S=8 determinism) or a document plus an
+// oracle in lockstep with identical NodeIds.
+//
+// PoissonArrivals is the open-loop clock: exponential inter-arrival gaps at
+// a fixed target rate, independent of service times, so queueing delay
+// shows up in the recorded latencies instead of being hidden by
+// closed-loop back-pressure.
+#ifndef TREENUM_SERVING_WORKLOAD_H_
+#define TREENUM_SERVING_WORKLOAD_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/engine.h"
+#include "serving/shard_server.h"
+#include "trees/unranked_tree.h"
+#include "util/random.h"
+
+namespace treenum {
+namespace serving {
+
+/// Mix knobs for one document's command stream.
+struct WorkloadOptions {
+  size_t num_labels = 3;
+  /// Fraction of commands that are whole-subtree transactions.
+  double structural_fraction = 0.0;
+  /// Fraction of commands that are query churn (alternating register /
+  /// unregister markers; the submitter decides which query to register).
+  double churn_fraction = 0.0;
+  /// Structural deletes are suppressed when they would shrink the
+  /// document below this size.
+  size_t min_size = 8;
+};
+
+/// One generated command. kRegister/kUnregister are churn *markers*: the
+/// submitter maps them to RegisterQuery/UnregisterQuery with a query and
+/// handle of its choosing (the script only sequences them, alternating so
+/// at most one churn registration is outstanding).
+struct DocCommand {
+  enum class Kind : uint8_t { kEdit, kStructural, kRegister, kUnregister };
+  Kind kind = Kind::kEdit;
+  Edit edit{};
+  StructuralOp structural{};
+};
+
+/// Deterministic per-document command generator over a mirror tree.
+class CommandScript {
+ public:
+  CommandScript(UnrankedTree mirror, uint64_t seed,
+                const WorkloadOptions& opts);
+
+  /// Generates the next command and applies it to the mirror, so emitted
+  /// NodeIds are valid on every document fed the same command sequence.
+  DocCommand Next();
+
+  /// The mirror after all emitted commands (reference state for oracles).
+  const UnrankedTree& mirror() const { return mirror_; }
+
+ private:
+  Edit NextEdit();
+  bool NextStructural(StructuralOp* op);
+  NodeId Pick();
+  /// True iff `u` lies in the subtree rooted at `v` (parent walk).
+  bool InSubtree(NodeId u, NodeId v) const;
+
+  UnrankedTree mirror_;
+  Rng rng_;
+  WorkloadOptions opts_;
+  std::vector<NodeId> pool_;  ///< Alive-ish node pool, purged lazily.
+  bool churn_live_ = false;   ///< A churn registration is outstanding.
+};
+
+/// Open-loop arrival clock: exponential gaps at `rate_per_sec`.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rate_per_sec, uint64_t seed)
+      : rng_(seed), exp_(rate_per_sec) {}
+
+  /// Nanoseconds until the next arrival.
+  uint64_t NextGapNs() {
+    double gap_s = exp_(rng_.engine());
+    return static_cast<uint64_t>(gap_s * 1e9);
+  }
+
+ private:
+  Rng rng_;
+  std::exponential_distribution<double> exp_;
+};
+
+}  // namespace serving
+}  // namespace treenum
+
+#endif  // TREENUM_SERVING_WORKLOAD_H_

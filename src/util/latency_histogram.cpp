@@ -1,0 +1,56 @@
+#include "util/latency_histogram.h"
+
+#include <cmath>
+
+namespace treenum {
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the ceil(q*n)-th smallest recording, 1-based (q=0 maps
+  // to rank 1 so Quantile(0) is the smallest bucket's representative).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Bucket midpoint: for exact (small-value) buckets this IS the value;
+      // elsewhere it halves the worst-case quantization error.
+      const uint64_t lo = BucketLow(i);
+      const uint64_t hi = BucketHigh(i);
+      return lo + (hi - lo - 1) / 2;
+    }
+  }
+  return MaxBound();  // unreachable when counters are quiescent
+}
+
+uint64_t LatencyHistogram::MaxBound() const {
+  for (size_t i = kNumBuckets; i-- > 0;) {
+    if (buckets_[i].load(std::memory_order_relaxed) != 0) {
+      return BucketHigh(i);
+    }
+  }
+  return 0;
+}
+
+void LatencyHistogram::Reset() {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace treenum

@@ -1,0 +1,107 @@
+// Lock-free log-bucketed latency histogram for serving benchmarks.
+//
+// HdrHistogram-style bucketing: values below 2^kSubBucketBits are recorded
+// exactly (one bucket per value); above that, each power-of-two octave is
+// split into 2^kSubBucketBits linear sub-buckets, so the relative
+// quantization error is bounded by 2^-(kSubBucketBits+1) (~1.6% at the
+// default 5 sub-bucket bits) across the full uint64 range. The whole
+// histogram is a fixed 1920-counter array — no allocation after
+// construction, no rescaling, no locks.
+//
+// Concurrency: Record() is a relaxed atomic increment, safe from any number
+// of threads simultaneously (this is what "lock-free" buys: shard workers
+// and reader threads record into shared or private histograms without a
+// mutex on the latency path). The intended high-throughput pattern is still
+// one histogram per thread + MergeFrom() at report time — a shared
+// histogram is correct but bounces cache lines. Quantile/count/etc. taken
+// concurrently with recording see some consistent-enough prefix (each
+// counter individually atomic); exact totals require external quiescence,
+// which the serving benchmark gets by draining the server first.
+#ifndef TREENUM_UTIL_LATENCY_HISTOGRAM_H_
+#define TREENUM_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace treenum {
+
+/// Fixed-size log-bucketed histogram of uint64 values (typically
+/// nanoseconds). See the file comment for the bucketing scheme and the
+/// concurrency contract.
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave = 2^kSubBucketBits; also the width of
+  /// the exact region [0, 2^kSubBucketBits).
+  static constexpr size_t kSubBucketBits = 5;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBucketBits;
+  /// Octaves kSubBucketBits..63 each contribute kSubBuckets buckets on top
+  /// of the kSubBuckets exact small-value buckets.
+  static constexpr size_t kNumBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one value. Any thread, lock-free (relaxed fetch_add).
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Adds every count of `other` into this histogram (both may keep
+  /// recording, but totals are only exact under quiescence).
+  void MergeFrom(const LatencyHistogram& other);
+
+  /// Total number of recorded values.
+  uint64_t count() const { return total_.load(std::memory_order_relaxed); }
+
+  /// Nearest-rank quantile (q in [0, 1]): the representative value of the
+  /// bucket containing the ceil(q * count)-th smallest recording (bucket
+  /// midpoint, so the result is within the quantization bound of the true
+  /// sample quantile). Returns 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  /// Upper bound of the highest non-empty bucket (0 when empty).
+  uint64_t MaxBound() const;
+
+  /// Zeroes every counter (not concurrency-safe against Record).
+  void Reset();
+
+  /// Bucket index of a value (exposed for the oracle tests).
+  static size_t BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    // Highest set bit; v >= kSubBuckets so exp >= kSubBucketBits.
+    const int exp = 63 - __builtin_clzll(v);
+    const uint64_t top = v >> (exp - static_cast<int>(kSubBucketBits));
+    return (static_cast<size_t>(exp) - kSubBucketBits + 1) * kSubBuckets +
+           static_cast<size_t>(top - kSubBuckets);
+  }
+
+  /// Inclusive lower bound of bucket `i`'s value range.
+  static uint64_t BucketLow(size_t i) {
+    if (i < kSubBuckets) return static_cast<uint64_t>(i);
+    const size_t octave = i / kSubBuckets;  // >= 1
+    const uint64_t top = kSubBuckets + (i % kSubBuckets);
+    return top << (octave - 1);
+  }
+
+  /// Exclusive upper bound of bucket `i`'s value range (saturated for the
+  /// final bucket, whose true bound is 2^64).
+  static uint64_t BucketHigh(size_t i) {
+    if (i < kSubBuckets) return static_cast<uint64_t>(i) + 1;
+    if (i == kNumBuckets - 1) return ~uint64_t{0};
+    const size_t octave = i / kSubBuckets;
+    const uint64_t top = kSubBuckets + (i % kSubBuckets);
+    return (top + 1) << (octave - 1);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> total_{0};
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_UTIL_LATENCY_HISTOGRAM_H_

@@ -19,15 +19,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::ParallelFor(size_t n,
-                             const std::function<void(size_t)>& body) {
-  if (workers_.empty() || n <= 1) {
-    for (size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
+void ThreadPool::RunJob(size_t n, JobFn invoke, void* ctx) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = &body;
+    job_invoke_ = invoke;
+    job_ctx_ = ctx;
     job_n_ = n;
     next_.store(0, std::memory_order_relaxed);
     workers_busy_ = workers_.size();
@@ -37,31 +33,34 @@ void ThreadPool::ParallelFor(size_t n,
   // The caller is a lane too: claim indices until the job is drained.
   for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
        i = next_.fetch_add(1, std::memory_order_relaxed)) {
-    body(i);
+    invoke(ctx, i);
   }
   // Wait for the workers; their final mutex release publishes all of the
   // body's side effects to this thread.
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return workers_busy_ == 0; });
-  job_ = nullptr;
+  job_invoke_ = nullptr;
+  job_ctx_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen = 0;
   while (true) {
-    const std::function<void(size_t)>* job = nullptr;
+    JobFn invoke = nullptr;
+    void* ctx = nullptr;
     size_t n = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
       if (stop_) return;
       seen = epoch_;
-      job = job_;
+      invoke = job_invoke_;
+      ctx = job_ctx_;
       n = job_n_;
     }
     for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next_.fetch_add(1, std::memory_order_relaxed)) {
-      (*job)(i);
+      invoke(ctx, i);
     }
     std::lock_guard<std::mutex> lock(mu_);
     if (--workers_busy_ == 0) done_cv_.notify_all();

@@ -1,0 +1,156 @@
+// Chase-Lev work-stealing deque for the sharded document server.
+//
+// One OWNER thread pushes and pops work at the *bottom* (LIFO — freshly
+// readied documents stay cache-hot on their shard); any number of THIEF
+// threads steal from the *top* (FIFO — thieves take the oldest, least
+// cache-relevant work). This is the inter-document scheduling primitive
+// that sits alongside util/thread_pool.h: the fork-join ThreadPool keeps
+// its ParallelFor contract for *intra*-document refresh fan-out, while
+// shard workers use these deques to move whole-document command drains
+// between shards when load is skewed.
+//
+// Implementation notes (Chase & Lev, SPAA'05; memory orderings after Lê
+// et al., PPoPP'13, with the standalone fences strengthened into seq_cst
+// accesses on top_/bottom_ — marginally more expensive, but every shared
+// access is a std::atomic operation, which keeps ThreadSanitizer precise;
+// deque traffic is one push/pop per *document drain*, not per command, so
+// the scheduling cost is noise):
+//
+//   * Elements must be trivially copyable (we store DocState pointers).
+//   * The buffer grows geometrically on overflow; superseded buffers are
+//     retired, not freed, until destruction — a thief may still be reading
+//     an index of an old buffer, and indices in [top, bottom) hold the
+//     same values in every live buffer.
+//   * PopBottom and StealTop race on the last element; the seq_cst CAS on
+//     top_ arbitrates, and the loser sees an empty deque.
+#ifndef TREENUM_UTIL_WORK_STEALING_DEQUE_H_
+#define TREENUM_UTIL_WORK_STEALING_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace treenum {
+
+/// Single-owner, multi-thief lock-free deque. PushBottom/PopBottom are
+/// owner-thread-only; StealTop may run on any thread concurrently.
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "WorkStealingDeque elements must be trivially copyable");
+
+ public:
+  explicit WorkStealingDeque(size_t initial_capacity = 64) {
+    size_t cap = 8;
+    while (cap < initial_capacity) cap *= 2;
+    buffers_.push_back(std::make_unique<Buffer>(cap));
+    buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only: push one item at the bottom.
+  void PushBottom(T item) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(buf->capacity)) {
+      buf = Grow(buf, t, b);
+    }
+    buf->Put(b, item);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: pop the most recently pushed item. Returns false when the
+  /// deque is empty (or a thief won the race for the last item).
+  bool PopBottom(T* out) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    *out = buf->Get(b);
+    if (t == b) {
+      // Last element: race thieves for it via the top CAS.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Any thread: steal the oldest item. Returns false when empty or when
+  /// another thief (or the owner, on the last item) won the race — callers
+  /// treat both as "nothing to steal here right now".
+  bool StealTop(T* out) {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    const T item = buf->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    *out = item;
+    return true;
+  }
+
+  /// Approximate (racy) size; exact only on the owner thread while no
+  /// thief is active.
+  size_t SizeApprox() const {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+ private:
+  // Power-of-two ring buffer of atomic slots. Slot accesses are relaxed:
+  // the top/bottom protocol (seq_cst publication + the steal CAS) provides
+  // the ordering; atomicity is only needed because a thief may read a slot
+  // the owner concurrently overwrites after wraparound, in which case the
+  // thief's CAS fails and the torn-free-but-stale value is discarded.
+  struct Buffer {
+    explicit Buffer(size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    void Put(int64_t i, T v) {
+      slots[static_cast<size_t>(i) & mask].store(v, std::memory_order_relaxed);
+    }
+    T Get(int64_t i) const {
+      return slots[static_cast<size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  /// Owner only: double the buffer, copying the live range [t, b).
+  Buffer* Grow(Buffer* old, int64_t t, int64_t b) {
+    buffers_.push_back(std::make_unique<Buffer>(old->capacity * 2));
+    Buffer* bigger = buffers_.back().get();
+    for (int64_t i = t; i < b; ++i) bigger->Put(i, old->Get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  // Every buffer ever allocated, retired in place (see the file comment).
+  // Owner-only; thieves reach buffers through buffer_ alone.
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace treenum
+
+#endif  // TREENUM_UTIL_WORK_STEALING_DEQUE_H_

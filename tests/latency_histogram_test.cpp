@@ -1,0 +1,167 @@
+// LatencyHistogram vs a sorted-vector oracle: bucket geometry invariants,
+// nearest-rank quantiles within the quantization bound, merge, concurrent
+// recording.
+#include "util/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace treenum {
+namespace {
+
+uint64_t OracleQuantile(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+/// Histogram results are bucket midpoints, so they match the oracle up to
+/// the bucket width at that magnitude: exact below kSubBuckets, relative
+/// error <= 2^-kSubBucketBits above.
+void ExpectWithinQuantization(uint64_t got, uint64_t oracle) {
+  const size_t i = LatencyHistogram::BucketIndex(oracle);
+  EXPECT_GE(got, LatencyHistogram::BucketLow(i));
+  EXPECT_LT(got, LatencyHistogram::BucketHigh(i));
+}
+
+TEST(LatencyHistogram, BucketGeometryInvariants) {
+  // Every value maps to a bucket whose [low, high) range contains it, and
+  // consecutive buckets tile the line with no gaps or overlaps.
+  Rng rng(1);
+  for (int t = 0; t < 20000; ++t) {
+    const int bits = 1 + static_cast<int>(rng.Index(63));
+    uint64_t v = static_cast<uint64_t>(rng.Int(0, (int64_t{1} << 32) - 1));
+    v = (v << 16) ^ static_cast<uint64_t>(rng.Int(0, 1 << 16));
+    v &= (bits >= 64) ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+    const size_t i = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(i, LatencyHistogram::kNumBuckets);
+    EXPECT_GE(v, LatencyHistogram::BucketLow(i)) << "v=" << v << " i=" << i;
+    if (i + 1 < LatencyHistogram::kNumBuckets) {
+      EXPECT_LT(v, LatencyHistogram::BucketHigh(i)) << "v=" << v;
+      // Tiling: the next bucket starts exactly where this one ends.
+      EXPECT_EQ(LatencyHistogram::BucketHigh(i),
+                LatencyHistogram::BucketLow(i + 1));
+    }
+  }
+  // Boundary values land in their own bucket.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(LatencyHistogram::kSubBuckets - 1),
+            LatencyHistogram::kSubBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~uint64_t{0}),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  // Values below kSubBuckets get one bucket per value: quantiles exact.
+  std::vector<uint64_t> values;
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Index(LatencyHistogram::kSubBuckets);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), OracleQuantile(values, q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesTrackSortedOracle) {
+  LatencyHistogram h;
+  std::vector<uint64_t> values;
+  Rng rng(3);
+  // Latency-shaped distribution: a log-uniform body with a heavy tail.
+  for (int i = 0; i < 50000; ++i) {
+    const int bits = 8 + static_cast<int>(rng.Index(16));  // ~256ns..16ms
+    uint64_t v = static_cast<uint64_t>(
+        rng.Int(1, (int64_t{1} << bits) - 1));
+    if (rng.Flip(0.001)) v *= 1000;  // rare outliers
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(h.count(), values.size());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    ExpectWithinQuantization(h.Quantile(q), OracleQuantile(values, q));
+  }
+  // MaxBound covers the maximum.
+  EXPECT_GE(h.MaxBound(), values.back());
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  std::vector<uint64_t> values;
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = static_cast<uint64_t>(rng.Int(0, 1 << 20));
+    values.push_back(v);
+    (i % 2 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  LatencyHistogram merged;
+  merged.MergeFrom(a);
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.count(), combined.count());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(merged.MaxBound(), combined.MaxBound());
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsLoseNothing) {
+  // The lock-free claim: racing Record() calls from several threads must
+  // not lose counts (relaxed fetch_add per bucket). Each thread records a
+  // known deterministic stream; the totals and quantiles must match a
+  // single-threaded oracle of the union.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40000;
+  LatencyHistogram h;
+  std::vector<uint64_t> all;
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(100 + t);
+    for (int i = 0; i < kPerThread; ++i) {
+      all.push_back(static_cast<uint64_t>(rng.Int(1, 1 << 24)));
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(rng.Int(1, 1 << 24)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(h.count(), all.size());
+  for (double q : {0.5, 0.99}) {
+    ExpectWithinQuantization(h.Quantile(q), OracleQuantile(all, q));
+  }
+}
+
+TEST(LatencyHistogram, ResetAndEmpty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.MaxBound(), 0u);
+  h.Record(123456);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.Quantile(0.5), 0u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.99), 0u);
+  EXPECT_EQ(h.MaxBound(), 0u);
+}
+
+}  // namespace
+}  // namespace treenum

@@ -1,0 +1,435 @@
+// DocumentShardServer correctness: randomized mixed command scripts (leaf
+// edits + structural transactions + query churn + document removal) against
+// recompute-from-scratch StaticEngine oracles, bit-identical answers across
+// shard counts (S=1 vs S=8), concurrent snapshot readers during load (run
+// under TSan in CI), work-stealing liveness, the Chase-Lev deque's
+// exactly-once delivery under racing thieves, and the allocation-free
+// templated ParallelFor contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "automata/query_library.h"
+#include "baseline/static_engine.h"
+#include "serving/shard_server.h"
+#include "serving/workload.h"
+#include "util/alloc_gauge.h"
+#include "util/thread_pool.h"
+#include "util/work_stealing_deque.h"
+
+namespace treenum {
+namespace {
+
+using serving::CommandScript;
+using serving::DocCommand;
+using serving::DocumentShardServer;
+using serving::StructuralOp;
+using serving::WorkloadOptions;
+
+UnrankedTva PersistentQuery() { return QueryMarkedAncestor(3, 1, 2); }
+UnrankedTva ChurnQuery() { return QuerySelectLabel(3, 1); }
+
+/// One served document plus its deterministic script and churn slot.
+struct Tenant {
+  DocumentShardServer::DocRef doc;
+  DocumentShardServer::QueryRef query;
+  CommandScript script;
+  DynamicDocument::QueryHandle churn = 0;
+  bool churn_live = false;
+
+  Tenant(DocumentShardServer::DocRef d, DocumentShardServer::QueryRef q,
+         CommandScript s)
+      : doc(d), query(q), script(std::move(s)) {}
+};
+
+WorkloadOptions MixedWorkload() {
+  WorkloadOptions wo;
+  wo.num_labels = 3;
+  wo.structural_fraction = 0.08;
+  wo.churn_fraction = 0.03;
+  wo.min_size = 8;
+  return wo;
+}
+
+std::vector<Tenant> MakeTenants(DocumentShardServer& server, size_t docs,
+                                size_t doc_size, uint64_t seed,
+                                const WorkloadOptions& wo) {
+  const UnrankedTva query = PersistentQuery();
+  std::vector<Tenant> tenants;
+  tenants.reserve(docs);
+  for (size_t i = 0; i < docs; ++i) {
+    Rng rng(seed + i);
+    UnrankedTree tree = RandomTree(doc_size, 3, rng);
+    auto doc = server.AddDocument(tree, 3);
+    auto q = server.RegisterQuery(doc, query);
+    tenants.emplace_back(doc, q,
+                         CommandScript(std::move(tree), seed ^ (i * 977), wo));
+  }
+  return tenants;
+}
+
+/// Generates and submits the tenant's next scripted command.
+void SubmitNext(DocumentShardServer& server, Tenant& t,
+                const UnrankedTva& churn_query) {
+  const DocCommand c = t.script.Next();
+  switch (c.kind) {
+    case DocCommand::Kind::kEdit:
+      server.SubmitEdit(t.doc, c.edit);
+      break;
+    case DocCommand::Kind::kStructural:
+      server.SubmitStructural(t.doc, c.structural);
+      break;
+    case DocCommand::Kind::kRegister:
+      t.churn = server.RegisterQuery(t.doc, churn_query).handle;
+      t.churn_live = true;
+      break;
+    case DocCommand::Kind::kUnregister:
+      if (t.churn_live) {
+        server.UnregisterQuery(t.doc, t.churn);
+        t.churn_live = false;
+      }
+      break;
+  }
+}
+
+std::vector<Assignment> Sorted(std::vector<Assignment> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ---- Mixed scripts vs fresh oracles ----
+
+// Randomized mixed scripts across 4 shards; after draining, every served
+// document must equal its script mirror node-for-node, and the persistent
+// query's answers (read through the caller-thread ReaderView at a pinned
+// snapshot) must match a StaticEngine rebuilt from scratch on that tree.
+TEST(ShardServer, MixedScriptsMatchFreshOracles) {
+  constexpr size_t kDocs = 6, kDocSize = 48, kCommands = 1500;
+  DocumentShardServer::Options o;
+  o.shards = 4;
+  DocumentShardServer server(o);
+  std::vector<Tenant> tenants =
+      MakeTenants(server, kDocs, kDocSize, 0x5EED, MixedWorkload());
+  const UnrankedTva churn_query = ChurnQuery();
+
+  Rng rng(99);
+  for (size_t k = 0; k < kCommands; ++k) {
+    Tenant& t = tenants[k % tenants.size()];
+    SubmitNext(server, t, churn_query);
+    if (k % 128 == 127) {
+      // Mid-run probe from the submitting thread: pin whatever is current
+      // and check the two read paths agree on it.
+      Tenant& probe = tenants[rng.Index(tenants.size())];
+      SnapshotRef snap = server.Pin(probe.doc);
+      const bool has = probe.query.view.HasAnswerAt(snap);
+      auto cursor = probe.query.view.MakeCursorAt(snap);
+      Assignment a;
+      EXPECT_EQ(has, cursor->Next(&a)) << "probe at command " << k;
+    }
+  }
+  server.Drain();
+
+  const UnrankedTva query = PersistentQuery();
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    Tenant& t = tenants[i];
+    const UnrankedTree& tree = server.document(t.doc).tree();
+    ASSERT_TRUE(tree == t.script.mirror()) << "doc " << i;
+    StaticEngine oracle(tree, query);
+    EXPECT_EQ(Sorted(t.query.view.EnumerateAt(server.Pin(t.doc))),
+              Sorted(oracle.EnumerateAll()))
+        << "doc " << i;
+  }
+
+  const DocumentShardServer::Stats stats = server.stats();
+  // Every scripted command plus the initial registrations flowed through
+  // the queues.
+  EXPECT_EQ(stats.commands, kCommands + kDocs);
+  EXPECT_GT(stats.structural_applied, 0u);
+  EXPECT_GT(stats.registers, kDocs);  // initial registrations plus churn
+}
+
+// ---- Determinism across shard counts ----
+
+// The same scripted workload submitted in the same per-document order must
+// produce bit-identical final trees and answers whether one worker or
+// eight drain the queues (work stealing and group-commit boundaries must
+// not be observable in the served state).
+TEST(ShardServer, AnswersAreIdenticalAcrossShardCounts) {
+  constexpr size_t kDocs = 8, kDocSize = 40, kCommands = 1200;
+  const UnrankedTva query = PersistentQuery();
+  const UnrankedTva churn_query = ChurnQuery();
+
+  auto run = [&](size_t shards) {
+    DocumentShardServer::Options o;
+    o.shards = shards;
+    DocumentShardServer server(o);
+    std::vector<Tenant> tenants =
+        MakeTenants(server, kDocs, kDocSize, 0xD17E, MixedWorkload());
+    for (size_t k = 0; k < kCommands; ++k) {
+      SubmitNext(server, tenants[k % tenants.size()], churn_query);
+    }
+    server.Drain();
+    std::vector<std::string> trees;
+    std::vector<std::vector<Assignment>> answers;
+    for (Tenant& t : tenants) {
+      trees.push_back(server.document(t.doc).tree().ToString());
+      answers.push_back(Sorted(t.query.view.EnumerateAt(server.Pin(t.doc))));
+    }
+    return std::make_pair(std::move(trees), std::move(answers));
+  };
+
+  const auto one = run(1);
+  const auto eight = run(8);
+  ASSERT_EQ(one.first.size(), eight.first.size());
+  for (size_t i = 0; i < one.first.size(); ++i) {
+    EXPECT_EQ(one.first[i], eight.first[i]) << "tree of doc " << i;
+    EXPECT_EQ(one.second[i], eight.second[i]) << "answers of doc " << i;
+  }
+}
+
+// ---- Concurrent snapshot readers during load ----
+
+// Reader threads continuously pin snapshots and enumerate through their
+// ReaderViews while the shard workers commit edits and structural
+// transactions. Readers assert internal consistency (existence check vs
+// cursor) and count mismatches; the writer side is verified against the
+// mirror after draining. This is the serving-layer TSan workload.
+TEST(ShardServer, SnapshotReadersConcurrentWithServing) {
+  constexpr size_t kDocs = 4, kDocSize = 40, kCommands = 1200;
+  constexpr size_t kReaders = 3;
+  DocumentShardServer::Options o;
+  o.shards = 2;
+  DocumentShardServer server(o);
+  WorkloadOptions wo = MixedWorkload();
+  wo.churn_fraction = 0;  // keep every ReaderView trivially live
+  std::vector<Tenant> tenants = MakeTenants(server, kDocs, kDocSize, 7, wo);
+  const UnrankedTva churn_query = ChurnQuery();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(1000 + r);
+      while (!stop.load(std::memory_order_acquire)) {
+        Tenant& t = tenants[rng.Index(tenants.size())];
+        SnapshotRef snap = server.Pin(t.doc);
+        const bool has = t.query.view.HasAnswerAt(snap);
+        auto cursor = t.query.view.MakeCursorAt(snap);
+        Assignment a;
+        bool got = false;
+        for (size_t k = 0; k < 4 && cursor->Next(&a); ++k) got = true;
+        if (has != got) mismatches.fetch_add(1, std::memory_order_relaxed);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (size_t k = 0; k < kCommands; ++k) {
+    SubmitNext(server, tenants[k % tenants.size()], churn_query);
+  }
+  server.Drain();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    ASSERT_TRUE(server.document(tenants[i].doc).tree() ==
+                tenants[i].script.mirror())
+        << "doc " << i;
+  }
+}
+
+// ---- Work stealing ----
+
+// All load aimed at documents homed on ONE shard; the other three workers
+// have nothing of their own, so draining the backlog at all promptly
+// requires them to steal. Keeps feeding the hot shard until a steal is
+// observed (bounded), then asserts correctness of the stolen work.
+TEST(ShardServer, IdleShardsStealFromLoadedNeighbours) {
+  DocumentShardServer::Options o;
+  o.shards = 4;
+  DocumentShardServer server(o);
+  WorkloadOptions wo;  // pure leaf edits: cheapest commands, max pressure
+  wo.num_labels = 3;
+
+  // Collect documents that all hash to the same home shard.
+  std::vector<Tenant> tenants;
+  const UnrankedTva query = PersistentQuery();
+  size_t home = SIZE_MAX;
+  for (size_t i = 0; tenants.size() < 6 && i < 256; ++i) {
+    Rng rng(42 + i);
+    UnrankedTree tree = RandomTree(48, 3, rng);
+    auto doc = server.AddDocument(tree, 3);
+    if (home == SIZE_MAX) home = server.shard_of(doc);
+    if (server.shard_of(doc) != home) continue;  // shell doc, never used
+    auto q = server.RegisterQuery(doc, query);
+    tenants.emplace_back(doc, q, CommandScript(std::move(tree), 42 ^ i, wo));
+  }
+  ASSERT_GE(tenants.size(), 4u);
+
+  const UnrankedTva churn_query = ChurnQuery();
+  uint64_t steals = 0;
+  for (int wave = 0; wave < 200 && steals == 0; ++wave) {
+    for (size_t k = 0; k < 600; ++k) {
+      SubmitNext(server, tenants[k % tenants.size()], churn_query);
+    }
+    server.Drain();
+    steals = server.stats().steals;
+  }
+  EXPECT_GT(steals, 0u) << "no steal in 200 waves of single-shard backlog";
+
+  // Stolen work must not have corrupted anything.
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    ASSERT_TRUE(server.document(tenants[i].doc).tree() ==
+                tenants[i].script.mirror())
+        << "doc " << i;
+  }
+}
+
+// ---- Document lifecycle ----
+
+TEST(ShardServer, RemoveDocumentCompletesPendingWork) {
+  DocumentShardServer::Options o;
+  o.shards = 2;
+  DocumentShardServer server(o);
+  WorkloadOptions wo;
+  wo.num_labels = 3;
+  std::vector<Tenant> tenants = MakeTenants(server, 4, 32, 11, wo);
+  const UnrankedTva churn_query = ChurnQuery();
+
+  for (size_t k = 0; k < 400; ++k) {
+    SubmitNext(server, tenants[k % tenants.size()], churn_query);
+  }
+  // Remove two documents with work still queued: removal is FIFO behind
+  // their pending edits, so it must apply them first, then destroy.
+  server.RemoveDocument(tenants[1].doc);
+  server.RemoveDocument(tenants[3].doc);
+  for (size_t k = 0; k < 200; ++k) {
+    Tenant& t = tenants[(k % 2) * 2];  // only docs 0 and 2 remain
+    SubmitNext(server, t, churn_query);
+  }
+  server.Drain();
+
+  EXPECT_EQ(server.stats().removes, 2u);
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    ASSERT_TRUE(server.document(tenants[i].doc).tree() ==
+                tenants[i].script.mirror())
+        << "doc " << i;
+  }
+}
+
+// ---- Chase-Lev deque ----
+
+TEST(WorkStealingDeque, OwnerIsLifoThievesAreFifo) {
+  WorkStealingDeque<uint64_t> dq;
+  for (uint64_t v = 1; v <= 4; ++v) dq.PushBottom(v);
+  uint64_t v = 0;
+  ASSERT_TRUE(dq.StealTop(&v));
+  EXPECT_EQ(v, 1u);  // thief takes the oldest
+  ASSERT_TRUE(dq.PopBottom(&v));
+  EXPECT_EQ(v, 4u);  // owner takes the newest
+  ASSERT_TRUE(dq.PopBottom(&v));
+  EXPECT_EQ(v, 3u);
+  ASSERT_TRUE(dq.StealTop(&v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_FALSE(dq.PopBottom(&v));
+  EXPECT_FALSE(dq.StealTop(&v));
+}
+
+TEST(WorkStealingDeque, GrowsPastInitialCapacity) {
+  WorkStealingDeque<uint64_t> dq;
+  constexpr uint64_t kN = 10000;  // forces several buffer growths
+  for (uint64_t i = 0; i < kN; ++i) dq.PushBottom(i);
+  for (uint64_t i = kN; i-- > 0;) {
+    uint64_t v = 0;
+    ASSERT_TRUE(dq.PopBottom(&v));
+    ASSERT_EQ(v, i);
+  }
+  uint64_t v = 0;
+  EXPECT_FALSE(dq.PopBottom(&v));
+}
+
+// Exactly-once delivery under racing thieves: one owner pushes (and
+// sometimes pops) a known sequence while three thieves steal concurrently;
+// afterwards the union of everything popped and stolen must be exactly the
+// pushed sequence — nothing lost, nothing duplicated.
+TEST(WorkStealingDeque, StressDeliversEachItemExactlyOnce) {
+  constexpr uint64_t kItems = 100000;
+  constexpr size_t kThieves = 3;
+  WorkStealingDeque<uint64_t> dq;
+  std::atomic<bool> done{false};
+  std::vector<std::vector<uint64_t>> stolen(kThieves);
+  std::vector<std::thread> thieves;
+  for (size_t t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&, t] {
+      uint64_t v = 0;
+      while (true) {
+        if (dq.StealTop(&v)) {
+          stolen[t].push_back(v);
+        } else if (done.load(std::memory_order_acquire)) {
+          // A failed steal after `done` means truly empty (the owner has
+          // stopped pushing), not a lost race.
+          if (!dq.StealTop(&v)) return;
+          stolen[t].push_back(v);
+        } else {
+          std::this_thread::yield();  // don't starve the owner on 1 core
+        }
+      }
+    });
+  }
+
+  std::vector<uint64_t> popped;
+  Rng rng(5);
+  for (uint64_t i = 0; i < kItems; ++i) {
+    dq.PushBottom(i);
+    if (rng.Flip(0.3)) {
+      uint64_t v = 0;
+      if (dq.PopBottom(&v)) popped.push_back(v);
+    }
+  }
+  uint64_t v = 0;
+  while (dq.PopBottom(&v)) popped.push_back(v);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  std::vector<uint64_t> all = std::move(popped);
+  for (const auto& s : stolen) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kItems);
+  for (uint64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(all[i], i) << "item lost or duplicated near " << i;
+  }
+}
+
+// ---- Allocation-free templated ParallelFor ----
+
+// The templated ParallelFor passes the body as a (function pointer,
+// context) pair — no std::function, no heap. The gauge must read zero
+// across many fork-join rounds once the pool is warm.
+TEST(ThreadPoolServing, ParallelForIsAllocationFree) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  const auto body = [&sum](size_t i) {
+    sum.fetch_add(i + 1, std::memory_order_relaxed);
+  };
+  pool.ParallelFor(64, body);  // warm-up round
+  sum.store(0);
+
+  AllocGaugeScope scope;
+  constexpr size_t kRounds = 50;
+  for (size_t r = 0; r < kRounds; ++r) pool.ParallelFor(64, body);
+  if (AllocGaugeActive()) {
+    EXPECT_EQ(scope.allocs(), 0u)
+        << "fork-join dispatch must not allocate per round";
+  }
+  EXPECT_EQ(sum.load(), kRounds * (64 * 65) / 2);
+}
+
+}  // namespace
+}  // namespace treenum
