@@ -37,12 +37,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "automata/query_cache.h"
 #include "automata/query_library.h"
 #include "bench_util.h"
+#include "core/document.h"
 #include "serving/shard_server.h"
 #include "serving/workload.h"
 #include "util/latency_histogram.h"
@@ -278,6 +282,91 @@ void RunConfig(size_t shards, size_t docs, size_t doc_size, size_t cmds,
        {"unregisters", static_cast<double>(stats.unregisters)}});
 }
 
+// ---- Warm-start phase (serving_warmstart series) ----
+//
+// Cold: the whole query library registered on a fresh document through a
+// fresh QueryCache — each registration pays translation, determinization,
+// homogenization and canonicalization before the pipeline is built. The
+// cache image is then serialized (SaveCache) and restored into a second
+// cache (WarmStart); re-registering the same library on a new document
+// pays only the pipeline build. The cold/warm latency ratio is the
+// restart-time win a server gets from shipping its compiled-plan cache.
+void RunWarmStart(size_t doc_size) {
+  std::vector<UnrankedTva> library;
+  library.push_back(QuerySelectLabel(3, 1));
+  library.push_back(QuerySelectAll(3));
+  library.push_back(QueryMarkedAncestor(3, 1, 2));
+  library.push_back(QueryDescendantPairs(3, 0, 1));
+  library.push_back(QueryContainsLabel(3, 2));
+  library.push_back(QueryAnySubsetOfLabel(3, 0));
+  // Compile cost grows exponentially with the distance k while the
+  // per-document pipeline cost only tracks the final automaton, so this
+  // query dominates the cold leg — exactly the plan a warm start saves.
+  library.push_back(QueryAncestorAtDistance(3, 1, 6));
+  library.push_back(QueryChildOfLabel(3, 0, 2));
+  library.push_back(QuerySelectLeaves(3));
+  library.push_back(QueryNextSibling(3, 1, 0));
+
+  Rng rng(bench::kSeed + 31);
+  UnrankedTree tree = RandomTree(doc_size, 3, rng);
+
+  QueryCache cold_cache;
+  uint64_t cold_ns = 0;
+  {
+    DynamicDocument doc(tree, 3, &cold_cache);
+    for (const UnrankedTva& q : library) {
+      const uint64_t t0 = DocumentShardServer::NowNs();
+      doc.Register(q);
+      cold_ns += DocumentShardServer::NowNs() - t0;
+    }
+  }
+
+  std::stringstream image(std::ios::in | std::ios::out | std::ios::binary);
+  if (!cold_cache.SaveCache(image)) {
+    std::fprintf(stderr, "warmstart: SaveCache failed\n");
+    return;
+  }
+  const size_t image_bytes = image.str().size();
+
+  QueryCache warm_cache;
+  std::string error;
+  const size_t admitted = warm_cache.WarmStart(image, &error);
+  if (admitted != library.size()) {
+    std::fprintf(stderr, "warmstart: restored %zu/%zu plans (%s)\n", admitted,
+                 library.size(), error.c_str());
+    return;
+  }
+
+  uint64_t warm_ns = 0;
+  {
+    DynamicDocument doc(tree, 3, &warm_cache);
+    for (const UnrankedTva& q : library) {
+      const uint64_t t0 = DocumentShardServer::NowNs();
+      doc.Register(q);
+      warm_ns += DocumentShardServer::NowNs() - t0;
+    }
+  }
+  const QueryCache::Stats ws = warm_cache.stats();
+
+  const double speedup =
+      warm_ns > 0 ? static_cast<double>(cold_ns) / static_cast<double>(warm_ns)
+                  : 0.0;
+  std::printf(
+      "serving_warmstart size=%zu queries=%zu | cold %.1fus warm %.1fus "
+      "(%.1fx) | image %zu bytes | warm translations %" PRIu64 "\n",
+      doc_size, library.size(), Us(cold_ns), Us(warm_ns), speedup, image_bytes,
+      static_cast<uint64_t>(ws.translations));
+
+  bench::EmitJson("serving_warmstart",
+                  {{"doc_size", static_cast<double>(doc_size)},
+                   {"queries", static_cast<double>(library.size())},
+                   {"cold_register_us", Us(cold_ns)},
+                   {"warm_register_us", Us(warm_ns)},
+                   {"speedup", speedup},
+                   {"image_bytes", static_cast<double>(image_bytes)},
+                   {"warm_translations", static_cast<double>(ws.translations)}});
+}
+
 }  // namespace
 }  // namespace treenum
 
@@ -295,6 +384,7 @@ int main() {
   std::vector<size_t> docs_list =
       EnvSizeList("TREENUM_SERVING_DOCS", smoke ? std::vector<size_t>{16}
                                                 : std::vector<size_t>{16, 256});
+  RunWarmStart(/*doc_size=*/32);
   for (size_t docs : docs_list) {
     for (size_t shards : shard_list) {
       RunConfig(shards, docs, doc_size, cmds, load, readers,

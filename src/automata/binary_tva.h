@@ -65,6 +65,9 @@ class BinaryTva {
       : num_states_(num_states),
         num_labels_(num_labels),
         num_vars_(num_vars) {}
+  /// An empty automaton (no states, labels or variables) — the staging
+  /// value deserialization (automata/serialize.h) parses into.
+  BinaryTva() : BinaryTva(0, 0, 0) {}
 
   size_t num_states() const { return num_states_; }
   size_t num_labels() const { return num_labels_; }

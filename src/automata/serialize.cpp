@@ -1,0 +1,439 @@
+#include "automata/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+namespace treenum {
+namespace serialize {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'N', 'Q', 'A'};
+
+// Refuse to allocate for absurd element counts before the bounds-checked
+// parse would naturally fail: every payload element is at least one byte,
+// so a count larger than the bytes remaining is malformed by construction.
+// This keeps corrupted counts from triggering multi-gigabyte resizes.
+bool PlausibleCount(const ByteReader& r, uint64_t count,
+                    size_t min_bytes_per_element) {
+  if (min_bytes_per_element == 0) min_bytes_per_element = 1;
+  return count <= r.remaining() / min_bytes_per_element;
+}
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool Fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+// Common size prologue of every automaton payload. Variables are capped at
+// 31 (VarMask is a uint32_t bitmask), so masks can be range-checked.
+bool ParseSizes(ByteReader* r, uint64_t* states, uint64_t* labels,
+                uint64_t* vars, std::string* error) {
+  if (!r->GetU64(states) || !r->GetU64(labels) || !r->GetU64(vars)) {
+    return Fail(error, "truncated automaton sizes");
+  }
+  if (*vars > 31) return Fail(error, "num_vars out of range");
+  return true;
+}
+
+bool ValidMask(VarMask mask, uint64_t num_vars) {
+  if (num_vars >= 32) return false;
+  return (static_cast<uint64_t>(mask) >> num_vars) == 0;
+}
+
+}  // namespace
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+bool ByteReader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(*p_++);
+  return true;
+}
+
+bool ByteReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(*p_++)) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool ByteReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(*p_++)) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+void AppendHomogenizedTva(const HomogenizedTva& a, ByteWriter* w) {
+  const BinaryTva& t = a.tva;
+  w->PutU64(t.num_states());
+  w->PutU64(t.num_labels());
+  w->PutU64(t.num_vars());
+  w->PutU64(a.kind.size());
+  for (uint8_t k : a.kind) w->PutU8(k);
+  w->PutU64(t.leaf_inits().size());
+  for (const LeafInit& li : t.leaf_inits()) {
+    w->PutU32(li.label);
+    w->PutU32(li.vars);
+    w->PutU32(li.state);
+  }
+  w->PutU64(t.transitions().size());
+  for (const Transition& tr : t.transitions()) {
+    w->PutU32(tr.label);
+    w->PutU32(tr.left);
+    w->PutU32(tr.right);
+    w->PutU32(tr.state);
+  }
+  w->PutU64(t.final_states().size());
+  for (State q : t.final_states()) w->PutU32(q);
+}
+
+bool ParseHomogenizedTva(ByteReader* r, HomogenizedTva* out,
+                         std::string* error) {
+  uint64_t states, labels, vars;
+  if (!ParseSizes(r, &states, &labels, &vars, error)) return false;
+
+  uint64_t kind_count;
+  if (!r->GetU64(&kind_count)) return Fail(error, "truncated kind vector");
+  if (kind_count != states) return Fail(error, "kind vector size mismatch");
+  if (!PlausibleCount(*r, kind_count, 1)) {
+    return Fail(error, "kind vector overruns payload");
+  }
+  std::vector<uint8_t> kind(static_cast<size_t>(kind_count));
+  for (uint8_t& k : kind) {
+    if (!r->GetU8(&k)) return Fail(error, "truncated kind vector");
+    if (k > 1) return Fail(error, "state kind out of range");
+  }
+
+  BinaryTva tva(static_cast<size_t>(states), static_cast<size_t>(labels),
+                static_cast<size_t>(vars));
+
+  uint64_t init_count;
+  if (!r->GetU64(&init_count)) return Fail(error, "truncated leaf inits");
+  if (!PlausibleCount(*r, init_count, 12)) {
+    return Fail(error, "leaf inits overrun payload");
+  }
+  for (uint64_t i = 0; i < init_count; ++i) {
+    uint32_t label, mask, state;
+    if (!r->GetU32(&label) || !r->GetU32(&mask) || !r->GetU32(&state)) {
+      return Fail(error, "truncated leaf init");
+    }
+    if (label >= labels || state >= states || !ValidMask(mask, vars)) {
+      return Fail(error, "leaf init index out of range");
+    }
+    tva.AddLeafInit(label, mask, state);
+  }
+
+  uint64_t trans_count;
+  if (!r->GetU64(&trans_count)) return Fail(error, "truncated transitions");
+  if (!PlausibleCount(*r, trans_count, 16)) {
+    return Fail(error, "transitions overrun payload");
+  }
+  for (uint64_t i = 0; i < trans_count; ++i) {
+    uint32_t label, left, right, state;
+    if (!r->GetU32(&label) || !r->GetU32(&left) || !r->GetU32(&right) ||
+        !r->GetU32(&state)) {
+      return Fail(error, "truncated transition");
+    }
+    if (label >= labels || left >= states || right >= states ||
+        state >= states) {
+      return Fail(error, "transition index out of range");
+    }
+    tva.AddTransition(label, left, right, state);
+  }
+
+  uint64_t final_count;
+  if (!r->GetU64(&final_count)) return Fail(error, "truncated final states");
+  if (!PlausibleCount(*r, final_count, 4)) {
+    return Fail(error, "final states overrun payload");
+  }
+  for (uint64_t i = 0; i < final_count; ++i) {
+    uint32_t q;
+    if (!r->GetU32(&q)) return Fail(error, "truncated final state");
+    if (q >= states) return Fail(error, "final state out of range");
+    tva.AddFinal(q);
+  }
+
+  out->tva = std::move(tva);
+  out->kind = std::move(kind);
+  return true;
+}
+
+void AppendUnrankedTva(const UnrankedTva& a, ByteWriter* w) {
+  w->PutU64(a.num_states());
+  w->PutU64(a.num_labels());
+  w->PutU64(a.num_vars());
+  w->PutU64(a.inits().size());
+  for (const LeafInit& li : a.inits()) {
+    w->PutU32(li.label);
+    w->PutU32(li.vars);
+    w->PutU32(li.state);
+  }
+  w->PutU64(a.transitions().size());
+  for (const StepTransition& tr : a.transitions()) {
+    w->PutU32(tr.from);
+    w->PutU32(tr.child);
+    w->PutU32(tr.to);
+  }
+  w->PutU64(a.final_states().size());
+  for (State q : a.final_states()) w->PutU32(q);
+}
+
+bool ParseUnrankedTva(ByteReader* r, UnrankedTva* out, std::string* error) {
+  uint64_t states, labels, vars;
+  if (!ParseSizes(r, &states, &labels, &vars, error)) return false;
+  UnrankedTva a(static_cast<size_t>(states), static_cast<size_t>(labels),
+                static_cast<size_t>(vars));
+
+  uint64_t init_count;
+  if (!r->GetU64(&init_count)) return Fail(error, "truncated inits");
+  if (!PlausibleCount(*r, init_count, 12)) {
+    return Fail(error, "inits overrun payload");
+  }
+  for (uint64_t i = 0; i < init_count; ++i) {
+    uint32_t label, mask, state;
+    if (!r->GetU32(&label) || !r->GetU32(&mask) || !r->GetU32(&state)) {
+      return Fail(error, "truncated init");
+    }
+    if (label >= labels || state >= states || !ValidMask(mask, vars)) {
+      return Fail(error, "init index out of range");
+    }
+    a.AddInit(label, mask, state);
+  }
+
+  uint64_t trans_count;
+  if (!r->GetU64(&trans_count)) return Fail(error, "truncated transitions");
+  if (!PlausibleCount(*r, trans_count, 12)) {
+    return Fail(error, "transitions overrun payload");
+  }
+  for (uint64_t i = 0; i < trans_count; ++i) {
+    uint32_t from, child, to;
+    if (!r->GetU32(&from) || !r->GetU32(&child) || !r->GetU32(&to)) {
+      return Fail(error, "truncated transition");
+    }
+    if (from >= states || child >= states || to >= states) {
+      return Fail(error, "transition index out of range");
+    }
+    a.AddTransition(from, child, to);
+  }
+
+  uint64_t final_count;
+  if (!r->GetU64(&final_count)) return Fail(error, "truncated final states");
+  if (!PlausibleCount(*r, final_count, 4)) {
+    return Fail(error, "final states overrun payload");
+  }
+  for (uint64_t i = 0; i < final_count; ++i) {
+    uint32_t q;
+    if (!r->GetU32(&q)) return Fail(error, "truncated final state");
+    if (q >= states) return Fail(error, "final state out of range");
+    a.AddFinal(q);
+  }
+
+  *out = std::move(a);
+  return true;
+}
+
+void AppendWva(const Wva& a, ByteWriter* w) {
+  w->PutU64(a.num_states());
+  w->PutU64(a.num_labels());
+  w->PutU64(a.num_vars());
+  w->PutU64(a.transitions().size());
+  for (const WvaTransition& tr : a.transitions()) {
+    w->PutU32(tr.from);
+    w->PutU32(tr.label);
+    w->PutU32(tr.vars);
+    w->PutU32(tr.to);
+  }
+  w->PutU64(a.initial_states().size());
+  for (State q : a.initial_states()) w->PutU32(q);
+  w->PutU64(a.final_states().size());
+  for (State q : a.final_states()) w->PutU32(q);
+}
+
+bool ParseWva(ByteReader* r, Wva* out, std::string* error) {
+  uint64_t states, labels, vars;
+  if (!ParseSizes(r, &states, &labels, &vars, error)) return false;
+  Wva a(static_cast<size_t>(states), static_cast<size_t>(labels),
+        static_cast<size_t>(vars));
+
+  uint64_t trans_count;
+  if (!r->GetU64(&trans_count)) return Fail(error, "truncated transitions");
+  if (!PlausibleCount(*r, trans_count, 16)) {
+    return Fail(error, "transitions overrun payload");
+  }
+  for (uint64_t i = 0; i < trans_count; ++i) {
+    uint32_t from, label, mask, to;
+    if (!r->GetU32(&from) || !r->GetU32(&label) || !r->GetU32(&mask) ||
+        !r->GetU32(&to)) {
+      return Fail(error, "truncated transition");
+    }
+    if (from >= states || to >= states || label >= labels ||
+        !ValidMask(mask, vars)) {
+      return Fail(error, "transition index out of range");
+    }
+    a.AddTransition(from, label, mask, to);
+  }
+
+  uint64_t initial_count;
+  if (!r->GetU64(&initial_count)) {
+    return Fail(error, "truncated initial states");
+  }
+  if (!PlausibleCount(*r, initial_count, 4)) {
+    return Fail(error, "initial states overrun payload");
+  }
+  for (uint64_t i = 0; i < initial_count; ++i) {
+    uint32_t q;
+    if (!r->GetU32(&q)) return Fail(error, "truncated initial state");
+    if (q >= states) return Fail(error, "initial state out of range");
+    a.AddInitial(q);
+  }
+
+  uint64_t final_count;
+  if (!r->GetU64(&final_count)) return Fail(error, "truncated final states");
+  if (!PlausibleCount(*r, final_count, 4)) {
+    return Fail(error, "final states overrun payload");
+  }
+  for (uint64_t i = 0; i < final_count; ++i) {
+    uint32_t q;
+    if (!r->GetU32(&q)) return Fail(error, "truncated final state");
+    if (q >= states) return Fail(error, "final state out of range");
+    a.AddFinal(q);
+  }
+
+  *out = std::move(a);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Record framing
+// ---------------------------------------------------------------------------
+
+bool WriteRecord(RecordKind kind, const std::string& payload,
+                 std::ostream& out) {
+  ByteWriter header;
+  for (char c : kMagic) header.PutU8(static_cast<uint8_t>(c));
+  header.PutU32(kFormatVersion);
+  header.PutU32(kEndianMark);
+  header.PutU8(static_cast<uint8_t>(kind));
+  header.PutU64(payload.size());
+  out.write(header.bytes().data(),
+            static_cast<std::streamsize>(header.bytes().size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  ByteWriter footer;
+  footer.PutU64(Fnv1a64(payload));
+  out.write(footer.bytes().data(),
+            static_cast<std::streamsize>(footer.bytes().size()));
+  return static_cast<bool>(out);
+}
+
+bool ReadRecord(std::istream& in, RecordKind* kind, std::string* payload,
+                std::string* error) {
+  char header[4 + 4 + 4 + 1 + 8];
+  in.read(header, sizeof(header));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    return Fail(error, "truncated record header");
+  }
+  ByteReader r(header, sizeof(header));
+  for (char c : kMagic) {
+    uint8_t b;
+    r.GetU8(&b);
+    if (b != static_cast<uint8_t>(c)) return Fail(error, "bad magic");
+  }
+  uint32_t version, endian;
+  uint8_t kind_byte;
+  uint64_t payload_len;
+  r.GetU32(&version);
+  r.GetU32(&endian);
+  r.GetU8(&kind_byte);
+  r.GetU64(&payload_len);
+  if (version != kFormatVersion) return Fail(error, "unsupported version");
+  if (endian != kEndianMark) return Fail(error, "foreign byte order");
+  if (kind_byte < static_cast<uint8_t>(RecordKind::kHomogenizedTva) ||
+      kind_byte > static_cast<uint8_t>(RecordKind::kCacheImage)) {
+    return Fail(error, "unknown record kind");
+  }
+  // Cap the up-front allocation: a corrupted length either exceeds the cap
+  // (rejected here) or the read below comes up short (rejected there).
+  constexpr uint64_t kMaxPayload = uint64_t{1} << 30;
+  if (payload_len > kMaxPayload) return Fail(error, "payload too large");
+
+  payload->resize(static_cast<size_t>(payload_len));
+  if (payload_len > 0) {
+    in.read(&(*payload)[0], static_cast<std::streamsize>(payload_len));
+    if (in.gcount() != static_cast<std::streamsize>(payload_len)) {
+      return Fail(error, "truncated payload");
+    }
+  }
+  char footer[8];
+  in.read(footer, sizeof(footer));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(footer))) {
+    return Fail(error, "truncated checksum");
+  }
+  ByteReader fr(footer, sizeof(footer));
+  uint64_t checksum;
+  fr.GetU64(&checksum);
+  if (checksum != Fnv1a64(*payload)) return Fail(error, "checksum mismatch");
+  *kind = static_cast<RecordKind>(kind_byte);
+  return true;
+}
+
+}  // namespace serialize
+
+// ---------------------------------------------------------------------------
+// Compiled-plan wrappers
+// ---------------------------------------------------------------------------
+
+bool SaveCompiled(const HomogenizedTva& a, std::ostream& out) {
+  serialize::ByteWriter w;
+  serialize::AppendHomogenizedTva(a, &w);
+  return serialize::WriteRecord(serialize::RecordKind::kHomogenizedTva,
+                                w.bytes(), out);
+}
+
+bool LoadCompiled(std::istream& in, HomogenizedTva* out, std::string* error) {
+  serialize::RecordKind kind;
+  std::string payload;
+  if (!serialize::ReadRecord(in, &kind, &payload, error)) return false;
+  if (kind != serialize::RecordKind::kHomogenizedTva) {
+    if (error != nullptr) *error = "unexpected record kind";
+    return false;
+  }
+  serialize::ByteReader r(payload.data(), payload.size());
+  if (!serialize::ParseHomogenizedTva(&r, out, error)) return false;
+  if (r.remaining() != 0) {
+    if (error != nullptr) *error = "trailing bytes in payload";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace treenum

@@ -3,22 +3,25 @@
 #include <algorithm>
 #include <cassert>
 
-#include "automata/translate.h"
 #include "util/check.h"
 
 namespace treenum {
 
-DynamicDocument::DynamicDocument(UnrankedTree tree, size_t num_labels)
+DynamicDocument::DynamicDocument(UnrankedTree tree, size_t num_labels,
+                                 QueryCache* cache)
     : tree_enc_(std::make_unique<DynamicEncoding>(std::move(tree), num_labels)),
       term_(&tree_enc_->term()),
-      snapshots_(std::make_unique<TermSnapshots>(&mutable_term())) {
+      snapshots_(std::make_unique<TermSnapshots>(&mutable_term())),
+      cache_(cache != nullptr ? cache : &QueryCache::Global()) {
   snapshots_->Publish();
 }
 
-DynamicDocument::DynamicDocument(const Word& w, size_t num_labels)
+DynamicDocument::DynamicDocument(const Word& w, size_t num_labels,
+                                 QueryCache* cache)
     : word_enc_(std::make_unique<WordEncoding>(w, num_labels)),
       term_(&word_enc_->term()),
-      snapshots_(std::make_unique<TermSnapshots>(&mutable_term())) {
+      snapshots_(std::make_unique<TermSnapshots>(&mutable_term())),
+      cache_(cache != nullptr ? cache : &QueryCache::Global()) {
   snapshots_->Publish();
 }
 
@@ -47,35 +50,44 @@ DynamicDocument::QueryHandle DynamicDocument::Register(const UnrankedTva& query,
                                                    BoxEnumMode mode) {
   TREENUM_CHECK(tree_enc_ != nullptr,
                 "tree queries require a tree document");
-  TranslatedTva translated = TranslateUnrankedTva(query);
-  TREENUM_CHECK(
-      translated.alphabet.num_base_labels() == term_->alphabet().num_base_labels(),
-      "query alphabet must match the document alphabet");
-  return RegisterPrepared(HomogenizeBinaryTva(translated.tva), mode);
+  TREENUM_CHECK(!in_batch_, "cannot register a query mid-batch");
+  // Translation always builds TermAlphabet(query.num_labels()), so the
+  // alphabet check needs no translation — which lets a cache hit skip
+  // the whole compile pipeline.
+  TREENUM_CHECK(query.num_labels() == term_->alphabet().num_base_labels(),
+                "query alphabet must match the document alphabet");
+  return AdmitShared(cache_->CompileTree(query), mode);
 }
 
 DynamicDocument::QueryHandle DynamicDocument::Register(const Wva& query,
                                                    BoxEnumMode mode) {
   TREENUM_CHECK(word_enc_ != nullptr,
                 "word queries require a word document");
-  TranslatedTva translated = TranslateWva(query);
-  TREENUM_CHECK(
-      translated.alphabet.num_base_labels() == term_->alphabet().num_base_labels(),
-      "query alphabet must match the document alphabet");
-  return RegisterPrepared(HomogenizeBinaryTva(translated.tva), mode);
+  TREENUM_CHECK(!in_batch_, "cannot register a query mid-batch");
+  TREENUM_CHECK(query.num_labels() == term_->alphabet().num_base_labels(),
+                "query alphabet must match the document alphabet");
+  return AdmitShared(cache_->CompileWord(query), mode);
 }
 
 DynamicDocument::QueryHandle DynamicDocument::RegisterPrepared(
     HomogenizedTva homog, BoxEnumMode mode) {
   TREENUM_CHECK(!in_batch_, "cannot register a query mid-batch");
-  CanonicalizeHomogenizedTva(&homog);
-  uint64_t fp = FingerprintHomogenizedTva(homog);
+  return AdmitShared(cache_->Intern(std::move(homog)), mode);
+}
+
+DynamicDocument::QueryHandle DynamicDocument::AdmitShared(
+    std::shared_ptr<const HomogenizedTva> homog, BoxEnumMode mode) {
+  TREENUM_CHECK(!in_batch_, "cannot register a query mid-batch");
+  uint64_t fp = FingerprintHomogenizedTva(*homog);
 
   size_t entry_idx = kNoEntry;
   auto range = by_fingerprint_.equal_range(fp);
   for (auto it = range.first; it != range.second; ++it) {
     const QueryEntry& e = entries_[it->second];
-    if (e.mode == mode && HomogenizedTvaEqual(*e.homog, homog)) {
+    // Plans served by this document's cache dedupe by pointer identity;
+    // the structural fallback covers plans from a different cache.
+    if (e.mode == mode &&
+        (e.homog == homog || HomogenizedTvaEqual(*e.homog, *homog))) {
       entry_idx = it->second;
       break;
     }
@@ -84,7 +96,8 @@ DynamicDocument::QueryHandle DynamicDocument::RegisterPrepared(
   if (entry_idx == kNoEntry) {
     // Genuinely new query: a registry entry (recycling a reclaimed slot
     // when one is free) + pipeline over the current term. The canonical
-    // automaton is shared between entry and pipeline.
+    // automaton stays owned by the cache; entry and pipeline share the
+    // refcounted handle, so document retention pins the cache entry.
     if (!entry_free_.empty()) {
       entry_idx = entry_free_.back();
       entry_free_.pop_back();
@@ -95,7 +108,7 @@ DynamicDocument::QueryHandle DynamicDocument::RegisterPrepared(
     }
     QueryEntry& entry = entries_[entry_idx];
     entry.fingerprint = fp;
-    entry.homog = std::make_shared<const HomogenizedTva>(std::move(homog));
+    entry.homog = std::move(homog);
     entry.mode = mode;
     entry.pipeline =
         std::make_unique<EnumerationPipeline>(term_, entry.homog, mode);

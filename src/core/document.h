@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "automata/homogenize.h"
+#include "automata/query_cache.h"
 #include "automata/unranked_tva.h"
 #include "automata/wva.h"
 #include "core/engine.h"
@@ -140,9 +141,15 @@ class DynamicDocument {
 
   /// A tree document: encodes `tree` as a balanced term (linear time).
   /// Every registered query must use exactly `num_labels` base labels.
-  DynamicDocument(UnrankedTree tree, size_t num_labels);
-  /// A word document over the AVL ⊕HH term (Corollary 8.4).
-  DynamicDocument(const Word& w, size_t num_labels);
+  /// Query compilation is routed through `cache` (null = the process-wide
+  /// QueryCache::Global()), so documents sharing a cache share compiled
+  /// plans; the cache must outlive the document.
+  DynamicDocument(UnrankedTree tree, size_t num_labels,
+                  QueryCache* cache = nullptr);
+  /// A word document over the AVL ⊕HH term (Corollary 8.4); `cache` as in
+  /// the tree constructor.
+  DynamicDocument(const Word& w, size_t num_labels,
+                  QueryCache* cache = nullptr);
 
   DynamicDocument(const DynamicDocument&) = delete;
   DynamicDocument& operator=(const DynamicDocument&) = delete;
@@ -164,19 +171,25 @@ class DynamicDocument {
 
   // ---- Query registration (deduplicating registry) ----
 
-  /// Registers a query: translates + homogenizes + canonicalizes it, then
-  /// either admits it to an existing pipeline (same canonical automaton
-  /// and mode — a dedupe hit, O(|Q|) to canonicalize and compare) or
-  /// builds a new pipeline (circuit and, in kIndexed mode, jump index)
-  /// over the current term — O(size * poly(|Q|)). Not allowed mid-batch.
+  /// Registers a query. Compilation (translation + homogenization +
+  /// canonicalization) is served by the shared QueryCache: a query any
+  /// document using the same cache has already compiled is admitted with
+  /// zero compilation work. The per-document registry then either admits
+  /// the compiled plan to an existing pipeline (same canonical automaton
+  /// and mode — a dedupe hit) or builds a new pipeline (circuit and, in
+  /// kIndexed mode, jump index) over the current term — O(size *
+  /// poly(|Q|)). Not allowed mid-batch.
   QueryHandle Register(const UnrankedTva& query,
                        BoxEnumMode mode = BoxEnumMode::kIndexed);
   /// Word-document overload of Register (queries are WVAs / spanners).
   QueryHandle Register(const Wva& query,
                        BoxEnumMode mode = BoxEnumMode::kIndexed);
   /// Registers an already-prepared automaton (must be over this document's
-  /// term alphabet). Canonicalized and deduplicated like Register.
+  /// term alphabet). Canonicalized (by the shared cache) and deduplicated
+  /// like Register.
   QueryHandle RegisterPrepared(HomogenizedTva homog, BoxEnumMode mode);
+  /// The compiled-query cache this document's registrations go through.
+  QueryCache& query_cache() const { return *cache_; }
   /// Releases one registration; the handle becomes invalid. The shared
   /// pipeline lives on while other handles reference it; at refcount zero
   /// it is kept *warm* — still refreshed on every edit, so re-registering
@@ -427,6 +440,12 @@ class DynamicDocument {
   Term& mutable_term() {
     return tree_enc_ ? tree_enc_->mutable_term() : word_enc_->mutable_term();
   }
+  /// Admits a cache-served compiled plan to the per-document registry:
+  /// dedupe by canonical fingerprint + pointer/structural equality, then
+  /// pipeline build/rebuild/share exactly as before the global cache —
+  /// no translation or homogenization happens here.
+  QueryHandle AdmitShared(std::shared_ptr<const HomogenizedTva> homog,
+                          BoxEnumMode mode);
   /// Runs before every edit (once per batch): drains retired snapshots,
   /// reclaiming their node versions, and releases the freed boxes in every
   /// pipeline — so the edit's path copies can recycle those ids and spans.
@@ -489,6 +508,7 @@ class DynamicDocument {
   size_t evictions_ = 0;
   size_t reclaimed_ = 0;
   ThreadPool* pool_ = nullptr;
+  QueryCache* cache_ = nullptr;  // never null after construction
 
   bool in_batch_ = false;
   // Document-level transaction record and commit scratch. clear() keeps

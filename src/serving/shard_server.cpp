@@ -81,8 +81,9 @@ struct DocumentShardServer::Command {
 /// struct outlives the DynamicDocument (which dies at kRemoveDoc) and is
 /// freed only at server destruction.
 struct DocumentShardServer::DocRef::DocState {
-  DocState(UnrankedTree tree, size_t num_labels)
-      : doc(std::make_unique<DynamicDocument>(std::move(tree), num_labels)) {}
+  DocState(UnrankedTree tree, size_t num_labels, QueryCache* cache)
+      : doc(std::make_unique<DynamicDocument>(std::move(tree), num_labels,
+                                              cache)) {}
 
   std::unique_ptr<DynamicDocument> doc;
   uint64_t id = 0;
@@ -159,7 +160,8 @@ DocumentShardServer::~DocumentShardServer() {
 
 DocumentShardServer::DocRef DocumentShardServer::AddDocument(
     UnrankedTree tree, size_t num_labels) {
-  auto state = std::make_unique<DocState>(std::move(tree), num_labels);
+  auto state = std::make_unique<DocState>(std::move(tree), num_labels,
+                                          opts_.query_cache);
   DocState* d = state.get();
   {
     std::lock_guard<std::mutex> lock(docs_mu_);

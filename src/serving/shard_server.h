@@ -103,6 +103,12 @@ class DocumentShardServer {
     /// Fairness bound: a worker applies at most this many commands from
     /// one document before rescheduling it behind its other work.
     size_t max_commands_per_run = 1024;
+    /// Compiled-query cache threaded through every document on every
+    /// shard (null = the process-wide QueryCache::Global()): a query
+    /// registered on any document is compiled once server-wide, and
+    /// registrations of it elsewhere reuse the shared plan. Must outlive
+    /// the server.
+    QueryCache* query_cache = nullptr;
   };
 
   /// Aggregated (relaxed-atomic) counters across all shards.

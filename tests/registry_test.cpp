@@ -461,6 +461,72 @@ TEST(QueryRegistry, ChurnKeepsRegistryMetadataBounded) {
   EXPECT_EQ(doc.pipeline(h).EnumerateAll(), oracle.EnumerateAll());
 }
 
+// The same 240-registration churn pattern routed through an explicitly
+// shared QueryCache across two documents: the per-document registry
+// metadata stays bounded exactly as above, and the process-wide cache's
+// entry and source tables stay bounded by pins + its retention cap — not
+// by the number of registrations ever made.
+TEST(QueryRegistry, ChurnThroughSharedCacheStaysBounded) {
+  Rng rng(73);
+  UnrankedTree tree = RandomTree(30, 3, rng);
+  QueryCache cache;
+  cache.set_retention_cap(1);
+  DynamicDocument doc1(tree, 3, &cache);
+  DynamicDocument doc2(tree, 3, &cache);
+  for (DynamicDocument* doc : {&doc1, &doc2}) {
+    doc->set_pipeline_cap(2);
+    doc->set_evicted_retention_cap(3);
+  }
+
+  // 6 distinct queries cycled 20 times on both documents: 240
+  // registrations, one live handle per document at a time.
+  for (int round = 0; round < 20; ++round) {
+    for (Label a = 0; a < 3; ++a) {
+      for (Label b = 0; b < 3; ++b) {
+        if (a == b) continue;
+        DynamicDocument::QueryHandle h1 =
+            doc1.Register(QueryMarkedAncestor(3, a, b));
+        DynamicDocument::QueryHandle h2 =
+            doc2.Register(QueryMarkedAncestor(3, a, b));
+        doc1.Unregister(h1);
+        doc2.Unregister(h2);
+      }
+    }
+    for (DynamicDocument* doc : {&doc1, &doc2}) {
+      DocumentStats s = doc->stats();
+      EXPECT_LE(s.handle_slots, 1u);
+      EXPECT_LE(s.registry_entries, 2u + 3u)
+          << "entries bounded by pipeline cap + retention cap";
+    }
+    QueryCache::Stats cs = cache.stats();
+    // Each document's registry pins at most pipeline-cap + retention-cap
+    // plans; beyond those the cache keeps at most its own retention cap.
+    EXPECT_LE(cs.entries, 2 * (2u + 3u) + 1u);
+    EXPECT_LE(cs.source_entries, cs.entries)
+        << "sources are erased with their entry";
+  }
+
+  // The second document's registrations always hit the plan the first just
+  // compiled (or retained): at least one cache hit per pair per round.
+  QueryCache::Stats cs = cache.stats();
+  EXPECT_GE(cs.source_hits, 120u);
+  EXPECT_LT(cs.translations, 240u);
+
+  // Releasing every document-side pin shrinks the cache to its own cap.
+  for (DynamicDocument* doc : {&doc1, &doc2}) {
+    doc->set_pipeline_cap(0);
+    doc->set_evicted_retention_cap(0);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.stats().entries, 1u);
+
+  // A fully evicted query recompiles through the cache and still answers
+  // correctly.
+  DynamicDocument::QueryHandle h = doc2.Register(QueryMarkedAncestor(3, 2, 0));
+  StaticEngine oracle(tree, QueryMarkedAncestor(3, 2, 0));
+  EXPECT_EQ(doc2.pipeline(h).EnumerateAll(), oracle.EnumerateAll());
+}
+
 // The batched-commit path must refresh warm pipelines too, so a
 // re-admitted query is correct after commits that happened while it had
 // refcount zero.
